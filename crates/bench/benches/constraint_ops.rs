@@ -1,0 +1,87 @@
+//! Microbenchmarks of the constraint-algebra substrate: Fourier–Motzkin
+//! projection, satisfiability, implication and the PTOL/LTOP conversions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pcs_constraints::{ltop, ptol, Atom, CmpOp, Conjunction, ConstraintSet, LinearExpr, PosArg, Var};
+
+fn chain_conjunction(n: usize) -> Conjunction {
+    // X1 <= X2 <= ... <= Xn, X1 >= 0, Xn <= 100
+    let mut atoms = Vec::new();
+    for i in 1..n {
+        atoms.push(Atom::compare(
+            LinearExpr::var(Var::new(format!("X{i}"))),
+            CmpOp::Le,
+            LinearExpr::var(Var::new(format!("X{}", i + 1))),
+        ));
+    }
+    atoms.push(Atom::var_ge(Var::new("X1"), 0));
+    atoms.push(Atom::var_le(Var::new(format!("X{n}")), 100));
+    Conjunction::from_atoms(atoms)
+}
+
+fn bench_constraints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraint_ops");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let conj = chain_conjunction(8);
+    group.bench_function("satisfiability_chain8", |b| {
+        b.iter(|| black_box(&conj).is_satisfiable())
+    });
+
+    let keep: std::collections::BTreeSet<Var> =
+        [Var::new("X1"), Var::new("X8")].into_iter().collect();
+    group.bench_function("projection_chain8_to_2", |b| {
+        b.iter(|| black_box(&conj).project(black_box(&keep)))
+    });
+
+    let premise = Conjunction::from_atoms([
+        Atom::compare(
+            LinearExpr::var(Var::new("X")) + LinearExpr::var(Var::new("Y")),
+            CmpOp::Le,
+            LinearExpr::constant(6),
+        ),
+        Atom::var_ge(Var::new("X"), 2),
+    ]);
+    let conclusion = Atom::var_le(Var::new("Y"), 4);
+    group.bench_function("implication_example41", |b| {
+        b.iter(|| black_box(&premise).implies_atom(black_box(&conclusion)))
+    });
+
+    let set = ConstraintSet::from_disjuncts([
+        Conjunction::from_atoms([
+            Atom::var_gt(Var::position(3), 0),
+            Atom::var_le(Var::position(3), 240),
+            Atom::var_gt(Var::position(4), 0),
+        ]),
+        Conjunction::from_atoms([
+            Atom::var_gt(Var::position(3), 0),
+            Atom::var_gt(Var::position(4), 0),
+            Atom::var_le(Var::position(4), 150),
+        ]),
+    ]);
+    group.bench_function("non_overlapping_flight_qrp", |b| {
+        b.iter(|| black_box(&set).non_overlapping())
+    });
+
+    let args = vec![
+        PosArg::var(Var::new("S")),
+        PosArg::var(Var::new("D")),
+        PosArg::var(Var::new("T")),
+        PosArg::var(Var::new("C")),
+    ];
+    group.bench_function("ptol_ltop_round_trip", |b| {
+        b.iter(|| {
+            let local = ptol(black_box(&args), black_box(&set));
+            ltop(black_box(&args), &local)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_constraints);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E1/E2 (Tables 1 and 2): cost of the capped, diverging evaluation of
+//! `P_fib^mg` versus the terminating evaluation of `P_fib_1^mg`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pcs_core::programs;
+use pcs_engine::{Database, EvalOptions, Evaluator};
+use pcs_lang::parse_program;
+use pcs_transform::{magic_rewrite, MagicOptions};
+
+fn bench_fibonacci(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fibonacci");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let plain_magic = magic_rewrite(&programs::fibonacci(5), &MagicOptions::full_sips())
+        .unwrap()
+        .program;
+    group.bench_function("table1_pfib_mg_capped_9_iters", |b| {
+        b.iter(|| {
+            Evaluator::new(black_box(&plain_magic), EvalOptions {
+                limits: pcs_engine::EvalLimits::capped(9),
+                trace: false,
+            })
+            .evaluate(&Database::new())
+        })
+    });
+
+    let constrained = parse_program(
+        "r1: fib(0, 1).\n\
+         r2: fib(1, 1).\n\
+         r3: fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), X1 >= 1, fib(N - 2, X2), X2 >= 1.\n\
+         ?- fib(N, 5).",
+    )
+    .unwrap();
+    let constrained_magic = magic_rewrite(&constrained, &MagicOptions::full_sips())
+        .unwrap()
+        .program;
+    group.bench_function("table2_pfib1_mg_to_fixpoint", |b| {
+        b.iter(|| {
+            Evaluator::new(black_box(&constrained_magic), EvalOptions::default())
+                .evaluate(&Database::new())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fibonacci);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E3 (Examples 1.1/4.3): evaluating the flights program before and after
+//! constraint propagation, as the amount of irrelevant EDB data grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pcs_core::{programs, Optimizer, Strategy};
+
+fn bench_flights(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flights");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let program = programs::flights();
+    let strategies = [
+        ("original", Strategy::None),
+        ("constraint_rewrite", Strategy::ConstraintRewrite),
+        ("optimal_pred_qrp_mg", Strategy::Optimal),
+    ];
+    for extra_legs in [20usize, 60] {
+        let db = programs::flights_database(8, extra_legs);
+        for (name, strategy) in &strategies {
+            let optimized = Optimizer::new(program.clone())
+                .strategy(strategy.clone())
+                .optimize()
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(*name, extra_legs),
+                &db,
+                |b, db| b.iter(|| black_box(&optimized).evaluate(black_box(db))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flights);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E8/E9/E10 (Section 7): evaluation cost of the rewriting orderings on the
+//! Example 7.1 and 7.2 programs (non-confluence, optimality of pred,qrp,mg).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pcs_core::{programs, Optimizer, Strategy};
+use pcs_transform::Step;
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orderings");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let sequences: Vec<(&str, Vec<Step>)> = vec![
+        ("qrp_mg", vec![Step::Qrp, Step::Magic]),
+        ("mg_qrp", vec![Step::Magic, Step::Qrp]),
+        ("pred_qrp_mg", vec![Step::Pred, Step::Qrp, Step::Magic]),
+    ];
+    let db = programs::example_7x_database(40, 25);
+    for (example, program) in [("ex71", programs::example_71()), ("ex72", programs::example_72())] {
+        for (label, steps) in &sequences {
+            let optimized = Optimizer::new(program.clone())
+                .strategy(Strategy::Sequence(steps.clone()))
+                .optimize()
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(format!("{example}_{label}"), db.len()),
+                &db,
+                |b, db| b.iter(|| black_box(&optimized).evaluate(black_box(db))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Prints the paper-style tables for every experiment.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p pcs-bench --bin experiments            # all experiments
+//! cargo run -p pcs-bench --bin experiments -- table1  # a single experiment
+//! ```
+//!
+//! Available experiment names: `table1`, `table2`, `flights`, `ex41`, `ex42`,
+//! `balbin`, `orderings`, `overlap`, `all`.
+
+use pcs_bench::experiments;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let report = match which.as_str() {
+        "table1" => experiments::table1(9),
+        "table2" => experiments::table2(),
+        "flights" => experiments::flights(&[(6, 20), (8, 60), (10, 120)]),
+        "ex41" => experiments::example_41(),
+        "ex42" | "decidable" => experiments::example_42(),
+        "balbin" => experiments::balbin(),
+        "orderings" | "optimal" => experiments::orderings(),
+        "overlap" => experiments::overlap(),
+        "all" => experiments::all(),
+        other => {
+            eprintln!(
+                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, all"
+            );
+            std::process::exit(2);
+        }
+    };
+    println!("{report}");
+}

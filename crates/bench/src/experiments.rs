@@ -1,0 +1,351 @@
+//! The experiment harness: one function per paper artifact (table, figure or
+//! worked example), each returning a printable report.  `EXPERIMENTS.md`
+//! records a captured run next to the paper's own numbers.
+
+use std::fmt::Write as _;
+
+use pcs_core::{programs, Optimizer, Strategy};
+use pcs_engine::{Database, EvalOptions, Evaluator};
+use pcs_lang::{parse_program, Pred, Program};
+use pcs_transform::{
+    check_decidable_class, constraint_rewrite, gen_qrp_constraints, magic_rewrite, GenOptions,
+    MagicOptions, PropagateOptions, RewriteOptions, Step,
+};
+
+/// E1 (Table 1): per-iteration derivations of the magic-rewritten Fibonacci
+/// program, which diverges and generates constraint facts.
+pub fn table1(iterations: usize) -> String {
+    fib_trace_report(
+        "Table 1: derivations in a bottom-up evaluation of P_fib^mg (diverges; capped)",
+        &programs::fibonacci(5),
+        iterations,
+    )
+}
+
+/// E2 (Table 2): the same evaluation after the predicate constraint `$2 >= 1`
+/// has been pushed into the recursive rule (program `P_fib_1^mg`); terminates.
+pub fn table2() -> String {
+    let program = parse_program(
+        "r1: fib(0, 1).\n\
+         r2: fib(1, 1).\n\
+         r3: fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), X1 >= 1, fib(N - 2, X2), X2 >= 1.\n\
+         ?- fib(N, 5).",
+    )
+    .expect("parses");
+    fib_trace_report(
+        "Table 2: derivations in a bottom-up evaluation of P_fib_1^mg (terminates)",
+        &program,
+        50,
+    )
+}
+
+fn fib_trace_report(title: &str, program: &Program, iterations: usize) -> String {
+    let magic = magic_rewrite(program, &MagicOptions::full_sips()).expect("magic rewrite");
+    let result =
+        Evaluator::new(&magic.program, EvalOptions::traced(iterations)).evaluate(&Database::new());
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{:<10} derivations made", "iteration");
+    for (i, iter) in result.stats.iterations.iter().enumerate() {
+        let mut cells: Vec<String> = Vec::new();
+        for record in &iter.records {
+            let marker = if record.new { "" } else { "*" };
+            cells.push(format!("{}{}:{}", marker, record.rule, record.fact));
+        }
+        let _ = writeln!(out, "{i:<10} {{{}}}", cells.join(", "));
+    }
+    let answers = result.answers_to(&magic.program.query().unwrap().literals[0]);
+    let _ = writeln!(
+        out,
+        "termination: {:?}; stored constraint facts: {}; answers: {}",
+        result.termination,
+        result.stats.constraint_facts,
+        answers.len()
+    );
+    let _ = writeln!(out, "(* marks a derivation whose fact was subsumed and discarded)");
+    out
+}
+
+/// E3 (Examples 1.1/4.3): the flights program across strategies and EDB
+/// sizes; reports facts computed, irrelevant flight facts, and answers.
+pub fn flights(sizes: &[(usize, usize)]) -> String {
+    let program = programs::flights();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Flights (Examples 1.1/4.3): facts computed per strategy; an 'irrelevant' flight has time > 240 and cost > 150"
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<28} {:>8} {:>13} {:>12} {:>9} {:>8}",
+        "EDB", "strategy", "answers", "flight facts", "irrelevant", "derivs", "ground"
+    );
+    for (cities, extra) in sizes {
+        let db = programs::flights_database(*cities, *extra);
+        let edb_label = format!("{}+{}", cities, extra);
+        for (name, strategy) in [
+            ("original", Strategy::None),
+            ("pred,qrp (Constraint_rewrite)", Strategy::ConstraintRewrite),
+            ("mg only", Strategy::MagicOnly),
+            ("pred,qrp,mg (optimal)", Strategy::Optimal),
+        ] {
+            let optimized = Optimizer::new(program.clone()).strategy(strategy).optimize().unwrap();
+            let result = optimized.evaluate(&db);
+            let flight_pred = result
+                .relations
+                .keys()
+                .find(|p| p.name().starts_with("flight") && !result.facts_for(p).is_empty())
+                .cloned()
+                .unwrap_or_else(|| Pred::new("flight"));
+            let irrelevant = result
+                .facts_for(&flight_pred)
+                .iter()
+                .filter(|f| {
+                    f.ground_values()
+                        .map(|v| {
+                            v[2].as_num().map(|t| t > 240.into()).unwrap_or(false)
+                                && v[3].as_num().map(|c| c > 150.into()).unwrap_or(false)
+                        })
+                        .unwrap_or(false)
+                })
+                .count();
+            let _ = writeln!(
+                out,
+                "{:<10} {:<28} {:>8} {:>13} {:>12} {:>9} {:>8}",
+                edb_label,
+                name,
+                optimized.count_answers(&db),
+                result.count_for(&flight_pred),
+                irrelevant,
+                result.stats.total_derivations(),
+                result.only_ground_facts()
+            );
+        }
+    }
+    out
+}
+
+/// E4 (Example 4.1): the computed minimum QRP constraints and the rewritten
+/// program.
+pub fn example_41() -> String {
+    let program = programs::example_41();
+    let result = constraint_rewrite(&program, &RewriteOptions::default()).unwrap();
+    let mut out = String::new();
+    let _ = writeln!(out, "Example 4.1: minimum QRP constraints");
+    for pred in ["p1", "p2", "q"] {
+        let _ = writeln!(
+            out,
+            "  QRP({pred}) = {}",
+            result.qrp_constraints.constraint_for(&Pred::new(pred))
+        );
+    }
+    let _ = writeln!(out, "rewritten program:\n{}", result.program);
+    out
+}
+
+/// E5 (Examples 4.2/5.1): predicate constraints make the minimum QRP
+/// constraint reachable; the restricted class guarantees termination.
+pub fn example_42() -> String {
+    let program = programs::example_42();
+    let result = constraint_rewrite(&program, &RewriteOptions::default()).unwrap();
+    let mut out = String::new();
+    let _ = writeln!(out, "Example 4.2 / 5.1:");
+    let _ = writeln!(
+        out,
+        "  minimum predicate constraint for a: {}",
+        result.predicate_constraints.constraint_for(&Pred::new("a"))
+    );
+    let _ = writeln!(
+        out,
+        "  minimum QRP constraint for a:       {}",
+        result.qrp_constraints.constraint_for(&Pred::new("a"))
+    );
+    let _ = writeln!(
+        out,
+        "  QRP generation converged in {} iterations",
+        result.qrp_constraints.iterations
+    );
+    let report = check_decidable_class(&programs::example_51());
+    let _ = writeln!(
+        out,
+        "  Example 5.1 in decidable class: {}; Theorem 5.1 iteration bound: {}",
+        report.in_class,
+        report.iteration_bound()
+    );
+    out
+}
+
+/// E6 (Section 6.1): the Balbin et al. C transformation misses constraints
+/// that the semantic procedure derives.
+pub fn balbin() -> String {
+    use pcs_transform::gen_syntactic_constraints;
+    let program = programs::example_41();
+    let query: std::collections::BTreeSet<Pred> = [Pred::new("q")].into_iter().collect();
+    let options = GenOptions::default();
+    let syntactic = gen_syntactic_constraints(&program, &query, &options);
+    let semantic = gen_qrp_constraints(&program, &query, &options);
+    let mut out = String::new();
+    let _ = writeln!(out, "Balbin et al. C transformation vs QRP constraints (Example 4.1):");
+    for pred in ["p1", "p2"] {
+        let _ = writeln!(
+            out,
+            "  {pred}: C-transform pushes {:<30}  QRP pushes {}",
+            syntactic.constraint_for(&Pred::new(pred)).to_string(),
+            semantic.constraint_for(&Pred::new(pred))
+        );
+    }
+    out
+}
+
+/// E8/E9/E10 (Section 7, Examples 7.1/7.2, Theorem 7.10): fact counts for the
+/// different rewriting orderings.
+pub fn orderings() -> String {
+    let sequences: Vec<(&str, Vec<Step>)> = vec![
+        ("qrp,mg", vec![Step::Qrp, Step::Magic]),
+        ("mg,qrp", vec![Step::Magic, Step::Qrp]),
+        ("pred,qrp,mg", vec![Step::Pred, Step::Qrp, Step::Magic]),
+        ("mg,pred,qrp", vec![Step::Magic, Step::Pred, Step::Qrp]),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "Section 7 ordering study (facts computed; fewer is better)");
+    for (name, program, db) in [
+        (
+            "Example 7.1 (qrp,mg preferable)",
+            programs::example_71(),
+            programs::example_7x_database(40, 30),
+        ),
+        (
+            "Example 7.2 (mg,qrp preferable)",
+            programs::example_72(),
+            programs::example_7x_database(40, 30),
+        ),
+        (
+            "Flights (Theorem 7.10)",
+            programs::flights(),
+            programs::flights_database(8, 40),
+        ),
+    ] {
+        let _ = writeln!(out, "-- {name}");
+        let _ = writeln!(
+            out,
+            "   {:<14} {:>12} {:>12} {:>9}",
+            "sequence", "total facts", "derivations", "answers"
+        );
+        for (label, steps) in &sequences {
+            let optimized = Optimizer::new(program.clone())
+                .strategy(Strategy::Sequence(steps.clone()))
+                .optimize()
+                .unwrap();
+            let result = optimized.evaluate(&db);
+            let _ = writeln!(
+                out,
+                "   {:<14} {:>12} {:>12} {:>9}",
+                label,
+                result.total_facts(),
+                result.stats.total_derivations(),
+                optimized.count_answers(&db)
+            );
+        }
+    }
+    out
+}
+
+/// E12 (Section 4.6): overlapping disjuncts cause duplicate derivations; the
+/// non-overlapping rewriting removes them, the single-disjunct weakening
+/// loses pruning.
+pub fn overlap() -> String {
+    let program = programs::flights();
+    let db = programs::flights_database(8, 40);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Section 4.6 disjunct-handling ablation (flights, 8 cities + 40 irrelevant legs)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>13} {:>12} {:>9}",
+        "propagation", "flight facts", "derivations", "answers"
+    );
+    for (name, options) in [
+        ("overlapping (default)", PropagateOptions::default()),
+        (
+            "non-overlapping",
+            PropagateOptions {
+                non_overlapping: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "single disjunct",
+            PropagateOptions {
+                single_disjunct: true,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let rewrite_options = RewriteOptions {
+            propagate: options,
+            ..Default::default()
+        };
+        let result = constraint_rewrite(&program, &rewrite_options).unwrap();
+        let eval = Evaluator::new(&result.program, EvalOptions::default()).evaluate(&db);
+        let answers = eval.answers_to(&program.query().unwrap().literals[0]).len();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>13} {:>12} {:>9}",
+            name,
+            eval.count_for(&Pred::new("flight")),
+            eval.stats.total_derivations(),
+            answers
+        );
+    }
+    out
+}
+
+/// Runs every experiment and concatenates the reports.
+pub fn all() -> String {
+    let mut out = String::new();
+    for section in [
+        table1(9),
+        table2(),
+        flights(&[(6, 20), (8, 60), (10, 120)]),
+        example_41(),
+        example_42(),
+        balbin(),
+        orderings(),
+        overlap(),
+    ] {
+        out.push_str(&section);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_diverges_and_table2_terminates() {
+        let t1 = table1(6);
+        assert!(t1.contains("IterationLimit"));
+        let t2 = table2();
+        assert!(t2.contains("Fixpoint"));
+        assert!(t2.contains("answers: 1"));
+    }
+
+    #[test]
+    fn flights_report_lists_all_strategies() {
+        let report = flights(&[(5, 10)]);
+        assert!(report.contains("original"));
+        assert!(report.contains("pred,qrp,mg (optimal)"));
+    }
+
+    #[test]
+    fn ordering_report_covers_both_examples() {
+        let report = orderings();
+        assert!(report.contains("Example 7.1"));
+        assert!(report.contains("Example 7.2"));
+        assert!(report.contains("Theorem 7.10"));
+    }
+}

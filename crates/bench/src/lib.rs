@@ -1,0 +1,13 @@
+//! # pcs-bench
+//!
+//! Workload generators and the experiment harness that regenerates every
+//! table and figure of *Pushing Constraint Selections* (see `EXPERIMENTS.md`
+//! at the workspace root for the mapping).  The `experiments` binary prints
+//! the paper-style tables; the Criterion benches measure wall-clock cost of
+//! the rewritings and of evaluating the rewritten programs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod workload;

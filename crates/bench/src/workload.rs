@@ -1,0 +1,77 @@
+//! Synthetic workload generators.
+//!
+//! The deterministic generators of `pcs_core::programs` are re-exported, and
+//! randomized variants (seeded, reproducible) are added for the scaling
+//! experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pcs_core::programs;
+use pcs_engine::{Database, Value};
+
+pub use pcs_core::programs::{
+    example_41_database, example_42_database, example_7x_database, flights_database,
+};
+
+/// A random flight network: `num_cities` cities, `num_legs` legs between
+/// random city pairs with times in `[30, 400]` and costs in `[20, 500]`,
+/// always including a cheap chain from `madison` to `seattle` so the query
+/// has answers.  Seeded and reproducible.
+pub fn random_flights_database(num_cities: usize, num_legs: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = programs::flights_database(4, 0);
+    let city = |i: usize| format!("c{i}");
+    for _ in 0..num_legs {
+        let src = city(rng.random_range(0..num_cities));
+        let dst = city(rng.random_range(0..num_cities));
+        if src == dst {
+            continue;
+        }
+        let time: i64 = rng.random_range(30..=400);
+        let cost: i64 = rng.random_range(20..=500);
+        db.add_ground(
+            "singleleg",
+            vec![
+                Value::sym(&src),
+                Value::sym(&dst),
+                Value::num(time),
+                Value::num(cost),
+            ],
+        );
+    }
+    db
+}
+
+/// A random EDB for the Example 7.1/7.2 programs: `b1` edges with sources in
+/// `[0, max_source)` and a `b2` chain of the given length.
+pub fn random_7x_database(b1_edges: usize, max_source: i64, chain: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let base = 10_000i64;
+    for _ in 0..b1_edges {
+        let src: i64 = rng.random_range(0..max_source);
+        let dst: i64 = base + rng.random_range(0..chain as i64);
+        db.add_ground("b1", vec![Value::num(src), Value::num(dst)]);
+    }
+    for j in 0..chain as i64 {
+        db.add_ground("b2", vec![Value::num(base + j), Value::num(base + j + 1)]);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_generators_are_reproducible() {
+        let a = random_flights_database(10, 50, 42);
+        let b = random_flights_database(10, 50, 42);
+        assert_eq!(a.len(), b.len());
+        let c = random_7x_database(20, 10, 5, 7);
+        let d = random_7x_database(20, 10, 5, 7);
+        assert_eq!(c.len(), d.len());
+        assert!(c.len() >= 5);
+    }
+}

@@ -1,0 +1,382 @@
+//! Atomic linear arithmetic constraints.
+//!
+//! A linear arithmetic constraint (Definition 2.1) has the form
+//! `a1*X1 + ... + an*Xn op a_{n+1}` with `op ∈ {<, >, ≤, ≥, =}`.  Atoms are
+//! stored in the normal form `expr REL 0` with `REL ∈ {≤, <, =}`; `≥` and `>`
+//! are normalized away by negating the expression.
+
+use std::fmt;
+
+use crate::linear::LinearExpr;
+use crate::rational::Rational;
+use crate::var::Var;
+
+/// Comparison operators accepted when building constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+impl CmpOp {
+    /// Parses an operator from its textual spelling.
+    pub fn parse(text: &str) -> Option<CmpOp> {
+        match text {
+            "<" => Some(CmpOp::Lt),
+            "<=" | "=<" => Some(CmpOp::Le),
+            ">" => Some(CmpOp::Gt),
+            ">=" | "=>" => Some(CmpOp::Ge),
+            "=" | "==" => Some(CmpOp::Eq),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Normalized relation of an atom against zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rel {
+    /// `expr ≤ 0`
+    Le,
+    /// `expr < 0`
+    Lt,
+    /// `expr = 0`
+    Eq,
+}
+
+impl Rel {
+    /// Returns `true` for the strict relation.
+    pub fn is_strict(&self) -> bool {
+        matches!(self, Rel::Lt)
+    }
+}
+
+/// An atomic constraint in the normal form `expr REL 0`.
+///
+/// Atoms are canonicalized: the expression is scaled so that the leading
+/// coefficient (of the smallest variable) has absolute value one, and for
+/// equalities the leading coefficient is positive.  Canonicalization makes
+/// structural equality coincide with "same constraint up to positive scaling",
+/// which keeps conjunctions and DNF sets small.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    expr: LinearExpr,
+    rel: Rel,
+}
+
+impl Atom {
+    /// Builds an atom `lhs op rhs`.
+    pub fn compare(lhs: LinearExpr, op: CmpOp, rhs: LinearExpr) -> Atom {
+        match op {
+            CmpOp::Lt => Atom::new(lhs - rhs, Rel::Lt),
+            CmpOp::Le => Atom::new(lhs - rhs, Rel::Le),
+            CmpOp::Gt => Atom::new(rhs - lhs, Rel::Lt),
+            CmpOp::Ge => Atom::new(rhs - lhs, Rel::Le),
+            CmpOp::Eq => Atom::new(lhs - rhs, Rel::Eq),
+        }
+    }
+
+    /// Builds an atom `expr REL 0` and canonicalizes it.
+    pub fn new(expr: LinearExpr, rel: Rel) -> Atom {
+        let mut atom = Atom { expr, rel };
+        atom.canonicalize();
+        atom
+    }
+
+    /// The constraint `var ≤ constant`.
+    pub fn var_le(var: impl Into<Var>, constant: impl Into<Rational>) -> Atom {
+        Atom::compare(
+            LinearExpr::var(var.into()),
+            CmpOp::Le,
+            LinearExpr::constant(constant.into()),
+        )
+    }
+
+    /// The constraint `var < constant`.
+    pub fn var_lt(var: impl Into<Var>, constant: impl Into<Rational>) -> Atom {
+        Atom::compare(
+            LinearExpr::var(var.into()),
+            CmpOp::Lt,
+            LinearExpr::constant(constant.into()),
+        )
+    }
+
+    /// The constraint `var ≥ constant`.
+    pub fn var_ge(var: impl Into<Var>, constant: impl Into<Rational>) -> Atom {
+        Atom::compare(
+            LinearExpr::var(var.into()),
+            CmpOp::Ge,
+            LinearExpr::constant(constant.into()),
+        )
+    }
+
+    /// The constraint `var > constant`.
+    pub fn var_gt(var: impl Into<Var>, constant: impl Into<Rational>) -> Atom {
+        Atom::compare(
+            LinearExpr::var(var.into()),
+            CmpOp::Gt,
+            LinearExpr::constant(constant.into()),
+        )
+    }
+
+    /// The constraint `var = constant`.
+    pub fn var_eq(var: impl Into<Var>, constant: impl Into<Rational>) -> Atom {
+        Atom::compare(
+            LinearExpr::var(var.into()),
+            CmpOp::Eq,
+            LinearExpr::constant(constant.into()),
+        )
+    }
+
+    /// The constraint `a = b` between two variables.
+    pub fn vars_eq(a: impl Into<Var>, b: impl Into<Var>) -> Atom {
+        Atom::compare(
+            LinearExpr::var(a.into()),
+            CmpOp::Eq,
+            LinearExpr::var(b.into()),
+        )
+    }
+
+    fn canonicalize(&mut self) {
+        // Scale so that the coefficient of the smallest variable has
+        // absolute value 1; for equalities additionally make it positive
+        // (sign flips are only meaning-preserving for equalities).
+        let leading = self.expr.terms().next().map(|(_, c)| *c);
+        let Some(leading) = leading else { return };
+        let factor = leading.abs().recip().expect("non-zero coefficient");
+        if factor != Rational::ONE {
+            self.expr = self.expr.scale(factor);
+        }
+        if self.rel == Rel::Eq && leading.is_negative() {
+            self.expr = self.expr.scale(-Rational::ONE);
+        }
+    }
+
+    /// The normalized left-hand expression (compared against zero).
+    pub fn expr(&self) -> &LinearExpr {
+        &self.expr
+    }
+
+    /// The normalized relation.
+    pub fn rel(&self) -> Rel {
+        self.rel
+    }
+
+    /// Variables mentioned by the atom.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.expr.vars()
+    }
+
+    /// Returns `true` if the atom mentions `var`.
+    pub fn contains(&self, var: &Var) -> bool {
+        self.expr.contains(var)
+    }
+
+    /// Returns `true` if this atom has no variables and holds.
+    pub fn is_trivially_true(&self) -> bool {
+        if !self.expr.is_constant() {
+            return false;
+        }
+        let c = self.expr.constant_part();
+        match self.rel {
+            Rel::Le => !c.is_positive(),
+            Rel::Lt => c.is_negative(),
+            Rel::Eq => c.is_zero(),
+        }
+    }
+
+    /// Returns `true` if this atom has no variables and does not hold.
+    pub fn is_trivially_false(&self) -> bool {
+        self.expr.is_constant() && !self.is_trivially_true()
+    }
+
+    /// Substitutes a variable by a linear expression.
+    pub fn substitute(&self, var: &Var, replacement: &LinearExpr) -> Atom {
+        Atom::new(self.expr.substitute(var, replacement), self.rel)
+    }
+
+    /// Renames variables according to `mapping`.
+    pub fn rename(&self, mapping: &dyn Fn(&Var) -> Var) -> Atom {
+        Atom::new(self.expr.rename(mapping), self.rel)
+    }
+
+    /// The negation of this atom, as a disjunction of atoms.
+    ///
+    /// `¬(e ≤ 0) = (−e < 0)`, `¬(e < 0) = (−e ≤ 0)` and
+    /// `¬(e = 0) = (e < 0) ∨ (−e < 0)`.
+    pub fn negate(&self) -> Vec<Atom> {
+        match self.rel {
+            Rel::Le => vec![Atom::new(self.expr.clone().scale(-Rational::ONE), Rel::Lt)],
+            Rel::Lt => vec![Atom::new(self.expr.clone().scale(-Rational::ONE), Rel::Le)],
+            Rel::Eq => vec![
+                Atom::new(self.expr.clone(), Rel::Lt),
+                Atom::new(self.expr.clone().scale(-Rational::ONE), Rel::Lt),
+            ],
+        }
+    }
+
+    /// Evaluates the atom under a total assignment.
+    pub fn evaluate(&self, assignment: &dyn Fn(&Var) -> Option<Rational>) -> Option<bool> {
+        let value = self.expr.evaluate(assignment)?;
+        Some(match self.rel {
+            Rel::Le => !value.is_positive(),
+            Rel::Lt => value.is_negative(),
+            Rel::Eq => value.is_zero(),
+        })
+    }
+
+    /// If this atom pins a single variable to a constant (`X = c`), returns it.
+    pub fn as_ground_binding(&self) -> Option<(Var, Rational)> {
+        if self.rel != Rel::Eq || self.expr.num_vars() != 1 {
+            return None;
+        }
+        let (var, coeff) = self.expr.terms().next()?;
+        let value = -(self.expr.constant_part() / *coeff);
+        Some((var.clone(), value))
+    }
+
+    /// If this atom is an equality, solves it for `var`: returns the
+    /// expression `e` such that `var = e`.
+    pub fn solve_for(&self, var: &Var) -> Option<LinearExpr> {
+        if self.rel != Rel::Eq {
+            return None;
+        }
+        let coeff = self.expr.coefficient(var);
+        if coeff.is_zero() {
+            return None;
+        }
+        // expr = coeff*var + rest = 0  =>  var = -rest / coeff
+        let mut rest = self.expr.clone();
+        rest = rest.substitute(var, &LinearExpr::zero());
+        let factor = -(Rational::ONE / coeff);
+        Some(rest.scale(factor))
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Present as `terms REL -constant` for readability.
+        let mut lhs = self.expr.clone();
+        let c = lhs.constant_part();
+        lhs.add_constant(-c);
+        let rel = match self.rel {
+            Rel::Le => "<=",
+            Rel::Lt => "<",
+            Rel::Eq => "=",
+        };
+        write!(f, "{lhs} {rel} {}", -c)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+
+    #[test]
+    fn normalization_collapses_equivalent_spellings() {
+        // X <= 4  and  2X <= 8  are the same atom.
+        let a = Atom::var_le(x(), 4);
+        let b = Atom::compare(
+            LinearExpr::term(2, x()),
+            CmpOp::Le,
+            LinearExpr::constant(8),
+        );
+        assert_eq!(a, b);
+        // X >= 2  is  -X <= -2.
+        let c = Atom::var_ge(x(), 2);
+        let d = Atom::compare(
+            LinearExpr::constant(2),
+            CmpOp::Le,
+            LinearExpr::var(x()),
+        );
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn equality_sign_is_canonical() {
+        let a = Atom::compare(LinearExpr::var(x()), CmpOp::Eq, LinearExpr::var(y()));
+        let b = Atom::compare(LinearExpr::var(y()), CmpOp::Eq, LinearExpr::var(x()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trivial_atoms() {
+        let t = Atom::compare(LinearExpr::constant(1), CmpOp::Le, LinearExpr::constant(2));
+        assert!(t.is_trivially_true());
+        let f = Atom::compare(LinearExpr::constant(3), CmpOp::Lt, LinearExpr::constant(3));
+        assert!(f.is_trivially_false());
+        let open = Atom::var_le(x(), 0);
+        assert!(!open.is_trivially_true());
+        assert!(!open.is_trivially_false());
+    }
+
+    #[test]
+    fn negation_round_trips_on_evaluation() {
+        let atom = Atom::var_lt(x(), 3);
+        let assign = |value: i128| move |v: &Var| if *v == x() { Some(Rational::from_int(value)) } else { None };
+        assert_eq!(atom.evaluate(&assign(2)), Some(true));
+        assert_eq!(atom.evaluate(&assign(3)), Some(false));
+        let negated = atom.negate();
+        assert_eq!(negated.len(), 1);
+        assert_eq!(negated[0].evaluate(&assign(2)), Some(false));
+        assert_eq!(negated[0].evaluate(&assign(3)), Some(true));
+    }
+
+    #[test]
+    fn ground_binding_extraction() {
+        let atom = Atom::var_eq(x(), 5);
+        assert_eq!(
+            atom.as_ground_binding(),
+            Some((x(), Rational::from_int(5)))
+        );
+        assert_eq!(Atom::var_le(x(), 5).as_ground_binding(), None);
+        assert_eq!(Atom::vars_eq(x(), y()).as_ground_binding(), None);
+    }
+
+    #[test]
+    fn solve_for_inverts_equalities() {
+        // X + 2Y - 6 = 0 solved for Y gives (6 - X)/2 = 3 - X/2.
+        let atom = Atom::compare(
+            LinearExpr::var(x()) + LinearExpr::term(2, y()),
+            CmpOp::Eq,
+            LinearExpr::constant(6),
+        );
+        let solved = atom.solve_for(&y()).unwrap();
+        assert_eq!(solved.coefficient(&x()), Rational::ratio(-1, 2));
+        assert_eq!(solved.constant_part(), Rational::from_int(3));
+        assert_eq!(atom.solve_for(&Var::new("Z")), None);
+    }
+}

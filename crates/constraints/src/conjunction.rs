@@ -1,0 +1,454 @@
+//! Conjunctions of linear arithmetic constraints and Fourier–Motzkin
+//! variable elimination.
+//!
+//! Rule bodies, constraint facts, and each disjunct of a constraint set are
+//! conjunctions of atoms.  The three operations the paper relies on —
+//! satisfiability, implication, and projection ("quantifier elimination"),
+//! see Section 2 and the proofs of Theorems 4.2/4.5 — are implemented here
+//! exactly, using Fourier–Motzkin elimination over rationals with proper
+//! handling of strict inequalities and equalities.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::atom::{Atom, Rel};
+use crate::linear::LinearExpr;
+use crate::rational::Rational;
+use crate::var::Var;
+
+/// A conjunction of atomic linear arithmetic constraints.
+///
+/// The empty conjunction is `true`.  An unsatisfiable conjunction is still a
+/// valid value (e.g. `X < 0 ∧ X > 1`); [`Conjunction::is_satisfiable`] detects
+/// it and [`Conjunction::simplify`] canonicalizes it to [`Conjunction::falsum`].
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Conjunction {
+    atoms: Vec<Atom>,
+}
+
+impl Conjunction {
+    /// The empty (always true) conjunction.
+    pub fn truth() -> Self {
+        Conjunction { atoms: Vec::new() }
+    }
+
+    /// A canonical unsatisfiable conjunction (`1 ≤ 0`).
+    pub fn falsum() -> Self {
+        Conjunction {
+            atoms: vec![Atom::new(LinearExpr::constant(1), Rel::Le)],
+        }
+    }
+
+    /// Builds a conjunction from atoms, dropping trivially true ones.
+    pub fn from_atoms<I: IntoIterator<Item = Atom>>(atoms: I) -> Self {
+        let mut c = Conjunction::truth();
+        for a in atoms {
+            c.push(a);
+        }
+        c
+    }
+
+    /// A conjunction with a single atom.
+    pub fn of(atom: Atom) -> Self {
+        Conjunction::from_atoms([atom])
+    }
+
+    /// Adds an atom, skipping duplicates and trivially true atoms.
+    pub fn push(&mut self, atom: Atom) {
+        if atom.is_trivially_true() || self.atoms.contains(&atom) {
+            return;
+        }
+        self.atoms.push(atom);
+    }
+
+    /// Conjoins another conjunction.
+    pub fn and(&self, other: &Conjunction) -> Conjunction {
+        let mut result = self.clone();
+        for a in &other.atoms {
+            result.push(a.clone());
+        }
+        result
+    }
+
+    /// The atoms of this conjunction.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Returns `true` for the empty (trivially true) conjunction.
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Returns `true` if this is syntactically the trivially true conjunction.
+    pub fn is_trivially_true(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// The set of variables mentioned by the conjunction.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut set = BTreeSet::new();
+        for a in &self.atoms {
+            set.extend(a.vars().cloned());
+        }
+        set
+    }
+
+    /// Returns `true` if the conjunction mentions `var`.
+    pub fn contains_var(&self, var: &Var) -> bool {
+        self.atoms.iter().any(|a| a.contains(var))
+    }
+
+    /// Substitutes a variable by a linear expression.
+    pub fn substitute(&self, var: &Var, replacement: &LinearExpr) -> Conjunction {
+        Conjunction::from_atoms(self.atoms.iter().map(|a| a.substitute(var, replacement)))
+    }
+
+    /// Renames variables according to `mapping`.
+    pub fn rename(&self, mapping: &dyn Fn(&Var) -> Var) -> Conjunction {
+        Conjunction::from_atoms(self.atoms.iter().map(|a| a.rename(mapping)))
+    }
+
+    /// Eliminates a single variable by Fourier–Motzkin elimination.
+    ///
+    /// The result is satisfied by exactly the assignments of the remaining
+    /// variables for which *some* value of `var` satisfies `self`
+    /// (existential projection).
+    pub fn eliminate_var(&self, var: &Var) -> Conjunction {
+        if !self.contains_var(var) {
+            return self.clone();
+        }
+        // Prefer solving an equality: exact, no blow-up.
+        if let Some(pos) = self
+            .atoms
+            .iter()
+            .position(|a| a.rel() == Rel::Eq && a.contains(var))
+        {
+            let solved = self.atoms[pos]
+                .solve_for(var)
+                .expect("equality containing var is solvable");
+            let rest = self
+                .atoms
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != pos)
+                .map(|(_, a)| a.substitute(var, &solved));
+            return Conjunction::from_atoms(rest);
+        }
+
+        let mut lowers: Vec<(LinearExpr, bool)> = Vec::new(); // bound ≤/< var
+        let mut uppers: Vec<(LinearExpr, bool)> = Vec::new(); // var ≤/< bound
+        let mut result = Conjunction::truth();
+        for atom in &self.atoms {
+            let coeff = atom.expr().coefficient(var);
+            if coeff.is_zero() {
+                result.push(atom.clone());
+                continue;
+            }
+            // atom: coeff*var + rest REL 0, REL ∈ {≤, <}
+            let rest = atom.expr().substitute(var, &LinearExpr::zero());
+            let bound = rest.scale(-(Rational::ONE / coeff));
+            let strict = atom.rel().is_strict();
+            if coeff.is_positive() {
+                uppers.push((bound, strict));
+            } else {
+                lowers.push((bound, strict));
+            }
+        }
+        for (low, ls) in &lowers {
+            for (up, us) in &uppers {
+                let rel = if *ls || *us { Rel::Lt } else { Rel::Le };
+                result.push(Atom::new(low.clone() - up.clone(), rel));
+            }
+        }
+        result
+    }
+
+    /// Eliminates all the given variables.
+    pub fn eliminate_vars<'a, I: IntoIterator<Item = &'a Var>>(&self, vars: I) -> Conjunction {
+        let mut current = self.clone();
+        for v in vars {
+            current = current.eliminate_var(v);
+        }
+        current
+    }
+
+    /// Projects onto `keep`: eliminates every variable not in `keep`.
+    ///
+    /// This is the `Π` (quantifier elimination) operation of the paper.
+    pub fn project(&self, keep: &BTreeSet<Var>) -> Conjunction {
+        let to_eliminate: Vec<Var> = self
+            .vars()
+            .into_iter()
+            .filter(|v| !keep.contains(v))
+            .collect();
+        self.eliminate_vars(to_eliminate.iter())
+    }
+
+    /// Decides satisfiability over the rationals.
+    pub fn is_satisfiable(&self) -> bool {
+        // Fast path: any trivially false atom.
+        if self.atoms.iter().any(|a| a.is_trivially_false()) {
+            return false;
+        }
+        let mut current = self.clone();
+        loop {
+            let vars: Vec<Var> = current.vars().into_iter().collect();
+            match vars.first() {
+                None => {
+                    return current.atoms.iter().all(|a| a.is_trivially_true());
+                }
+                Some(v) => {
+                    current = current.eliminate_var(v);
+                    if current.atoms.iter().any(|a| a.is_trivially_false()) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decides whether this conjunction implies a single atom.
+    pub fn implies_atom(&self, atom: &Atom) -> bool {
+        if atom.is_trivially_true() {
+            return true;
+        }
+        if !self.is_satisfiable() {
+            return true;
+        }
+        atom.negate()
+            .into_iter()
+            .all(|negated| !self.and(&Conjunction::of(negated)).is_satisfiable())
+    }
+
+    /// Decides whether this conjunction implies another (Definition 2.3).
+    pub fn implies(&self, other: &Conjunction) -> bool {
+        other.atoms.iter().all(|a| self.implies_atom(a))
+    }
+
+    /// Decides semantic equivalence.
+    pub fn equivalent(&self, other: &Conjunction) -> bool {
+        self.implies(other) && other.implies(self)
+    }
+
+    /// Removes atoms implied by the remaining ones; canonicalizes an
+    /// unsatisfiable conjunction to [`Conjunction::falsum`].
+    pub fn simplify(&self) -> Conjunction {
+        if !self.is_satisfiable() {
+            return Conjunction::falsum();
+        }
+        let mut atoms = self.atoms.clone();
+        let mut i = 0;
+        while i < atoms.len() {
+            let candidate = atoms[i].clone();
+            let rest = Conjunction {
+                atoms: atoms
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, a)| a.clone())
+                    .collect(),
+            };
+            if rest.implies_atom(&candidate) {
+                atoms.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        Conjunction { atoms }
+    }
+
+    /// Evaluates the conjunction under a total assignment.
+    pub fn evaluate(&self, assignment: &dyn Fn(&Var) -> Option<Rational>) -> Option<bool> {
+        let mut result = true;
+        for a in &self.atoms {
+            result &= a.evaluate(assignment)?;
+        }
+        Some(result)
+    }
+
+    /// Returns the variables that the conjunction forces to a single constant
+    /// value, together with that value.
+    ///
+    /// Used to normalize constraint facts: `$1 = 3 ∧ $2 ≤ $1` pins `$1`.
+    pub fn ground_bindings(&self) -> BTreeMap<Var, Rational> {
+        let mut bindings = BTreeMap::new();
+        let mut current = self.clone();
+        loop {
+            let mut found = None;
+            for atom in &current.atoms {
+                if let Some((v, value)) = atom.as_ground_binding() {
+                    if !bindings.contains_key(&v) {
+                        found = Some((v, value));
+                        break;
+                    }
+                }
+            }
+            match found {
+                None => break,
+                Some((v, value)) => {
+                    current = current.substitute(&v, &LinearExpr::constant(value));
+                    bindings.insert(v, value);
+                }
+            }
+        }
+        bindings
+    }
+}
+
+impl fmt::Display for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        let parts: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        write!(f, "{}", parts.join(" & "))
+    }
+}
+
+impl fmt::Debug for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<Atom> for Conjunction {
+    fn from(atom: Atom) -> Self {
+        Conjunction::of(atom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::CmpOp;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+    fn z() -> Var {
+        Var::new("Z")
+    }
+
+    #[test]
+    fn satisfiability_basic() {
+        let sat = Conjunction::from_atoms([Atom::var_le(x(), 4), Atom::var_ge(x(), 2)]);
+        assert!(sat.is_satisfiable());
+        let unsat = Conjunction::from_atoms([Atom::var_lt(x(), 2), Atom::var_gt(x(), 2)]);
+        assert!(!unsat.is_satisfiable());
+        // Strictness matters: X < 2 ∧ X >= 2 unsat, X <= 2 ∧ X >= 2 sat.
+        let boundary = Conjunction::from_atoms([Atom::var_le(x(), 2), Atom::var_ge(x(), 2)]);
+        assert!(boundary.is_satisfiable());
+    }
+
+    #[test]
+    fn elimination_through_equalities() {
+        // X = Y + 2 ∧ Y >= 3, eliminate Y  =>  X >= 5.
+        let c = Conjunction::from_atoms([
+            Atom::compare(
+                LinearExpr::var(x()),
+                CmpOp::Eq,
+                LinearExpr::var(y()) + LinearExpr::constant(2),
+            ),
+            Atom::var_ge(y(), 3),
+        ]);
+        let projected = c.eliminate_var(&y());
+        assert!(projected.implies_atom(&Atom::var_ge(x(), 5)));
+        assert!(!projected.contains_var(&y()));
+    }
+
+    #[test]
+    fn paper_example_implication() {
+        // (X + Y <= 4) & (X >= 2) implies Y <= 2  (Definition 2.3 example).
+        let c = Conjunction::from_atoms([
+            Atom::compare(
+                LinearExpr::var(x()) + LinearExpr::var(y()),
+                CmpOp::Le,
+                LinearExpr::constant(4),
+            ),
+            Atom::var_ge(x(), 2),
+        ]);
+        assert!(c.implies_atom(&Atom::var_le(y(), 2)));
+        assert!(!c.implies_atom(&Atom::var_le(y(), 1)));
+    }
+
+    #[test]
+    fn example_41_projection() {
+        // Π_Y ((X + Y <= 6) & (X >= 2)) = (Y <= 4)  (Example 4.1).
+        let c = Conjunction::from_atoms([
+            Atom::compare(
+                LinearExpr::var(x()) + LinearExpr::var(y()),
+                CmpOp::Le,
+                LinearExpr::constant(6),
+            ),
+            Atom::var_ge(x(), 2),
+        ]);
+        let keep: BTreeSet<Var> = [y()].into_iter().collect();
+        let projected = c.project(&keep);
+        assert!(projected.implies_atom(&Atom::var_le(y(), 4)));
+        assert!(Conjunction::of(Atom::var_le(y(), 4)).implies(&projected));
+    }
+
+    #[test]
+    fn projection_strictness() {
+        // X < Y ∧ Y <= Z, eliminate Y: X < Z (strict survives).
+        let c = Conjunction::from_atoms([
+            Atom::compare(LinearExpr::var(x()), CmpOp::Lt, LinearExpr::var(y())),
+            Atom::compare(LinearExpr::var(y()), CmpOp::Le, LinearExpr::var(z())),
+        ]);
+        let p = c.eliminate_var(&y());
+        assert!(p.implies_atom(&Atom::compare(
+            LinearExpr::var(x()),
+            CmpOp::Lt,
+            LinearExpr::var(z())
+        )));
+    }
+
+    #[test]
+    fn simplify_removes_redundant_atoms() {
+        let c = Conjunction::from_atoms([
+            Atom::var_le(x(), 3),
+            Atom::var_le(x(), 5), // implied by X <= 3
+            Atom::var_ge(x(), 0),
+        ]);
+        let s = c.simplify();
+        assert_eq!(s.len(), 2);
+        assert!(s.equivalent(&c));
+        let f = Conjunction::from_atoms([Atom::var_lt(x(), 0), Atom::var_gt(x(), 0)]).simplify();
+        assert_eq!(f, Conjunction::falsum());
+    }
+
+    #[test]
+    fn ground_bindings_propagate_through_equalities() {
+        // X = 3 ∧ Y = X + 1 pins both X and Y.
+        let c = Conjunction::from_atoms([
+            Atom::var_eq(x(), 3),
+            Atom::compare(
+                LinearExpr::var(y()),
+                CmpOp::Eq,
+                LinearExpr::var(x()) + LinearExpr::constant(1),
+            ),
+        ]);
+        let b = c.ground_bindings();
+        assert_eq!(b.get(&x()), Some(&Rational::from_int(3)));
+        assert_eq!(b.get(&y()), Some(&Rational::from_int(4)));
+    }
+
+    #[test]
+    fn implication_between_conjunctions() {
+        let strong = Conjunction::from_atoms([Atom::var_ge(x(), 2), Atom::var_le(x(), 3)]);
+        let weak = Conjunction::from_atoms([Atom::var_ge(x(), 0), Atom::var_le(x(), 10)]);
+        assert!(strong.implies(&weak));
+        assert!(!weak.implies(&strong));
+        assert!(Conjunction::falsum().implies(&strong));
+        assert!(strong.implies(&Conjunction::truth()));
+    }
+}

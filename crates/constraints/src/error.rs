@@ -1,0 +1,48 @@
+//! Error types for the constraint algebra.
+
+use std::fmt;
+
+/// Errors that can arise while manipulating linear arithmetic constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// An arithmetic operation on exact rationals overflowed the underlying
+    /// 128-bit integer representation.
+    Overflow {
+        /// The operation that overflowed (for diagnostics).
+        op: &'static str,
+    },
+    /// A rational number was constructed with a zero denominator.
+    ZeroDenominator,
+    /// A non-linear operation was requested (e.g. multiplying two expressions
+    /// that both contain variables).
+    NonLinear,
+    /// An implication check exceeded the configured branch budget and no sound
+    /// approximation was permitted by the caller.
+    ImplicationBudgetExceeded {
+        /// Number of case-split branches that would have been required.
+        branches: usize,
+    },
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::Overflow { op } => {
+                write!(f, "exact rational arithmetic overflowed during `{op}`")
+            }
+            ConstraintError::ZeroDenominator => write!(f, "rational with zero denominator"),
+            ConstraintError::NonLinear => {
+                write!(f, "operation would produce a non-linear expression")
+            }
+            ConstraintError::ImplicationBudgetExceeded { branches } => write!(
+                f,
+                "implication check would require {branches} case splits, exceeding the budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+/// Convenient result alias for constraint operations.
+pub type Result<T> = std::result::Result<T, ConstraintError>;

@@ -1,0 +1,68 @@
+//! # pcs-constraints
+//!
+//! Linear arithmetic constraint algebra for constraint query languages, the
+//! algebraic substrate assumed by *Pushing Constraint Selections*
+//! (Srivastava & Ramakrishnan, PODS 1992 / JLP 1993).
+//!
+//! The crate provides:
+//!
+//! * exact rational arithmetic ([`Rational`]),
+//! * linear expressions ([`LinearExpr`]) over named variables ([`Var`]),
+//! * atomic linear constraints ([`Atom`], Definition 2.1 of the paper),
+//! * conjunctions with Fourier–Motzkin satisfiability, implication and
+//!   projection ([`Conjunction`]),
+//! * constraint sets in DNF ([`ConstraintSet`], Definition 2.3) with
+//!   redundant-disjunct elimination, the non-overlapping rewriting of
+//!   Section 4.6, and exact implication checking,
+//! * the `PTOL`/`LTOP` conversions between argument-position constraints and
+//!   rule-variable constraints (Definitions 2.7/2.8).
+//!
+//! Everything is exact: there is no floating point anywhere in the crate, so
+//! the paper's correctness arguments (which rely on exact quantifier
+//! elimination) carry over to the implementation.
+//!
+//! ## Example
+//!
+//! ```
+//! use pcs_constraints::{Atom, CmpOp, Conjunction, ConstraintSet, LinearExpr, Var};
+//!
+//! // (X + Y <= 6) & (X >= 2)  implies  Y <= 4   (Example 4.1 of the paper)
+//! let x = Var::new("X");
+//! let y = Var::new("Y");
+//! let body = Conjunction::from_atoms([
+//!     Atom::compare(
+//!         LinearExpr::var(x.clone()) + LinearExpr::var(y.clone()),
+//!         CmpOp::Le,
+//!         LinearExpr::constant(6),
+//!     ),
+//!     Atom::var_ge(x.clone(), 2),
+//! ]);
+//! assert!(body.implies_atom(&Atom::var_le(y.clone(), 4)));
+//!
+//! // Projection (quantifier elimination) onto Y:
+//! let keep = [y.clone()].into_iter().collect();
+//! let projected = body.project(&keep);
+//! assert!(projected.equivalent(&Conjunction::of(Atom::var_le(y, 4))));
+//! # let _ = ConstraintSet::truth();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod atom;
+pub mod conjunction;
+pub mod dnf;
+pub mod error;
+pub mod linear;
+pub mod position;
+pub mod rational;
+pub mod var;
+
+pub use atom::{Atom, CmpOp, Rel};
+pub use conjunction::Conjunction;
+pub use dnf::{ConstraintSet, DEFAULT_IMPLICATION_BUDGET};
+pub use error::{ConstraintError, Result};
+pub use linear::LinearExpr;
+pub use position::{ltop, ptol, PosArg};
+pub use rational::Rational;
+pub use var::{Var, VarGen};

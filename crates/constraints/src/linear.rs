@@ -1,0 +1,333 @@
+//! Linear expressions over constraint variables.
+//!
+//! A [`LinearExpr`] is a sum `a1*X1 + ... + an*Xn + c` with exact rational
+//! coefficients.  Linear arithmetic constraints (Definition 2.1 of the paper)
+//! compare such an expression against zero.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::rational::Rational;
+use crate::var::Var;
+
+/// A linear expression `Σ aᵢ·Xᵢ + c` with exact rational coefficients.
+///
+/// The representation is normalized: variables with a zero coefficient are
+/// never stored, and terms are kept in a `BTreeMap` so that equal expressions
+/// compare equal structurally.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinearExpr {
+    terms: BTreeMap<Var, Rational>,
+    constant: Rational,
+}
+
+impl LinearExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinearExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(value: impl Into<Rational>) -> Self {
+        LinearExpr {
+            terms: BTreeMap::new(),
+            constant: value.into(),
+        }
+    }
+
+    /// The expression consisting of a single variable with coefficient one.
+    pub fn var(var: impl Into<Var>) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(var.into(), Rational::ONE);
+        LinearExpr {
+            terms,
+            constant: Rational::ZERO,
+        }
+    }
+
+    /// A single term `coefficient * variable`.
+    pub fn term(coefficient: impl Into<Rational>, var: impl Into<Var>) -> Self {
+        let c = coefficient.into();
+        let mut terms = BTreeMap::new();
+        if !c.is_zero() {
+            terms.insert(var.into(), c);
+        }
+        LinearExpr {
+            terms,
+            constant: Rational::ZERO,
+        }
+    }
+
+    /// Builds an expression from an iterator of `(coefficient, variable)`
+    /// pairs plus a constant.
+    pub fn from_terms<I>(terms: I, constant: impl Into<Rational>) -> Self
+    where
+        I: IntoIterator<Item = (Rational, Var)>,
+    {
+        let mut expr = LinearExpr::constant(constant);
+        for (c, v) in terms {
+            expr.add_term(c, v);
+        }
+        expr
+    }
+
+    /// Adds `coefficient * var` to this expression in place.
+    pub fn add_term(&mut self, coefficient: impl Into<Rational>, var: impl Into<Var>) {
+        let coefficient = coefficient.into();
+        if coefficient.is_zero() {
+            return;
+        }
+        let var = var.into();
+        let entry = self.terms.entry(var.clone()).or_insert(Rational::ZERO);
+        *entry = *entry + coefficient;
+        if entry.is_zero() {
+            self.terms.remove(&var);
+        }
+    }
+
+    /// Adds a constant to this expression in place.
+    pub fn add_constant(&mut self, value: impl Into<Rational>) {
+        self.constant = self.constant + value.into();
+    }
+
+    /// The constant part of the expression.
+    pub fn constant_part(&self) -> Rational {
+        self.constant
+    }
+
+    /// The coefficient of `var` (zero if absent).
+    pub fn coefficient(&self, var: &Var) -> Rational {
+        self.terms.get(var).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Iterates over the `(variable, coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&Var, &Rational)> {
+        self.terms.iter()
+    }
+
+    /// The set of variables with a non-zero coefficient.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.terms.keys()
+    }
+
+    /// Returns `true` if the expression mentions `var`.
+    pub fn contains(&self, var: &Var) -> bool {
+        self.terms.contains_key(var)
+    }
+
+    /// Returns `true` if the expression is a constant (has no variables).
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `true` if the expression is the zero constant.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty() && self.constant.is_zero()
+    }
+
+    /// Number of variables in the expression.
+    pub fn num_vars(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Multiplies the expression by a rational scalar.
+    pub fn scale(&self, factor: Rational) -> Self {
+        if factor.is_zero() {
+            return LinearExpr::zero();
+        }
+        LinearExpr {
+            terms: self
+                .terms
+                .iter()
+                .map(|(v, c)| (v.clone(), *c * factor))
+                .collect(),
+            constant: self.constant * factor,
+        }
+    }
+
+    /// Substitutes `var := replacement` and returns the resulting expression.
+    pub fn substitute(&self, var: &Var, replacement: &LinearExpr) -> Self {
+        let coeff = self.coefficient(var);
+        if coeff.is_zero() {
+            return self.clone();
+        }
+        let mut result = self.clone();
+        result.terms.remove(var);
+        result = result + replacement.scale(coeff);
+        result
+    }
+
+    /// Renames variables according to `mapping`; unmapped variables are kept.
+    pub fn rename(&self, mapping: &dyn Fn(&Var) -> Var) -> Self {
+        let mut result = LinearExpr::constant(self.constant);
+        for (v, c) in &self.terms {
+            result.add_term(*c, mapping(v));
+        }
+        result
+    }
+
+    /// Evaluates the expression under a (total) assignment.
+    ///
+    /// Returns `None` if some variable is unassigned.
+    pub fn evaluate(&self, assignment: &dyn Fn(&Var) -> Option<Rational>) -> Option<Rational> {
+        let mut acc = self.constant;
+        for (v, c) in &self.terms {
+            acc = acc + *c * assignment(v)?;
+        }
+        Some(acc)
+    }
+}
+
+impl Add for LinearExpr {
+    type Output = LinearExpr;
+    fn add(self, rhs: LinearExpr) -> LinearExpr {
+        let mut result = self;
+        for (v, c) in rhs.terms {
+            result.add_term(c, v);
+        }
+        result.constant = result.constant + rhs.constant;
+        result
+    }
+}
+
+impl Sub for LinearExpr {
+    type Output = LinearExpr;
+    fn sub(self, rhs: LinearExpr) -> LinearExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for LinearExpr {
+    type Output = LinearExpr;
+    fn neg(self) -> LinearExpr {
+        self.scale(-Rational::ONE)
+    }
+}
+
+impl Mul<Rational> for LinearExpr {
+    type Output = LinearExpr;
+    fn mul(self, rhs: Rational) -> LinearExpr {
+        self.scale(rhs)
+    }
+}
+
+impl From<Var> for LinearExpr {
+    fn from(var: Var) -> Self {
+        LinearExpr::var(var)
+    }
+}
+
+impl From<Rational> for LinearExpr {
+    fn from(value: Rational) -> Self {
+        LinearExpr::constant(value)
+    }
+}
+
+impl From<i64> for LinearExpr {
+    fn from(value: i64) -> Self {
+        LinearExpr::constant(Rational::from_int(value as i128))
+    }
+}
+
+impl fmt::Display for LinearExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                if *c == Rational::ONE {
+                    write!(f, "{v}")?;
+                } else if *c == -Rational::ONE {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}*{v}")?;
+                }
+                first = false;
+            } else if c.is_negative() {
+                if *c == -Rational::ONE {
+                    write!(f, " - {v}")?;
+                } else {
+                    write!(f, " - {}*{v}", c.abs())?;
+                }
+            } else if *c == Rational::ONE {
+                write!(f, " + {v}")?;
+            } else {
+                write!(f, " + {c}*{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant.is_positive() {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant.is_negative() {
+            write!(f, " - {}", self.constant.abs())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for LinearExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Var {
+        Var::new("X")
+    }
+    fn y() -> Var {
+        Var::new("Y")
+    }
+
+    #[test]
+    fn addition_merges_terms_and_drops_zeros() {
+        let e = LinearExpr::term(2, x()) + LinearExpr::term(-2, x()) + LinearExpr::var(y());
+        assert!(!e.contains(&x()));
+        assert_eq!(e.coefficient(&y()), Rational::ONE);
+    }
+
+    #[test]
+    fn substitution_is_linear() {
+        // (2X + Y + 1)[X := Y - 3] = 3Y - 5
+        let e = LinearExpr::from_terms(
+            [(Rational::from_int(2), x()), (Rational::ONE, y())],
+            Rational::ONE,
+        );
+        let replacement = LinearExpr::var(y()) - LinearExpr::constant(3);
+        let result = e.substitute(&x(), &replacement);
+        assert_eq!(result.coefficient(&y()), Rational::from_int(3));
+        assert_eq!(result.constant_part(), Rational::from_int(-5));
+        assert!(!result.contains(&x()));
+    }
+
+    #[test]
+    fn evaluation_requires_all_vars() {
+        let e = LinearExpr::var(x()) + LinearExpr::constant(1);
+        assert_eq!(e.evaluate(&|_| None), None);
+        let val = e.evaluate(&|v| {
+            if *v == x() {
+                Some(Rational::from_int(4))
+            } else {
+                None
+            }
+        });
+        assert_eq!(val, Some(Rational::from_int(5)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LinearExpr::term(1, x()) + LinearExpr::term(-2, y()) + LinearExpr::constant(3);
+        assert_eq!(e.to_string(), "X - 2*Y + 3");
+        assert_eq!(LinearExpr::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn scaling_by_zero_gives_zero() {
+        let e = LinearExpr::var(x()) + LinearExpr::constant(7);
+        assert!(e.scale(Rational::ZERO).is_zero());
+    }
+}

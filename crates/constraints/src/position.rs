@@ -1,0 +1,237 @@
+//! Conversions between argument-position constraints and rule-variable
+//! constraints: `PTOL` and `LTOP` (Definitions 2.7 and 2.8).
+//!
+//! Predicate constraints and QRP constraints are stated over the argument
+//! positions `$1, ..., $n` of a predicate; rule bodies are stated over the
+//! rule's variables.  `PTOL(p(X̄), C)` rewrites a position constraint into an
+//! equivalent constraint over the variables of the literal `p(X̄)`;
+//! `LTOP(p(X̄), C(X̄))` goes the other way, taking care of literals whose
+//! argument tuple repeats a variable.
+
+use std::collections::BTreeSet;
+
+use crate::conjunction::Conjunction;
+use crate::dnf::ConstraintSet;
+use crate::linear::LinearExpr;
+use crate::var::Var;
+
+/// An argument term appearing in a literal, as far as the constraint algebra
+/// is concerned: either a variable or a numeric constant.
+///
+/// Symbolic (non-numeric) constants never participate in arithmetic
+/// constraints, so the conversion treats any such argument as an anonymous
+/// fresh variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PosArg {
+    /// The argument is a constraint variable.
+    Var(Var),
+    /// The argument is a numeric constant.
+    Constant(crate::rational::Rational),
+    /// The argument is opaque to the constraint domain (symbolic constant).
+    Opaque,
+}
+
+impl PosArg {
+    /// Convenience constructor for a variable argument.
+    pub fn var(v: impl Into<Var>) -> Self {
+        PosArg::Var(v.into())
+    }
+}
+
+impl From<Var> for PosArg {
+    fn from(v: Var) -> Self {
+        PosArg::Var(v)
+    }
+}
+
+/// `PTOL(p(X̄), C)`: converts a constraint set over argument positions
+/// `$1..$n` into an equivalent constraint set over the arguments `X̄`.
+///
+/// Positions whose argument is a numeric constant are substituted by the
+/// constant; positions whose argument is opaque (a symbolic constant) are
+/// existentially eliminated, since no arithmetic constraint can restrict them.
+pub fn ptol(args: &[PosArg], positions: &ConstraintSet) -> ConstraintSet {
+    let n = args.len();
+    // First rename every position $i to a scratch variable so that a rule
+    // variable that happens to be named `$k` cannot be captured.
+    let scratch: Vec<Var> = (0..n).map(|i| Var::new(format!("_ptol{i}"))).collect();
+    let mut current = positions.rename(&|v: &Var| match v.position_index() {
+        Some(i) if i >= 1 && i <= n => scratch[i - 1].clone(),
+        _ => v.clone(),
+    });
+    let mut to_eliminate: Vec<Var> = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        match arg {
+            PosArg::Var(x) => {
+                current = current.substitute(&scratch[i], &LinearExpr::var(x.clone()));
+            }
+            PosArg::Constant(c) => {
+                current = current.substitute(&scratch[i], &LinearExpr::constant(*c));
+            }
+            PosArg::Opaque => {
+                to_eliminate.push(scratch[i].clone());
+            }
+        }
+    }
+    if !to_eliminate.is_empty() {
+        current = current.eliminate_vars(to_eliminate.iter());
+    }
+    current
+}
+
+/// `LTOP(p(X̄), C(X̄))`: converts a constraint set over the variables of the
+/// literal `p(X̄)` into an equivalent constraint set over argument positions.
+///
+/// Handles the case where `X̄` is not a tuple of distinct variables: a fresh
+/// tuple `Ȳ` of distinct variables is introduced, equalities `Yᵢ = Xᵢ` are
+/// added, everything except `Ȳ` is projected away, and the result is renamed
+/// to positions (Definition 2.8).  Constant arguments contribute the equality
+/// `$i = c`; opaque arguments contribute nothing.
+pub fn ltop(args: &[PosArg], constraint: &ConstraintSet) -> ConstraintSet {
+    let n = args.len();
+    let fresh: Vec<Var> = (0..n).map(|i| Var::new(format!("_ltop{i}"))).collect();
+    let mut equalities = Conjunction::truth();
+    for (i, arg) in args.iter().enumerate() {
+        match arg {
+            PosArg::Var(x) => {
+                equalities.push(crate::atom::Atom::compare(
+                    LinearExpr::var(fresh[i].clone()),
+                    crate::atom::CmpOp::Eq,
+                    LinearExpr::var(x.clone()),
+                ));
+            }
+            PosArg::Constant(c) => {
+                equalities.push(crate::atom::Atom::compare(
+                    LinearExpr::var(fresh[i].clone()),
+                    crate::atom::CmpOp::Eq,
+                    LinearExpr::constant(*c),
+                ));
+            }
+            PosArg::Opaque => {}
+        }
+    }
+    let combined = constraint.and_conjunction(&equalities);
+    let keep: BTreeSet<Var> = fresh.iter().cloned().collect();
+    let projected = combined.project(&keep);
+    projected.rename(&|v: &Var| {
+        if let Some(idx) = fresh.iter().position(|f| f == v) {
+            Var::position(idx + 1)
+        } else {
+            v.clone()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, CmpOp};
+    use crate::rational::Rational;
+
+    fn pos(i: usize) -> Var {
+        Var::position(i)
+    }
+
+    #[test]
+    fn ptol_matches_paper_example() {
+        // PTOL(flight(S,D,T,C), ($3 <= 240) ∨ ($4 <= 150)) = (T<=240) ∨ (C<=150).
+        let set = ConstraintSet::from_disjuncts([
+            Conjunction::of(Atom::var_le(pos(3), 240)),
+            Conjunction::of(Atom::var_le(pos(4), 150)),
+        ]);
+        let args = vec![
+            PosArg::var(Var::new("S")),
+            PosArg::var(Var::new("D")),
+            PosArg::var(Var::new("T")),
+            PosArg::var(Var::new("C")),
+        ];
+        let result = ptol(&args, &set);
+        let expected = ConstraintSet::from_disjuncts([
+            Conjunction::of(Atom::var_le(Var::new("T"), 240)),
+            Conjunction::of(Atom::var_le(Var::new("C"), 150)),
+        ]);
+        assert!(result.equivalent(&expected));
+    }
+
+    #[test]
+    fn ltop_matches_paper_example() {
+        // LTOP(flight(S,D,T,C), (T<=240) ∨ (C<=150)) = ($3<=240) ∨ ($4<=150).
+        let set = ConstraintSet::from_disjuncts([
+            Conjunction::of(Atom::var_le(Var::new("T"), 240)),
+            Conjunction::of(Atom::var_le(Var::new("C"), 150)),
+        ]);
+        let args = vec![
+            PosArg::var(Var::new("S")),
+            PosArg::var(Var::new("D")),
+            PosArg::var(Var::new("T")),
+            PosArg::var(Var::new("C")),
+        ];
+        let result = ltop(&args, &set);
+        let expected = ConstraintSet::from_disjuncts([
+            Conjunction::of(Atom::var_le(pos(3), 240)),
+            Conjunction::of(Atom::var_le(pos(4), 150)),
+        ]);
+        assert!(result.equivalent(&expected));
+    }
+
+    #[test]
+    fn ltop_with_repeated_variable() {
+        // LTOP(p(X, X), X <= 3) over a repeated argument: both positions are
+        // bounded and equal.
+        let x = Var::new("X");
+        let set = ConstraintSet::of_atom(Atom::var_le(x.clone(), 3));
+        let args = vec![PosArg::var(x.clone()), PosArg::var(x)];
+        let result = ltop(&args, &set);
+        assert!(result.implies(&ConstraintSet::of_atom(Atom::var_le(pos(1), 3))));
+        assert!(result.implies(&ConstraintSet::of_atom(Atom::var_le(pos(2), 3))));
+        assert!(result.implies(&ConstraintSet::of_atom(Atom::compare(
+            LinearExpr::var(pos(1)),
+            CmpOp::Eq,
+            LinearExpr::var(pos(2)),
+        ))));
+    }
+
+    #[test]
+    fn ltop_with_constant_argument() {
+        // LTOP(p(5, Y), Y >= 2) pins $1 = 5 and bounds $2.
+        let y = Var::new("Y");
+        let set = ConstraintSet::of_atom(Atom::var_ge(y.clone(), 2));
+        let args = vec![PosArg::Constant(Rational::from_int(5)), PosArg::var(y)];
+        let result = ltop(&args, &set);
+        assert!(result.implies(&ConstraintSet::of_atom(Atom::var_eq(pos(1), 5))));
+        assert!(result.implies(&ConstraintSet::of_atom(Atom::var_ge(pos(2), 2))));
+    }
+
+    #[test]
+    fn ptol_with_constant_and_opaque_arguments() {
+        // PTOL(p(5, madison, Y), ($1 >= $2_is_opaque ... )) — opaque positions
+        // are existentially removed, constants substituted.
+        let set = ConstraintSet::of(Conjunction::from_atoms([
+            Atom::var_ge(pos(1), 3),
+            Atom::var_le(pos(3), 10),
+        ]));
+        let args = vec![
+            PosArg::Constant(Rational::from_int(5)),
+            PosArg::Opaque,
+            PosArg::var(Var::new("Y")),
+        ];
+        let result = ptol(&args, &set);
+        // $1 >= 3 becomes 5 >= 3 (true), $3 <= 10 becomes Y <= 10.
+        assert!(result.equivalent(&ConstraintSet::of_atom(Atom::var_le(Var::new("Y"), 10))));
+    }
+
+    #[test]
+    fn ptol_ltop_round_trip_on_distinct_args() {
+        let set = ConstraintSet::of(Conjunction::from_atoms([
+            Atom::var_le(pos(1), 4),
+            Atom::compare(
+                LinearExpr::var(pos(1)),
+                CmpOp::Le,
+                LinearExpr::var(pos(2)),
+            ),
+        ]));
+        let args = vec![PosArg::var(Var::new("A")), PosArg::var(Var::new("B"))];
+        let round = ltop(&args, &ptol(&args, &set));
+        assert!(round.equivalent(&set));
+    }
+}

@@ -1,0 +1,148 @@
+//! Variables and argument positions.
+//!
+//! The paper works with two namespaces of constraint variables:
+//!
+//! * rule variables (`X`, `Y`, `Time`, ...), and
+//! * argument positions of a predicate (`$1`, `$2`, ...), used for predicate
+//!   constraints and QRP constraints (Section 2, Definitions 2.7/2.8).
+//!
+//! Both are represented by [`Var`]; positions use the reserved `$i` spelling
+//! and can be created with [`Var::position`].  [`VarGen`] hands out fresh
+//! variables that cannot collide with user-written names.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A constraint variable (or argument position).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// Creates the argument-position variable `$i` (1-based, as in the paper).
+    pub fn position(index: usize) -> Self {
+        assert!(index >= 1, "argument positions are 1-based");
+        Var(Arc::from(format!("${index}").as_str()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns `Some(i)` if this variable is the argument position `$i`.
+    pub fn position_index(&self) -> Option<usize> {
+        let rest = self.0.strip_prefix('$')?;
+        rest.parse::<usize>().ok().filter(|i| *i >= 1)
+    }
+
+    /// Returns `true` if this variable is an argument position `$i`.
+    pub fn is_position(&self) -> bool {
+        self.position_index().is_some()
+    }
+
+    /// Returns `true` if this variable was produced by a [`VarGen`].
+    pub fn is_generated(&self) -> bool {
+        self.0.starts_with('_')
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(name: &str) -> Self {
+        Var::new(name)
+    }
+}
+
+impl From<String> for Var {
+    fn from(name: String) -> Self {
+        Var(Arc::from(name.as_str()))
+    }
+}
+
+/// Generator of fresh variables guaranteed not to collide with user names.
+///
+/// Generated names start with an underscore followed by a namespace tag and a
+/// counter (e.g. `_v12`), a spelling the parser rejects for user programs.
+#[derive(Debug, Default, Clone)]
+pub struct VarGen {
+    counter: u64,
+    prefix: &'static str,
+}
+
+impl VarGen {
+    /// Creates a generator with the default `_v` prefix.
+    pub fn new() -> Self {
+        VarGen {
+            counter: 0,
+            prefix: "_v",
+        }
+    }
+
+    /// Creates a generator with a custom prefix (must start with `_`).
+    pub fn with_prefix(prefix: &'static str) -> Self {
+        assert!(prefix.starts_with('_'), "generated prefixes start with '_'");
+        VarGen { counter: 0, prefix }
+    }
+
+    /// Returns a fresh variable.
+    pub fn fresh(&mut self) -> Var {
+        self.counter += 1;
+        Var::new(format!("{}{}", self.prefix, self.counter))
+    }
+
+    /// Returns a fresh variable carrying a human-readable hint.
+    pub fn fresh_named(&mut self, hint: &str) -> Var {
+        self.counter += 1;
+        Var::new(format!("{}{}_{}", self.prefix, self.counter, hint))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_round_trip() {
+        let v = Var::position(3);
+        assert_eq!(v.name(), "$3");
+        assert_eq!(v.position_index(), Some(3));
+        assert!(v.is_position());
+        assert!(!Var::new("X").is_position());
+        assert!(!Var::new("$0").is_position());
+        assert!(!Var::new("$x").is_position());
+    }
+
+    #[test]
+    fn var_gen_produces_distinct_generated_vars() {
+        let mut gen = VarGen::new();
+        let a = gen.fresh();
+        let b = gen.fresh();
+        assert_ne!(a, b);
+        assert!(a.is_generated());
+        assert!(b.is_generated());
+    }
+
+    #[test]
+    fn ordering_is_stable_by_name() {
+        let mut vars = vec![Var::new("Z"), Var::new("A"), Var::new("M")];
+        vars.sort();
+        let names: Vec<_> = vars.iter().map(|v| v.name().to_string()).collect();
+        assert_eq!(names, vec!["A", "M", "Z"]);
+    }
+}

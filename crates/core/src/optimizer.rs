@@ -1,0 +1,213 @@
+//! The high-level optimizer API.
+//!
+//! [`Optimizer`] wraps the individual rewritings of `pcs-transform` behind a
+//! builder: pick a [`Strategy`], optionally declare EDB predicate
+//! constraints, and obtain an [`Optimized`] program that can be evaluated
+//! directly against a [`Database`].
+
+use std::collections::BTreeMap;
+
+use pcs_constraints::ConstraintSet;
+use pcs_engine::{Database, EvalOptions, EvalResult, Evaluator};
+use pcs_lang::{Pred, Program};
+use pcs_transform::{
+    apply_sequence, constraint_rewrite, MagicOptions, Result, RewriteOptions, SequenceOptions,
+    Step, TransformError,
+};
+
+/// Which rewriting pipeline to apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// No rewriting: evaluate the program as written.
+    None,
+    /// `Constraint_rewrite` (Section 4.5): propagate minimum predicate
+    /// constraints, then minimum QRP constraints.
+    ConstraintRewrite,
+    /// Constraint magic rewriting only (Appendix B / Section 7.2).
+    MagicOnly,
+    /// The optimal sequence of Theorem 7.10: `pred, qrp, mg`.
+    Optimal,
+    /// An arbitrary sequence of `pred` / `qrp` / `mg` steps (Section 7).
+    Sequence(Vec<Step>),
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::Optimal
+    }
+}
+
+/// Builder for optimizing a program-query pair.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    program: Program,
+    strategy: Strategy,
+    magic: MagicOptions,
+    edb_constraints: BTreeMap<Pred, ConstraintSet>,
+}
+
+impl Optimizer {
+    /// Creates an optimizer for a program (which must carry a query for every
+    /// strategy except [`Strategy::None`]).
+    pub fn new(program: Program) -> Self {
+        Optimizer {
+            program,
+            strategy: Strategy::default(),
+            magic: MagicOptions::bound_if_ground(),
+            edb_constraints: BTreeMap::new(),
+        }
+    }
+
+    /// Selects the rewriting strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the Magic Templates options (sips, constraint magic).
+    pub fn magic_options(mut self, magic: MagicOptions) -> Self {
+        self.magic = magic;
+        self
+    }
+
+    /// Declares the minimum predicate constraint of an EDB predicate, used by
+    /// `Gen_predicate_constraints`.
+    pub fn edb_constraint(mut self, pred: impl Into<Pred>, constraint: ConstraintSet) -> Self {
+        self.edb_constraints.insert(pred.into(), constraint);
+        self
+    }
+
+    /// Runs the selected rewriting pipeline.
+    pub fn optimize(&self) -> Result<Optimized> {
+        let rewrite_options = RewriteOptions {
+            edb_constraints: self.edb_constraints.clone(),
+            ..Default::default()
+        };
+        let query_pred = self
+            .program
+            .query()
+            .and_then(|q| q.literals.first())
+            .map(|l| l.predicate.clone());
+        match &self.strategy {
+            Strategy::None => Ok(Optimized {
+                program: self.program.clone(),
+                query_pred: query_pred.ok_or(TransformError::MissingQuery)?,
+            }),
+            Strategy::ConstraintRewrite => {
+                let result = constraint_rewrite(&self.program, &rewrite_options)?;
+                Ok(Optimized {
+                    program: result.program,
+                    query_pred: query_pred.ok_or(TransformError::MissingQuery)?,
+                })
+            }
+            Strategy::MagicOnly => self.run_sequence(&[Step::Magic], rewrite_options),
+            Strategy::Optimal => {
+                self.run_sequence(&pcs_transform::OPTIMAL_SEQUENCE, rewrite_options)
+            }
+            Strategy::Sequence(steps) => self.run_sequence(steps, rewrite_options),
+        }
+    }
+
+    fn run_sequence(&self, steps: &[Step], rewrite: RewriteOptions) -> Result<Optimized> {
+        let options = SequenceOptions {
+            rewrite,
+            magic: self.magic,
+        };
+        let result = apply_sequence(&self.program, steps, &options)?;
+        Ok(Optimized {
+            program: result.program,
+            query_pred: result.query_pred,
+        })
+    }
+}
+
+/// An optimized program ready for evaluation.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The rewritten program (query included).
+    pub program: Program,
+    /// The predicate holding the query answers after rewriting (the adorned
+    /// query predicate when Magic Templates was applied).
+    pub query_pred: Pred,
+}
+
+impl Optimized {
+    /// Evaluates the optimized program bottom-up against a database.
+    pub fn evaluate(&self, db: &Database) -> EvalResult {
+        self.evaluate_with(db, EvalOptions::default())
+    }
+
+    /// Evaluates with explicit options (limits, tracing).
+    pub fn evaluate_with(&self, db: &Database, options: EvalOptions) -> EvalResult {
+        Evaluator::new(&self.program, options).evaluate(db)
+    }
+
+    /// Evaluates and returns the number of answers to the program's query.
+    pub fn count_answers(&self, db: &Database) -> usize {
+        let result = self.evaluate(db);
+        match self.program.query() {
+            Some(query) => result.answers_to(&query.literals[0]).len(),
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use pcs_lang::Pred;
+
+    #[test]
+    fn strategies_agree_on_answers_for_flights() {
+        let program = programs::flights();
+        let db = programs::flights_database(6, 20);
+        let baseline = Optimizer::new(program.clone())
+            .strategy(Strategy::None)
+            .optimize()
+            .unwrap();
+        let rewritten = Optimizer::new(program.clone())
+            .strategy(Strategy::ConstraintRewrite)
+            .optimize()
+            .unwrap();
+        let optimal = Optimizer::new(program)
+            .strategy(Strategy::Optimal)
+            .optimize()
+            .unwrap();
+        let expected = baseline.count_answers(&db);
+        assert_eq!(rewritten.count_answers(&db), expected);
+        assert_eq!(optimal.count_answers(&db), expected);
+        // The rewritten programs compute no more flight facts than the
+        // baseline.
+        let base_eval = baseline.evaluate(&db);
+        let rewritten_eval = rewritten.evaluate(&db);
+        assert!(
+            rewritten_eval.count_for(&Pred::new("flight"))
+                <= base_eval.count_for(&Pred::new("flight"))
+        );
+    }
+
+    #[test]
+    fn missing_query_is_an_error() {
+        let program = pcs_lang::parse_program("p(X) :- b(X).").unwrap();
+        let err = Optimizer::new(program).optimize().unwrap_err();
+        assert_eq!(err, TransformError::MissingQuery);
+    }
+
+    #[test]
+    fn sequence_strategy_exposes_section_7_orderings() {
+        let program = programs::example_71();
+        let db = programs::example_7x_database(20, 10);
+        let qrp_mg = Optimizer::new(program.clone())
+            .strategy(Strategy::Sequence(vec![Step::Qrp, Step::Magic]))
+            .optimize()
+            .unwrap();
+        let mg_qrp = Optimizer::new(program)
+            .strategy(Strategy::Sequence(vec![Step::Magic, Step::Qrp]))
+            .optimize()
+            .unwrap();
+        let a = qrp_mg.evaluate(&db);
+        let b = mg_qrp.evaluate(&db);
+        assert!(a.total_facts() <= b.total_facts());
+    }
+}

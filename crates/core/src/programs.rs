@@ -1,0 +1,247 @@
+//! The canonical programs of the paper, ready to optimize and evaluate.
+//!
+//! Every worked example of *Pushing Constraint Selections* is available as a
+//! constructor, together with deterministic synthetic workload generators for
+//! the EDB predicates they use.  The experiment harness (`pcs-bench`) and the
+//! runnable examples are built on top of these.
+
+use pcs_engine::{Database, Value};
+use pcs_lang::{parse_program, Program};
+
+/// Example 1.1 / 4.3 — the flights program with the
+/// `?- cheaporshort(madison, seattle, Time, Cost)` query.
+pub fn flights() -> Program {
+    parse_program(
+        "r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.\n\
+         r2: cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.\n\
+         r3: flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost), Cost > 0, Time > 0.\n\
+         r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2), \
+             T = T1 + T2 + 30, C = C1 + C2.\n\
+         ?- cheaporshort(madison, seattle, Time, Cost).",
+    )
+    .expect("flights program parses")
+}
+
+/// A deterministic synthetic `singleleg` network for the flights program.
+///
+/// The network is a chain of `num_cities` cities from `madison` to `seattle`
+/// with a mix of cheap/short and expensive/long legs, plus `extra_legs`
+/// additional legs that are all expensive *and* long (cost > 150 and
+/// time > 240), i.e. never constraint-relevant to the query.  The fraction of
+/// irrelevant data therefore grows with `extra_legs`, which is the knob the
+/// flights experiment sweeps.
+pub fn flights_database(num_cities: usize, extra_legs: usize) -> Database {
+    let mut db = Database::new();
+    let city = |i: usize| -> String {
+        if i == 0 {
+            "madison".to_string()
+        } else if i + 1 == num_cities {
+            "seattle".to_string()
+        } else {
+            format!("city{i}")
+        }
+    };
+    // A direct leg that qualifies for both query disjuncts, so the query
+    // always has answers regardless of the chain length.
+    db.add_ground(
+        "singleleg",
+        vec![
+            Value::sym("madison"),
+            Value::sym("seattle"),
+            Value::num(200),
+            Value::num(90),
+        ],
+    );
+    for i in 0..num_cities.saturating_sub(1) {
+        // Alternate cheap/short legs with mid-priced ones so multi-leg
+        // flights still qualify occasionally.
+        let (time, cost) = if i % 2 == 0 { (60, 40) } else { (90, 55) };
+        db.add_ground(
+            "singleleg",
+            vec![
+                Value::sym(&city(i)),
+                Value::sym(&city(i + 1)),
+                Value::num(time as i64),
+                Value::num(cost as i64),
+            ],
+        );
+    }
+    // Irrelevant legs: both long and expensive, attached to side airports.
+    for j in 0..extra_legs {
+        let src = format!("hub{}", j % 7);
+        let dst = format!("spoke{j}");
+        db.add_ground(
+            "singleleg",
+            vec![
+                Value::sym(&src),
+                Value::sym(&dst),
+                Value::num(300 + (j % 50) as i64),
+                Value::num(200 + (j % 90) as i64),
+            ],
+        );
+    }
+    db
+}
+
+/// Example 1.2 / 4.4 — the backward Fibonacci program with the
+/// `?- fib(N, 5)` query (Tables 1 and 2).
+pub fn fibonacci(target: i64) -> Program {
+    parse_program(&format!(
+        "r1: fib(0, 1).\n\
+         r2: fib(1, 1).\n\
+         r3: fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).\n\
+         ?- fib(N, {target}).",
+    ))
+    .expect("fibonacci program parses")
+}
+
+/// Example 4.1 — the small program whose minimum QRP constraints are
+/// `($1 + $2 <= 6) & ($1 >= 2)` for `p1` and `$1 <= 4` for `p2`.
+pub fn example_41() -> Program {
+    parse_program(
+        "r1: q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.\n\
+         r2: p1(X, Y) :- b1(X, Y).\n\
+         r3: p2(X) :- b2(X).\n\
+         ?- q(Z).",
+    )
+    .expect("example 4.1 parses")
+}
+
+/// A deterministic EDB for Example 4.1: `b1` pairs and `b2` values spanning
+/// the range `0..size`, of which only a prefix is query-relevant.
+pub fn example_41_database(size: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..size as i64 {
+        db.add_ground("b1", vec![Value::num(i), Value::num(i)]);
+        db.add_ground("b2", vec![Value::num(i)]);
+    }
+    db
+}
+
+/// Example 4.2 — the program whose minimum QRP constraint for `a` needs the
+/// predicate constraint `$2 <= $1` to be discovered first.
+pub fn example_42() -> Program {
+    parse_program(
+        "r1: q(X, Y) :- a(X, Y), X <= 10.\n\
+         r2: a(X, Y) :- p(X, Y), Y <= X.\n\
+         r3: a(X, Y) :- a(X, Z), a(Z, Y).\n\
+         ?- q(U, V).",
+    )
+    .expect("example 4.2 parses")
+}
+
+/// Example 5.1 — program P1 of Example 4.2 with the predicate constraints
+/// already introduced into the rule bodies; it falls in the decidable class.
+pub fn example_51() -> Program {
+    parse_program(
+        "r1: q(X, Y) :- a(X, Y), X <= 10, Y <= X.\n\
+         r2: a(X, Y) :- p(X, Y), Y <= X.\n\
+         r3: a(X, Y) :- a(X, Z), Z <= X, a(Z, Y), Y <= Z.\n\
+         ?- q(U, V).",
+    )
+    .expect("example 5.1 parses")
+}
+
+/// A deterministic EDB for Examples 4.2 / 5.1: `p` holds chain edges
+/// `(i+1, i)` (so that `$2 <= $1` holds) over `0..size`, half of which exceed
+/// the query bound `X <= 10`.
+pub fn example_42_database(size: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..size as i64 {
+        db.add_ground("p", vec![Value::num(i + 1), Value::num(i)]);
+    }
+    db
+}
+
+/// Example 7.1 / D.1 — the program for which `qrp` before `mg` is superior.
+pub fn example_71() -> Program {
+    parse_program(
+        "rl: q(X, Y) :- a1(X, Y), X <= 4.\n\
+         r2: a1(X, Y) :- b1(X, Z), a2(Z, Y).\n\
+         r3: a2(X, Y) :- b2(X, Y).\n\
+         r4: a2(X, Y) :- b2(X, Z), a2(Z, Y).\n\
+         ?- q(U, V).",
+    )
+    .expect("example 7.1 parses")
+}
+
+/// Example 7.2 / D.2 — the program for which `mg` before `qrp` is superior.
+pub fn example_72() -> Program {
+    parse_program(
+        "rl: q(X, Y) :- a1(X, Y).\n\
+         r2: a1(X, Y) :- b1(X, Z), X <= 4, a2(Z, Y).\n\
+         r3: a2(X, Y) :- b2(X, Y).\n\
+         r4: a2(X, Y) :- b2(X, Z), a2(Z, Y).\n\
+         ?- q(2, V).",
+    )
+    .expect("example 7.2 parses")
+}
+
+/// A deterministic EDB for Examples 7.1 and 7.2: `b1(i, base+i)` edges whose
+/// sources range over `0..size` (only sources `<= 4` are relevant to the
+/// Example 7.1 query) and a `b2` chain of length `chain` starting at `base`.
+pub fn example_7x_database(size: usize, chain: usize) -> Database {
+    let mut db = Database::new();
+    let base = 1_000i64;
+    for i in 0..size as i64 {
+        db.add_ground("b1", vec![Value::num(i), Value::num(base + i)]);
+    }
+    for j in 0..chain as i64 {
+        db.add_ground("b2", vec![Value::num(base + j), Value::num(base + j + 1)]);
+    }
+    db
+}
+
+/// Example 6.1 — the adorned program-query pair used to show that the GMT
+/// grounding step is a sequence of fold/unfold transformations.
+pub fn example_61() -> Program {
+    parse_program(
+        "r1: p(X, Y) :- U > 10, q(X, U, V), W > V, p(W, Y).\n\
+         r2: p(X, Y) :- u(X, Y).\n\
+         r3: q(X, Y, Z) :- q1(X, U), q2(W, Y), q3(U, W, Z).\n\
+         ?- p(15, Y).",
+    )
+    .expect("example 6.1 parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_lang::Pred;
+
+    #[test]
+    fn all_programs_parse_and_have_queries() {
+        for program in [
+            flights(),
+            fibonacci(5),
+            example_41(),
+            example_42(),
+            example_51(),
+            example_71(),
+            example_72(),
+            example_61(),
+        ] {
+            assert!(program.query().is_some());
+            assert!(!program.rules().is_empty());
+        }
+    }
+
+    #[test]
+    fn flights_database_scales_with_parameters() {
+        let small = flights_database(4, 0);
+        let large = flights_database(4, 50);
+        assert_eq!(small.len(), 4);
+        assert_eq!(large.len(), 54);
+        assert!(small
+            .facts_for(&Pred::new("singleleg"))
+            .iter()
+            .all(|f| f.is_ground()));
+    }
+
+    #[test]
+    fn example_databases_are_deterministic() {
+        assert_eq!(example_41_database(10).len(), example_41_database(10).len());
+        assert_eq!(example_42_database(5).len(), 5);
+        assert_eq!(example_7x_database(3, 4).len(), 7);
+    }
+}

@@ -1,0 +1,123 @@
+//! Extensional databases (EDBs).
+
+use std::collections::BTreeMap;
+
+use pcs_constraints::ConstraintSet;
+use pcs_lang::Pred;
+
+use crate::fact::Fact;
+use crate::value::Value;
+
+/// An extensional database: finite relations for the EDB predicates, plus
+/// optional *minimum predicate constraints* declared for them.
+///
+/// The declared constraints are the input that `Gen_predicate_constraints`
+/// (Appendix C of the paper) assumes for database predicates; when no
+/// constraint is declared, `true` is used.
+#[derive(Clone, Default)]
+pub struct Database {
+    facts: BTreeMap<Pred, Vec<Fact>>,
+    constraints: BTreeMap<Pred, ConstraintSet>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds a fact.
+    pub fn add(&mut self, fact: Fact) {
+        self.facts
+            .entry(fact.predicate().clone())
+            .or_default()
+            .push(fact);
+    }
+
+    /// Adds a ground fact from values.
+    pub fn add_ground(&mut self, pred: impl Into<Pred>, values: Vec<Value>) {
+        self.add(Fact::ground(pred, values));
+    }
+
+    /// Declares the minimum predicate constraint for an EDB predicate.
+    pub fn declare_constraint(&mut self, pred: impl Into<Pred>, constraint: ConstraintSet) {
+        self.constraints.insert(pred.into(), constraint);
+    }
+
+    /// The declared predicate constraint for `pred`, defaulting to `true`.
+    pub fn declared_constraint(&self, pred: &Pred) -> ConstraintSet {
+        self.constraints
+            .get(pred)
+            .cloned()
+            .unwrap_or_else(ConstraintSet::truth)
+    }
+
+    /// All declared predicate constraints.
+    pub fn declared_constraints(&self) -> &BTreeMap<Pred, ConstraintSet> {
+        &self.constraints
+    }
+
+    /// The facts for a predicate.
+    pub fn facts_for(&self, pred: &Pred) -> &[Fact] {
+        self.facts.get(pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all facts.
+    pub fn all_facts(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.values().flatten()
+    }
+
+    /// The predicates with at least one fact.
+    pub fn predicates(&self) -> impl Iterator<Item = &Pred> {
+        self.facts.keys()
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.values().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if the database has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for fact in self.all_facts() {
+            writeln!(f, "{fact}.")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_constraints::{Atom, Conjunction, Var};
+
+    #[test]
+    fn facts_are_grouped_by_predicate() {
+        let mut db = Database::new();
+        db.add_ground("b1", vec![Value::num(1), Value::num(2)]);
+        db.add_ground("b1", vec![Value::num(2), Value::num(3)]);
+        db.add_ground("b2", vec![Value::num(1), Value::num(2)]);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.facts_for(&Pred::new("b1")).len(), 2);
+        assert_eq!(db.facts_for(&Pred::new("missing")).len(), 0);
+        assert_eq!(db.predicates().count(), 2);
+    }
+
+    #[test]
+    fn declared_constraints_default_to_true() {
+        let mut db = Database::new();
+        let pred = Pred::new("singleleg");
+        assert!(db.declared_constraint(&pred).is_trivially_true());
+        db.declare_constraint(
+            pred.clone(),
+            ConstraintSet::of(Conjunction::of(Atom::var_gt(Var::position(3), 0))),
+        );
+        assert!(!db.declared_constraint(&pred).is_trivially_true());
+    }
+}

@@ -1,0 +1,762 @@
+//! Bottom-up semi-naive fixpoint evaluation of CQL programs.
+//!
+//! The evaluator implements the rule-application semantics of Section 2: a
+//! derivation picks one fact per body literal, forms the conjunction of the
+//! rule's constraints with the equalities induced by the chosen facts, checks
+//! satisfiability, and projects onto the head variables (quantifier
+//! elimination) to obtain a new constraint fact.  Newly derived facts that
+//! are subsumed by known facts are discarded, as in Tables 1 and 2 of the
+//! paper.
+//!
+//! Ground facts and ground bindings are handled on a fast path that avoids
+//! Fourier–Motzkin work entirely, so programs whose evaluation computes only
+//! ground facts (Theorem 4.4) evaluate with ordinary Datalog-like cost.
+
+use std::collections::BTreeMap;
+
+use pcs_constraints::{Atom, CmpOp, Conjunction, LinearExpr, Rational, Var, VarGen};
+use pcs_lang::{Literal, Pred, Program, Rule, Symbol, Term};
+
+use crate::database::Database;
+use crate::fact::{Binding, Fact};
+use crate::limits::{EvalLimits, Termination};
+use crate::relation::{InsertOutcome, Relation};
+use crate::stats::{DerivationRecord, EvalStats, IterationStats};
+use crate::value::Value;
+
+/// Options controlling an evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct EvalOptions {
+    /// Resource limits.
+    pub limits: EvalLimits,
+    /// When `true`, every derivation is recorded in the statistics
+    /// (needed to regenerate Tables 1 and 2; expensive for large workloads).
+    pub trace: bool,
+}
+
+impl EvalOptions {
+    /// Options with an iteration cap and tracing enabled.
+    pub fn traced(max_iterations: usize) -> Self {
+        EvalOptions {
+            limits: EvalLimits::capped(max_iterations),
+            trace: true,
+        }
+    }
+}
+
+/// The result of a bottom-up evaluation.
+#[derive(Debug)]
+pub struct EvalResult {
+    /// The computed relations, per predicate (EDB relations included).
+    pub relations: BTreeMap<Pred, Relation>,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+    /// Why the evaluation stopped.
+    pub termination: Termination,
+}
+
+impl EvalResult {
+    /// The facts computed for a predicate.
+    pub fn facts_for(&self, pred: &Pred) -> &[Fact] {
+        self.relations
+            .get(pred)
+            .map(Relation::facts)
+            .unwrap_or(&[])
+    }
+
+    /// Number of facts computed for a predicate.
+    pub fn count_for(&self, pred: &Pred) -> usize {
+        self.facts_for(pred).len()
+    }
+
+    /// Total number of facts across all predicates.
+    pub fn total_facts(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Facts for the predicate of `query` that are compatible with its ground
+    /// arguments (the "answers" to the query).
+    pub fn answers_to(&self, query: &Literal) -> Vec<&Fact> {
+        self.facts_for(&query.predicate)
+            .iter()
+            .filter(|fact| fact_matches_pattern(fact, query))
+            .collect()
+    }
+
+    /// Returns `true` if every computed fact is ground.
+    pub fn only_ground_facts(&self) -> bool {
+        self.relations
+            .values()
+            .all(|r| r.constraint_fact_count() == 0)
+    }
+}
+
+fn fact_matches_pattern(fact: &Fact, query: &Literal) -> bool {
+    if fact.arity() != query.arity() {
+        return false;
+    }
+    for (binding, term) in fact.bindings().iter().zip(&query.args) {
+        match term {
+            Term::Sym(s) => match binding {
+                Binding::Bound(Value::Sym(fs)) if fs == s => {}
+                Binding::Free => {}
+                _ => return false,
+            },
+            Term::Num(n) => match binding {
+                Binding::Bound(Value::Num(fn_)) if fn_ == n => {}
+                Binding::Free => {}
+                _ => return false,
+            },
+            Term::Var(_) | Term::Expr(_) => {}
+        }
+    }
+    true
+}
+
+/// A partially constructed derivation: symbolic bindings, ground numeric
+/// bindings, and a residual conjunction over not-yet-ground variables.
+#[derive(Clone)]
+struct PartialMatch {
+    sym: BTreeMap<Var, Symbol>,
+    num: BTreeMap<Var, Rational>,
+    extra: Conjunction,
+}
+
+impl PartialMatch {
+    fn start(rule: &Rule) -> Self {
+        PartialMatch {
+            sym: BTreeMap::new(),
+            num: BTreeMap::new(),
+            extra: rule.constraint.clone(),
+        }
+    }
+
+    fn bind_sym(&mut self, var: &Var, sym: &Symbol) -> bool {
+        if self.num.contains_key(var) || self.extra.contains_var(var) {
+            return false;
+        }
+        match self.sym.get(var) {
+            Some(existing) => existing == sym,
+            None => {
+                self.sym.insert(var.clone(), sym.clone());
+                true
+            }
+        }
+    }
+
+    fn bind_num(&mut self, var: &Var, value: Rational) -> bool {
+        if self.sym.contains_key(var) {
+            return false;
+        }
+        match self.num.get(var) {
+            Some(existing) => *existing == value,
+            None => {
+                self.num.insert(var.clone(), value);
+                true
+            }
+        }
+    }
+
+    fn add_atom(&mut self, atom: Atom) -> bool {
+        if atom.vars().any(|v| self.sym.contains_key(v)) {
+            return false;
+        }
+        self.extra.push(atom);
+        true
+    }
+
+    /// Substitutes known numeric bindings into the residual conjunction,
+    /// evaluates atoms that became ground, and extracts newly pinned
+    /// variables.  Returns `false` if a ground atom evaluates to false.
+    fn resolve(&mut self) -> bool {
+        loop {
+            let mut rewritten = Conjunction::truth();
+            let mut new_bindings: Vec<(Var, Rational)> = Vec::new();
+            for atom in self.extra.atoms() {
+                let mut current = atom.clone();
+                for v in atom.vars() {
+                    if let Some(value) = self.num.get(v) {
+                        current = current.substitute(v, &LinearExpr::constant(*value));
+                    }
+                }
+                if current.is_trivially_false() {
+                    return false;
+                }
+                if current.is_trivially_true() {
+                    continue;
+                }
+                if let Some((var, value)) = current.as_ground_binding() {
+                    new_bindings.push((var, value));
+                    continue;
+                }
+                rewritten.push(current);
+            }
+            self.extra = rewritten;
+            if new_bindings.is_empty() {
+                return true;
+            }
+            for (var, value) in new_bindings {
+                if !self.bind_num(&var, value) {
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Final satisfiability check over the residual (non-ground) constraints.
+    fn is_consistent(&self) -> bool {
+        self.extra.is_satisfiable()
+    }
+}
+
+/// The bottom-up semi-naive evaluator.
+pub struct Evaluator {
+    program: Program,
+    options: EvalOptions,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for a program (which is flattened internally).
+    pub fn new(program: &Program, options: EvalOptions) -> Self {
+        Evaluator {
+            program: program.flattened(),
+            options,
+        }
+    }
+
+    /// Creates an evaluator with default options.
+    pub fn with_defaults(program: &Program) -> Self {
+        Evaluator::new(program, EvalOptions::default())
+    }
+
+    /// The (flattened) program being evaluated.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Runs the evaluation against a database.
+    pub fn evaluate(&self, db: &Database) -> EvalResult {
+        let limits = self.options.limits;
+        let mut relations: BTreeMap<Pred, Relation> = BTreeMap::new();
+        for pred in self.program.all_predicates() {
+            relations.entry(pred).or_default();
+        }
+        for fact in db.all_facts() {
+            relations
+                .entry(fact.predicate().clone())
+                .or_default()
+                .insert(fact.clone());
+        }
+
+        let mut stats = EvalStats::default();
+        let termination;
+        let mut total_derivations: usize = 0;
+
+        // Counts of facts per relation at the end of the last two iterations.
+        let counts = |relations: &BTreeMap<Pred, Relation>| -> BTreeMap<Pred, usize> {
+            relations.iter().map(|(p, r)| (p.clone(), r.len())).collect()
+        };
+        let mut before_prev = counts(&relations); // end of iteration k-2
+        let mut prev = counts(&relations); // end of iteration k-1
+
+        let mut iteration = 0usize;
+        loop {
+            if iteration >= limits.max_iterations {
+                termination = Termination::IterationLimit;
+                break;
+            }
+            let mut iter_stats = IterationStats::default();
+            let mut hit_limit = None;
+
+            for (rule_index, rule) in self.program.rules().iter().enumerate() {
+                let rule_label = rule
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| format!("rule{}", rule_index + 1));
+                let mut derived: Vec<Fact> = Vec::new();
+                if rule.body.is_empty() {
+                    // Facts and constraint facts fire only in iteration 0.
+                    if iteration == 0 {
+                        let pm = PartialMatch::start(rule);
+                        finish_derivation(rule, pm, &mut derived);
+                    }
+                } else {
+                    // Iteration 0 is a naive round over the initial facts;
+                    // later iterations are semi-naive over the previous delta.
+                    let delta_positions: Vec<usize> = if iteration == 0 {
+                        vec![0]
+                    } else {
+                        (0..rule.body.len()).collect()
+                    };
+                    for delta_pos in delta_positions {
+                        if iteration > 0 {
+                            // Skip if the delta for this literal is empty.
+                            let pred = &rule.body[delta_pos].predicate;
+                            let lo = before_prev.get(pred).copied().unwrap_or(0);
+                            let hi = prev.get(pred).copied().unwrap_or(0);
+                            if lo == hi {
+                                continue;
+                            }
+                        }
+                        let pm = PartialMatch::start(rule);
+                        join(
+                            rule,
+                            0,
+                            delta_pos,
+                            iteration,
+                            pm,
+                            &relations,
+                            &before_prev,
+                            &prev,
+                            &mut derived,
+                        );
+                    }
+                }
+                // Insert the derivations made by this rule.
+                for fact in derived {
+                    total_derivations += 1;
+                    iter_stats.derivations += 1;
+                    let outcome = relations
+                        .entry(fact.predicate().clone())
+                        .or_default()
+                        .insert(fact.clone());
+                    let is_new = outcome == InsertOutcome::Added;
+                    if is_new {
+                        iter_stats.new_facts += 1;
+                    } else {
+                        iter_stats.subsumed += 1;
+                    }
+                    if self.options.trace {
+                        iter_stats.records.push(DerivationRecord {
+                            rule: rule_label.clone(),
+                            fact: fact.to_string(),
+                            new: is_new,
+                        });
+                    }
+                    if total_derivations >= limits.max_derivations {
+                        hit_limit = Some(Termination::DerivationLimit);
+                        break;
+                    }
+                }
+                let total: usize = relations.values().map(Relation::len).sum();
+                if total >= limits.max_facts {
+                    hit_limit = Some(Termination::FactLimit);
+                }
+                if hit_limit.is_some() {
+                    break;
+                }
+            }
+
+            let new_facts = iter_stats.new_facts;
+            stats.iterations.push(iter_stats);
+            before_prev = prev;
+            prev = counts(&relations);
+            iteration += 1;
+
+            if let Some(limit) = hit_limit {
+                termination = limit;
+                break;
+            }
+            if new_facts == 0 {
+                termination = Termination::Fixpoint;
+                break;
+            }
+        }
+
+        stats.facts_per_predicate = relations
+            .iter()
+            .map(|(p, r)| (p.clone(), r.len()))
+            .collect();
+        stats.constraint_facts = relations.values().map(Relation::constraint_fact_count).sum();
+        EvalResult {
+            relations,
+            stats,
+            termination,
+        }
+    }
+
+}
+
+/// Recursively joins the body literals of `rule` starting at `index`,
+/// collecting the facts of every completed derivation into `derived`.
+#[allow(clippy::too_many_arguments)]
+fn join(
+    rule: &Rule,
+    index: usize,
+    delta_pos: usize,
+    iteration: usize,
+    pm: PartialMatch,
+    relations: &BTreeMap<Pred, Relation>,
+    before_prev: &BTreeMap<Pred, usize>,
+    prev: &BTreeMap<Pred, usize>,
+    derived: &mut Vec<Fact>,
+) {
+    if index == rule.body.len() {
+        finish_derivation(rule, pm, derived);
+        return;
+    }
+    let literal = &rule.body[index];
+    let pred = &literal.predicate;
+    let empty = Relation::new();
+    let relation = relations.get(pred).unwrap_or(&empty);
+    let all_facts = relation.facts();
+    // Select the slice of facts visible to this literal under the semi-naive
+    // discipline (old facts before the delta literal, delta at the delta
+    // literal, everything known at the end of the previous iteration after).
+    let (lo, hi) = if iteration == 0 {
+        (0, all_facts.len())
+    } else {
+        let before = before_prev.get(pred).copied().unwrap_or(0);
+        let end = prev.get(pred).copied().unwrap_or(0);
+        match index.cmp(&delta_pos) {
+            std::cmp::Ordering::Less => (0, before),
+            std::cmp::Ordering::Equal => (before, end),
+            std::cmp::Ordering::Greater => (0, end),
+        }
+    };
+    for fact in &all_facts[lo..hi.min(all_facts.len())] {
+        if let Some(next) = match_literal(&pm, literal, fact) {
+            join(
+                rule,
+                index + 1,
+                delta_pos,
+                iteration,
+                next,
+                relations,
+                before_prev,
+                prev,
+                derived,
+            );
+        }
+    }
+}
+
+/// Completes a derivation: checks consistency, builds the head fact, and
+/// records it.
+fn finish_derivation(rule: &Rule, mut pm: PartialMatch, derived: &mut Vec<Fact>) {
+    if !pm.resolve() || !pm.is_consistent() {
+        return;
+    }
+    if let Some(fact) = build_head_fact(&rule.head, &pm) {
+        derived.push(fact);
+    }
+}
+
+/// Attempts to extend a partial match with one fact for `literal`.
+fn match_literal(pm: &PartialMatch, literal: &Literal, fact: &Fact) -> Option<PartialMatch> {
+    if fact.arity() != literal.arity() {
+        return None;
+    }
+    let mut pm = pm.clone();
+    // Rename the fact's free-position constraint onto fresh variables so that
+    // multiple facts of the same predicate do not collide.
+    let mut position_vars: Vec<Option<Var>> = vec![None; fact.arity()];
+    if !fact.constraint().is_trivially_true()
+        || fact.bindings().iter().any(|b| matches!(b, Binding::Free))
+    {
+        let mut gen = VarGen::with_prefix("_j");
+        // Make the generated names unique per call site by seeding them with
+        // the current size of the residual conjunction.
+        for _ in 0..pm.extra.len() {
+            let _ = gen.fresh();
+        }
+        for (i, binding) in fact.bindings().iter().enumerate() {
+            if matches!(binding, Binding::Free) {
+                position_vars[i] = Some(Var::new(format!(
+                    "_j{}p{}",
+                    pm.extra.len() + pm.num.len(),
+                    i + 1
+                )));
+            }
+        }
+        let renamed = fact.constraint().rename(&|v: &Var| {
+            if let Some(idx) = v.position_index() {
+                if let Some(Some(fresh)) = position_vars.get(idx - 1) {
+                    return fresh.clone();
+                }
+            }
+            v.clone()
+        });
+        for atom in renamed.atoms() {
+            if !pm.add_atom(atom.clone()) {
+                return None;
+            }
+        }
+    }
+
+    for (i, (term, binding)) in literal.args.iter().zip(fact.bindings()).enumerate() {
+        match binding {
+            Binding::Bound(Value::Sym(sym)) => match term {
+                Term::Sym(s) => {
+                    if s != sym {
+                        return None;
+                    }
+                }
+                Term::Var(x) => {
+                    if !pm.bind_sym(x, sym) {
+                        return None;
+                    }
+                }
+                Term::Num(_) | Term::Expr(_) => return None,
+            },
+            Binding::Bound(Value::Num(value)) => match term {
+                Term::Sym(_) => return None,
+                Term::Num(n) => {
+                    if n != value {
+                        return None;
+                    }
+                }
+                Term::Var(x) => {
+                    if !pm.bind_num(x, *value) {
+                        return None;
+                    }
+                }
+                Term::Expr(e) => {
+                    if !pm.add_atom(Atom::compare(
+                        e.clone(),
+                        CmpOp::Eq,
+                        LinearExpr::constant(*value),
+                    )) {
+                        return None;
+                    }
+                }
+            },
+            Binding::Free => {
+                let fresh = position_vars[i]
+                    .clone()
+                    .expect("free positions have fresh variables");
+                match term {
+                    Term::Sym(_) => return None,
+                    Term::Num(n) => {
+                        if !pm.add_atom(Atom::var_eq(fresh, *n)) {
+                            return None;
+                        }
+                    }
+                    Term::Var(x) => {
+                        if pm.sym.contains_key(x) {
+                            return None;
+                        }
+                        if !pm.add_atom(Atom::compare(
+                            LinearExpr::var(x.clone()),
+                            CmpOp::Eq,
+                            LinearExpr::var(fresh),
+                        )) {
+                            return None;
+                        }
+                    }
+                    Term::Expr(e) => {
+                        if !pm.add_atom(Atom::compare(
+                            e.clone(),
+                            CmpOp::Eq,
+                            LinearExpr::var(fresh),
+                        )) {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if !pm.resolve() {
+        return None;
+    }
+    Some(pm)
+}
+
+/// Builds the head fact of a completed derivation.
+fn build_head_fact(head: &Literal, pm: &PartialMatch) -> Option<Fact> {
+    let mut bindings: Vec<Binding> = Vec::with_capacity(head.arity());
+    let mut constraint = pm.extra.clone();
+    for (i, term) in head.args.iter().enumerate() {
+        let position = Var::position(i + 1);
+        match term {
+            Term::Sym(s) => bindings.push(Binding::Bound(Value::Sym(s.clone()))),
+            Term::Num(n) => bindings.push(Binding::Bound(Value::Num(*n))),
+            Term::Var(x) => {
+                if let Some(sym) = pm.sym.get(x) {
+                    bindings.push(Binding::Bound(Value::Sym(sym.clone())));
+                } else if let Some(value) = pm.num.get(x) {
+                    bindings.push(Binding::Bound(Value::Num(*value)));
+                } else {
+                    bindings.push(Binding::Free);
+                    constraint.push(Atom::compare(
+                        LinearExpr::var(position),
+                        CmpOp::Eq,
+                        LinearExpr::var(x.clone()),
+                    ));
+                }
+            }
+            Term::Expr(e) => {
+                let mut expr = e.clone();
+                for v in e.vars() {
+                    if let Some(value) = pm.num.get(v) {
+                        expr = expr.substitute(v, &LinearExpr::constant(*value));
+                    } else if pm.sym.contains_key(v) {
+                        return None;
+                    }
+                }
+                if expr.is_constant() {
+                    bindings.push(Binding::Bound(Value::Num(expr.constant_part())));
+                } else {
+                    bindings.push(Binding::Free);
+                    constraint.push(Atom::compare(LinearExpr::var(position), CmpOp::Eq, expr));
+                }
+            }
+        }
+    }
+    let keep: std::collections::BTreeSet<Var> = (1..=head.arity()).map(Var::position).collect();
+    let projected = constraint.project(&keep);
+    Fact::new(head.predicate.clone(), bindings, projected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_lang::parse_program;
+
+    fn eval(source: &str, db: &Database) -> EvalResult {
+        let program = parse_program(source).unwrap();
+        Evaluator::new(&program, EvalOptions::default()).evaluate(db)
+    }
+
+    #[test]
+    fn transitive_closure_over_ground_edb() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.add_ground("edge", vec![Value::num(a), Value::num(b)]);
+        }
+        let result = eval(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+            &db,
+        );
+        assert!(result.termination.is_fixpoint());
+        assert_eq!(result.count_for(&Pred::new("path")), 6);
+        assert!(result.only_ground_facts());
+    }
+
+    #[test]
+    fn constraints_prune_derivations() {
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.add_ground("n", vec![Value::num(i)]);
+        }
+        let result = eval("small(X) :- n(X), X <= 3.", &db);
+        assert_eq!(result.count_for(&Pred::new("small")), 4);
+    }
+
+    #[test]
+    fn arithmetic_in_heads_and_bodies() {
+        let mut db = Database::new();
+        db.add_ground("start", vec![Value::num(0)]);
+        // count up to 5 by adding 1
+        let result = eval(
+            "upto(X) :- start(X).\n\
+             upto(Y) :- upto(X), X <= 4, Y = X + 1.",
+            &db,
+        );
+        assert_eq!(result.count_for(&Pred::new("upto")), 6);
+        assert!(result.only_ground_facts());
+        assert!(result.termination.is_fixpoint());
+    }
+
+    #[test]
+    fn symbolic_constants_join_correctly() {
+        let mut db = Database::new();
+        db.add_ground(
+            "singleleg",
+            vec![
+                Value::sym("madison"),
+                Value::sym("chicago"),
+                Value::num(50),
+                Value::num(100),
+            ],
+        );
+        db.add_ground(
+            "singleleg",
+            vec![
+                Value::sym("chicago"),
+                Value::sym("seattle"),
+                Value::num(230),
+                Value::num(120),
+            ],
+        );
+        let result = eval(
+            "flight(S, D, T, C) :- singleleg(S, D, T, C), T > 0, C > 0.\n\
+             flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2), \
+                 T = T1 + T2 + 30, C = C1 + C2.",
+            &db,
+        );
+        assert!(result.termination.is_fixpoint());
+        // Two direct legs plus the madison->seattle composition.
+        assert_eq!(result.count_for(&Pred::new("flight")), 3);
+        let composed = result
+            .facts_for(&Pred::new("flight"))
+            .iter()
+            .find(|f| {
+                f.ground_values()
+                    .map(|v| v[0] == Value::sym("madison") && v[1] == Value::sym("seattle"))
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .expect("composed flight exists");
+        let values = composed.ground_values().unwrap();
+        assert_eq!(values[2], Value::num(50 + 230 + 30));
+        assert_eq!(values[3], Value::num(100 + 120));
+    }
+
+    #[test]
+    fn constraint_facts_are_computed_when_needed() {
+        // p(X; X <= 10) as a constraint fact in the program; q selects from it.
+        let db = Database::new();
+        let result = eval(
+            "p(X) :- X <= 10.\n\
+             q(X) :- p(X), X >= 8.",
+            &db,
+        );
+        assert!(result.termination.is_fixpoint());
+        assert_eq!(result.count_for(&Pred::new("p")), 1);
+        assert_eq!(result.count_for(&Pred::new("q")), 1);
+        assert!(!result.only_ground_facts());
+        let q_fact = &result.facts_for(&Pred::new("q"))[0];
+        assert!(q_fact
+            .constraint()
+            .implies_atom(&Atom::var_ge(Var::position(1), 8)));
+        assert!(q_fact
+            .constraint()
+            .implies_atom(&Atom::var_le(Var::position(1), 10)));
+    }
+
+    #[test]
+    fn subsumed_derivations_are_counted_not_stored() {
+        let mut db = Database::new();
+        db.add_ground("e", vec![Value::num(1), Value::num(2)]);
+        db.add_ground("e", vec![Value::num(2), Value::num(1)]);
+        // Both rules derive p(1) and p(2); duplicates are subsumed.
+        let result = eval("p(X) :- e(X, Y).\np(X) :- e(Y, X).", &db);
+        assert_eq!(result.count_for(&Pred::new("p")), 2);
+        assert!(result.stats.total_subsumed() >= 2);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let db = Database::new();
+        // A non-terminating counter.
+        let program = parse_program("nat(0).\nnat(Y) :- nat(X), Y = X + 1.").unwrap();
+        let result = Evaluator::new(&program, EvalOptions::traced(5)).evaluate(&db);
+        assert_eq!(result.termination, Termination::IterationLimit);
+        assert_eq!(result.stats.iterations.len(), 5);
+        assert!(result.count_for(&Pred::new("nat")) >= 5);
+    }
+
+    #[test]
+    fn answers_to_query_filter_by_constants() {
+        let mut db = Database::new();
+        db.add_ground("r", vec![Value::sym("a"), Value::num(1)]);
+        db.add_ground("r", vec![Value::sym("b"), Value::num(2)]);
+        let result = eval("s(X, Y) :- r(X, Y).", &db);
+        let query = Literal::new("s", vec![Term::sym("a"), Term::var("Y")]);
+        let answers = result.answers_to(&query);
+        assert_eq!(answers.len(), 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! Constraint facts.
+//!
+//! A constraint fact `p(x̄; C)` (Section 2 of the paper) finitely represents
+//! the possibly infinite set of ground facts satisfying the conjunction `C`.
+//! [`Fact`] stores, per argument position, either a ground [`Value`] or a
+//! *free* marker; the residual conjunction `C` is expressed over the argument
+//! positions `$1..$n` of the free slots.  Ground facts (every position bound,
+//! empty constraint) are the fast path throughout the engine.
+
+use std::fmt;
+
+use pcs_constraints::{Atom, Conjunction, LinearExpr, Var};
+use pcs_lang::{Literal, Pred, Term};
+
+use crate::value::Value;
+
+/// One argument slot of a fact.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Binding {
+    /// The position holds a ground value.
+    Bound(Value),
+    /// The position is unconstrained or constrained only through the fact's
+    /// residual conjunction.
+    Free,
+}
+
+/// A constraint fact.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Fact {
+    predicate: Pred,
+    bindings: Vec<Binding>,
+    constraint: Conjunction,
+}
+
+impl Fact {
+    /// Builds a normalized fact; returns `None` if the constraint is
+    /// unsatisfiable.
+    ///
+    /// Normalization extracts positions that the constraint pins to a single
+    /// numeric value into ground bindings and projects the residual
+    /// constraint onto the remaining free positions, so that two facts
+    /// denoting the same set of ground facts have the same bound positions.
+    pub fn new(predicate: Pred, bindings: Vec<Binding>, constraint: Conjunction) -> Option<Fact> {
+        if !constraint.is_satisfiable() {
+            return None;
+        }
+        let mut bindings = bindings;
+        let mut constraint = constraint;
+        // Pin positions forced to a single value.
+        let ground = constraint.ground_bindings();
+        for (var, value) in &ground {
+            if let Some(i) = var.position_index() {
+                if i >= 1 && i <= bindings.len() {
+                    if let Binding::Free = bindings[i - 1] {
+                        bindings[i - 1] = Binding::Bound(Value::Num(*value));
+                        constraint = constraint.substitute(var, &LinearExpr::constant(*value));
+                    }
+                }
+            }
+        }
+        // Keep only constraints over still-free positions.
+        let keep: std::collections::BTreeSet<Var> = bindings
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| match b {
+                Binding::Free => Some(Var::position(i + 1)),
+                Binding::Bound(_) => None,
+            })
+            .collect();
+        let constraint = constraint.project(&keep).simplify();
+        if constraint == Conjunction::falsum() {
+            return None;
+        }
+        Some(Fact {
+            predicate,
+            bindings,
+            constraint,
+        })
+    }
+
+    /// Builds a ground fact from values.
+    pub fn ground(predicate: impl Into<Pred>, values: Vec<Value>) -> Fact {
+        Fact {
+            predicate: predicate.into(),
+            bindings: values.into_iter().map(Binding::Bound).collect(),
+            constraint: Conjunction::truth(),
+        }
+    }
+
+    /// Builds a fully free constraint fact `p($1..$n; C)`.
+    pub fn constrained(predicate: impl Into<Pred>, arity: usize, constraint: Conjunction) -> Option<Fact> {
+        Fact::new(
+            predicate.into(),
+            vec![Binding::Free; arity],
+            constraint,
+        )
+    }
+
+    /// The predicate of this fact.
+    pub fn predicate(&self) -> &Pred {
+        &self.predicate
+    }
+
+    /// The arity of this fact.
+    pub fn arity(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// The per-position bindings.
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// The residual constraint over the free positions (`$i`).
+    pub fn constraint(&self) -> &Conjunction {
+        &self.constraint
+    }
+
+    /// Returns `true` if every position is bound and there is no residual
+    /// constraint.
+    pub fn is_ground(&self) -> bool {
+        self.constraint.is_trivially_true()
+            && self.bindings.iter().all(|b| matches!(b, Binding::Bound(_)))
+    }
+
+    /// The ground values, if the fact is ground.
+    pub fn ground_values(&self) -> Option<Vec<Value>> {
+        if !self.constraint.is_trivially_true() {
+            return None;
+        }
+        self.bindings
+            .iter()
+            .map(|b| match b {
+                Binding::Bound(v) => Some(v.clone()),
+                Binding::Free => None,
+            })
+            .collect()
+    }
+
+    /// Expresses the whole fact as a conjunction over the positions `$1..$n`
+    /// (symbolic values excepted, which are reported separately).
+    fn numeric_view(&self) -> (Conjunction, Vec<Option<&Value>>) {
+        let mut conj = self.constraint.clone();
+        let mut syms: Vec<Option<&Value>> = vec![None; self.bindings.len()];
+        for (i, b) in self.bindings.iter().enumerate() {
+            match b {
+                Binding::Bound(Value::Num(n)) => {
+                    conj.push(Atom::var_eq(Var::position(i + 1), *n));
+                }
+                Binding::Bound(v @ Value::Sym(_)) => {
+                    syms[i] = Some(v);
+                }
+                Binding::Free => {}
+            }
+        }
+        (conj, syms)
+    }
+
+    /// Decides whether this fact subsumes `other`: every ground instance of
+    /// `other` is a ground instance of `self`.
+    pub fn subsumes(&self, other: &Fact) -> bool {
+        if self.predicate != other.predicate || self.arity() != other.arity() {
+            return false;
+        }
+        for (i, (mine, theirs)) in self.bindings.iter().zip(&other.bindings).enumerate() {
+            match (mine, theirs) {
+                (Binding::Bound(Value::Sym(a)), Binding::Bound(Value::Sym(b))) => {
+                    if a != b {
+                        return false;
+                    }
+                }
+                (Binding::Bound(Value::Sym(_)), _) => return false,
+                (Binding::Bound(Value::Num(_)), Binding::Bound(Value::Num(_))) => {
+                    // handled by the implication check below
+                }
+                (Binding::Bound(Value::Num(_)), _) => return false,
+                (Binding::Free, Binding::Bound(Value::Sym(_))) => {
+                    // A free position covers a symbolic value only when the
+                    // residual constraint does not restrict it to numbers.
+                    if self.constraint.contains_var(&Var::position(i + 1)) {
+                        return false;
+                    }
+                }
+                (Binding::Free, _) => {}
+            }
+        }
+        let (self_conj, _) = self.numeric_view();
+        let (other_conj, _) = other.numeric_view();
+        other_conj.implies(&self_conj)
+    }
+
+    /// Converts the fact into a body-less rule (constraint fact) with the
+    /// given variable names for the free positions, for display and
+    /// re-injection into programs.
+    pub fn to_literal_and_constraint(&self) -> (Literal, Conjunction) {
+        let args: Vec<Term> = self
+            .bindings
+            .iter()
+            .enumerate()
+            .map(|(i, b)| match b {
+                Binding::Bound(Value::Num(n)) => Term::num(*n),
+                Binding::Bound(Value::Sym(s)) => Term::Sym(s.clone()),
+                Binding::Free => Term::var(Var::position(i + 1)),
+            })
+            .collect();
+        (
+            Literal::new(self.predicate.clone(), args),
+            self.constraint.clone(),
+        )
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (lit, constraint) = self.to_literal_and_constraint();
+        if constraint.is_trivially_true() {
+            write!(f, "{lit}")
+        } else {
+            write!(f, "{lit}; {constraint}")
+        }
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_constraints::Atom;
+
+    fn pos(i: usize) -> Var {
+        Var::position(i)
+    }
+
+    #[test]
+    fn normalization_pins_forced_positions() {
+        // p($1, $2; $1 = 3 & $2 <= 5) normalizes to p(3, $2; $2 <= 5).
+        let fact = Fact::constrained(
+            "p",
+            2,
+            Conjunction::from_atoms([Atom::var_eq(pos(1), 3), Atom::var_le(pos(2), 5)]),
+        )
+        .unwrap();
+        assert_eq!(fact.bindings()[0], Binding::Bound(Value::num(3)));
+        assert_eq!(fact.bindings()[1], Binding::Free);
+        assert!(!fact.is_ground());
+        assert!(fact.constraint().implies_atom(&Atom::var_le(pos(2), 5)));
+    }
+
+    #[test]
+    fn unsatisfiable_constraints_produce_no_fact() {
+        let fact = Fact::constrained(
+            "p",
+            1,
+            Conjunction::from_atoms([Atom::var_lt(pos(1), 0), Atom::var_gt(pos(1), 0)]),
+        );
+        assert!(fact.is_none());
+    }
+
+    #[test]
+    fn ground_fact_round_trip() {
+        let fact = Fact::ground("flight", vec![Value::sym("madison"), Value::num(100)]);
+        assert!(fact.is_ground());
+        assert_eq!(
+            fact.ground_values(),
+            Some(vec![Value::sym("madison"), Value::num(100)])
+        );
+        assert_eq!(fact.to_string(), "flight(madison, 100)");
+    }
+
+    #[test]
+    fn subsumption_between_constraint_facts() {
+        // m_fib($1; $1 > 0) subsumes m_fib(2) and m_fib($1; $1 > 1),
+        // but not m_fib($1; $1 > -1) or m_fib(0).
+        let broad = Fact::constrained("m_fib", 1, Conjunction::of(Atom::var_gt(pos(1), 0))).unwrap();
+        let ground = Fact::ground("m_fib", vec![Value::num(2)]);
+        let narrower =
+            Fact::constrained("m_fib", 1, Conjunction::of(Atom::var_gt(pos(1), 1))).unwrap();
+        let wider =
+            Fact::constrained("m_fib", 1, Conjunction::of(Atom::var_gt(pos(1), -1))).unwrap();
+        let zero = Fact::ground("m_fib", vec![Value::num(0)]);
+
+        assert!(broad.subsumes(&ground));
+        assert!(broad.subsumes(&narrower));
+        assert!(broad.subsumes(&broad));
+        assert!(!broad.subsumes(&wider));
+        assert!(!broad.subsumes(&zero));
+        assert!(!ground.subsumes(&broad));
+    }
+
+    #[test]
+    fn subsumption_respects_symbols() {
+        let a = Fact::ground("p", vec![Value::sym("x"), Value::num(1)]);
+        let b = Fact::ground("p", vec![Value::sym("x"), Value::num(1)]);
+        let c = Fact::ground("p", vec![Value::sym("y"), Value::num(1)]);
+        assert!(a.subsumes(&b));
+        assert!(!a.subsumes(&c));
+        // A fully-free fact subsumes a symbolic one only if unconstrained.
+        let free = Fact::constrained("p", 2, Conjunction::truth()).unwrap();
+        assert!(free.subsumes(&a));
+        let constrained_free =
+            Fact::constrained("p", 2, Conjunction::of(Atom::var_ge(pos(1), 0))).unwrap();
+        assert!(!constrained_free.subsumes(&a));
+    }
+
+    #[test]
+    fn different_predicates_or_arities_never_subsume() {
+        let a = Fact::ground("p", vec![Value::num(1)]);
+        let b = Fact::ground("q", vec![Value::num(1)]);
+        let c = Fact::ground("p", vec![Value::num(1), Value::num(2)]);
+        assert!(!a.subsumes(&b));
+        assert!(!a.subsumes(&c));
+    }
+}

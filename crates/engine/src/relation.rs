@@ -1,0 +1,142 @@
+//! In-memory relations of constraint facts with subsumption-based insertion.
+
+use std::collections::HashSet;
+
+use crate::fact::Fact;
+use crate::value::Value;
+
+/// The outcome of inserting a fact into a relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The fact was new and has been added.
+    Added,
+    /// The fact (or a fact subsuming it) was already present; the relation is
+    /// unchanged.  Corresponds to the boldface "subsumed facts" of Table 1.
+    Subsumed,
+}
+
+/// A finite set of constraint facts for one predicate.
+///
+/// Ground facts are additionally tracked in a hash set so the common case
+/// (programs whose evaluation computes only ground facts, Theorem 4.4) does
+/// not pay for pairwise subsumption checks.
+#[derive(Clone, Default)]
+pub struct Relation {
+    facts: Vec<Fact>,
+    ground_index: HashSet<Vec<Value>>,
+    constraint_fact_count: usize,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new() -> Self {
+        Relation::default()
+    }
+
+    /// The facts currently in the relation.
+    pub fn facts(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Returns `true` if the relation has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Number of facts that are not ground (proper constraint facts).
+    pub fn constraint_fact_count(&self) -> usize {
+        self.constraint_fact_count
+    }
+
+    /// Returns `true` if the relation contains a fact that subsumes `fact`.
+    pub fn covers(&self, fact: &Fact) -> bool {
+        if let Some(values) = fact.ground_values() {
+            if self.ground_index.contains(&values) {
+                return true;
+            }
+        }
+        self.facts
+            .iter()
+            .filter(|existing| !existing.is_ground() || fact.is_ground())
+            .any(|existing| existing.subsumes(fact))
+    }
+
+    /// Inserts a fact unless it is subsumed by an existing one.
+    pub fn insert(&mut self, fact: Fact) -> InsertOutcome {
+        if self.covers(&fact) {
+            return InsertOutcome::Subsumed;
+        }
+        if let Some(values) = fact.ground_values() {
+            self.ground_index.insert(values);
+        } else {
+            self.constraint_fact_count += 1;
+        }
+        self.facts.push(fact);
+        InsertOutcome::Added
+    }
+
+    /// Iterates over the facts.
+    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter()
+    }
+}
+
+impl std::fmt::Debug for Relation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.facts.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_constraints::{Atom, Conjunction, Var};
+
+    #[test]
+    fn duplicate_ground_facts_are_subsumed() {
+        let mut rel = Relation::new();
+        let fact = Fact::ground("p", vec![Value::num(1), Value::sym("a")]);
+        assert_eq!(rel.insert(fact.clone()), InsertOutcome::Added);
+        assert_eq!(rel.insert(fact), InsertOutcome::Subsumed);
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.constraint_fact_count(), 0);
+    }
+
+    #[test]
+    fn constraint_facts_subsume_ground_instances() {
+        let mut rel = Relation::new();
+        let broad = Fact::constrained(
+            "m_fib",
+            1,
+            Conjunction::of(Atom::var_gt(Var::position(1), 0)),
+        )
+        .unwrap();
+        assert_eq!(rel.insert(broad), InsertOutcome::Added);
+        assert_eq!(rel.constraint_fact_count(), 1);
+        // A ground instance inside the constraint fact is subsumed.
+        let inside = Fact::ground("m_fib", vec![Value::num(3)]);
+        assert_eq!(rel.insert(inside), InsertOutcome::Subsumed);
+        // A ground fact outside is added.
+        let outside = Fact::ground("m_fib", vec![Value::num(0)]);
+        assert_eq!(rel.insert(outside), InsertOutcome::Added);
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn ground_facts_do_not_subsume_constraint_facts() {
+        let mut rel = Relation::new();
+        rel.insert(Fact::ground("m_fib", vec![Value::num(3)]));
+        let broad = Fact::constrained(
+            "m_fib",
+            1,
+            Conjunction::of(Atom::var_gt(Var::position(1), 0)),
+        )
+        .unwrap();
+        assert_eq!(rel.insert(broad), InsertOutcome::Added);
+    }
+}

@@ -1,0 +1,95 @@
+//! Ground values stored in facts.
+
+use std::fmt;
+
+use pcs_constraints::Rational;
+use pcs_lang::Symbol;
+
+/// A ground value: an exact number or a symbolic constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A numeric value.
+    Num(Rational),
+    /// A symbolic constant (e.g. `madison`).
+    Sym(Symbol),
+}
+
+impl Value {
+    /// A numeric value.
+    pub fn num(value: impl Into<Rational>) -> Value {
+        Value::Num(value.into())
+    }
+
+    /// A symbolic value.
+    pub fn sym(name: impl AsRef<str>) -> Value {
+        Value::Sym(Symbol::new(name))
+    }
+
+    /// Returns the numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<Rational> {
+        match self {
+            Value::Num(n) => Some(*n),
+            Value::Sym(_) => None,
+        }
+    }
+
+    /// Returns the symbol, if this is a symbolic constant.
+    pub fn as_sym(&self) -> Option<&Symbol> {
+        match self {
+            Value::Num(_) => None,
+            Value::Sym(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(value: i64) -> Self {
+        Value::Num(Rational::from_int(value as i128))
+    }
+}
+
+impl From<Rational> for Value {
+    fn from(value: Rational) -> Self {
+        Value::Num(value)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(value: &str) -> Self {
+        Value::sym(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::num(3).as_num(), Some(Rational::from_int(3)));
+        assert_eq!(Value::num(3).as_sym(), None);
+        assert_eq!(Value::sym("a").as_sym(), Some(&Symbol::new("a")));
+        assert_eq!(Value::sym("a").as_num(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::num(3).to_string(), "3");
+        assert_eq!(Value::sym("madison").to_string(), "madison");
+    }
+}

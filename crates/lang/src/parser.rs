@@ -1,0 +1,625 @@
+//! A parser for a Prolog-like concrete syntax for CQL programs.
+//!
+//! The syntax follows the paper's notation as closely as ASCII allows:
+//!
+//! ```text
+//! % Example 1.1 (computing flights)
+//! r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+//! r2: cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+//! r3: flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost),
+//!                                     Cost > 0, Time > 0.
+//! r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+//!                           T = T1 + T2 + 30, C = C1 + C2.
+//! ?- cheaporshort(madison, seattle, Time, Cost).
+//! ```
+//!
+//! * Variables start with an upper-case letter; predicate names and symbolic
+//!   constants start with a lower-case letter.
+//! * Constraints use `<`, `<=`, `>`, `>=`, `=` over linear arithmetic with
+//!   `+`, `-`, `*` (multiplication only by constants) and rational literals.
+//! * `% ...` is a comment; `edb pred/arity.` optionally declares an EDB
+//!   predicate; `?- ... .` sets the query.
+//! * Rules may carry a label (`r1:`) which is preserved for display.
+
+use std::fmt;
+
+use pcs_constraints::{Atom, CmpOp, Conjunction, LinearExpr, Rational, Var};
+
+use crate::literal::{Literal, Pred};
+use crate::program::{Program, Query};
+use crate::rule::Rule;
+use crate::term::Term;
+
+/// A parse error with the (1-based) line and column where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Error description.
+    pub message: String,
+    /// Line number (1-based).
+    pub line: usize,
+    /// Column number (1-based).
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    LowerIdent(String),
+    UpperIdent(String),
+    Number(Rational),
+    Punct(&'static str),
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::LowerIdent(s) | Token::UpperIdent(s) => write!(f, "`{s}`"),
+            Token::Number(n) => write!(f, "`{n}`"),
+            Token::Punct(p) => write!(f, "`{p}`"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    _source: &'a str,
+}
+
+struct Spanned {
+    token: Token,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            _source: source,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek_char()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek_char() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('%') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Spanned, ParseError> {
+        self.skip_trivia();
+        let line = self.line;
+        let column = self.column;
+        let spanned = |token| Spanned { token, line, column };
+        let Some(c) = self.peek_char() else {
+            return Ok(spanned(Token::Eof));
+        };
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(c) = self.peek_char() {
+                if c.is_ascii_digit() || c == '.' {
+                    // A '.' is part of the number only if followed by a digit
+                    // (otherwise it terminates the statement).
+                    if c == '.' {
+                        let next = self.chars.get(self.pos + 1).copied();
+                        if !next.map(|n| n.is_ascii_digit()).unwrap_or(false) {
+                            break;
+                        }
+                    }
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let value = parse_number(&text)
+                .ok_or_else(|| self.error(format!("invalid number literal `{text}`")))?;
+            return Ok(spanned(Token::Number(value)));
+        }
+        if c.is_alphabetic() || c == '_' || c == '$' {
+            let mut text = String::new();
+            while let Some(c) = self.peek_char() {
+                if c.is_alphanumeric() || c == '_' || c == '\'' || c == '$' || c == '#' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let first = text.chars().next().expect("non-empty identifier");
+            if first.is_uppercase() || first == '_' || first == '$' {
+                return Ok(spanned(Token::UpperIdent(text)));
+            }
+            return Ok(spanned(Token::LowerIdent(text)));
+        }
+        // Punctuation, longest match first.
+        let two: String = self.chars[self.pos..(self.pos + 2).min(self.chars.len())]
+            .iter()
+            .collect();
+        for p in [":-", "?-", "<=", ">=", "==", "=<", "=>"] {
+            if two == p {
+                self.bump();
+                self.bump();
+                let canonical = match p {
+                    "=<" => "<=",
+                    "=>" => ">=",
+                    "==" => "=",
+                    other => other,
+                };
+                return Ok(spanned(Token::Punct(canonical)));
+            }
+        }
+        let single = match c {
+            '(' => "(",
+            ')' => ")",
+            ',' => ",",
+            '.' => ".",
+            ':' => ":",
+            '<' => "<",
+            '>' => ">",
+            '=' => "=",
+            '+' => "+",
+            '-' => "-",
+            '*' => "*",
+            '/' => "/",
+            _ => return Err(self.error(format!("unexpected character `{c}`"))),
+        };
+        self.bump();
+        Ok(spanned(Token::Punct(single)))
+    }
+}
+
+fn parse_number(text: &str) -> Option<Rational> {
+    if let Some(dot) = text.find('.') {
+        let int_part: i128 = text[..dot].parse().ok()?;
+        let frac = &text[dot + 1..];
+        if frac.is_empty() {
+            return Some(Rational::from_int(int_part));
+        }
+        let frac_digits = frac.len() as u32;
+        let frac_value: i128 = frac.parse().ok()?;
+        let denom = 10i128.checked_pow(frac_digits)?;
+        let numer = int_part.checked_mul(denom)?.checked_add(frac_value)?;
+        Rational::new(numer, denom).ok()
+    } else {
+        text.parse::<i128>().ok().map(Rational::from_int)
+    }
+}
+
+/// The parser.
+pub struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(source: &str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(source);
+        let mut tokens = Vec::new();
+        loop {
+            let t = lexer.next_token()?;
+            let done = t.token == Token::Eof;
+            tokens.push(t);
+            if done {
+                break;
+            }
+        }
+        Ok(Parser { tokens, pos: 0 })
+    }
+
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_ahead(&self, n: usize) -> &Spanned {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> &Spanned {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)];
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError {
+            message: message.into(),
+            line: t.line,
+            column: t.column,
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
+        if self.peek().token == Token::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected `{p}`, found {}", self.peek().token)))
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        let mut program = Program::new();
+        loop {
+            match &self.peek().token {
+                Token::Eof => break,
+                Token::Punct("?-") => {
+                    self.bump();
+                    let (literals, constraint) = self.parse_body()?;
+                    self.expect_punct(".")?;
+                    program.set_query(Query::with_constraint(literals, constraint));
+                }
+                Token::LowerIdent(word) if word == "edb" && matches!(self.peek_ahead(1).token, Token::LowerIdent(_)) && self.peek_ahead(2).token == Token::Punct("/") => {
+                    self.bump();
+                    let name = self.parse_lower_ident()?;
+                    self.expect_punct("/")?;
+                    let arity_token = self.bump().token.clone();
+                    if !matches!(arity_token, Token::Number(_)) {
+                        return Err(self.error_here(format!(
+                            "expected arity after `{name}/`, found {arity_token}"
+                        )));
+                    }
+                    self.expect_punct(".")?;
+                    program.declare_edb(name.as_str());
+                }
+                _ => {
+                    let rule = self.parse_rule()?;
+                    program.add_rule(rule);
+                }
+            }
+        }
+        Ok(program)
+    }
+
+    fn parse_lower_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().token.clone() {
+            Token::LowerIdent(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error_here(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        // Optional label: lower ident followed by ':' (but not ':-').
+        let mut label = None;
+        if let Token::LowerIdent(name) = &self.peek().token {
+            if self.peek_ahead(1).token == Token::Punct(":") {
+                label = Some(name.clone());
+                self.bump();
+                self.bump();
+            }
+        }
+        let head = self.parse_literal()?;
+        let (body, constraint) = if self.peek().token == Token::Punct(":-") {
+            self.bump();
+            self.parse_body()?
+        } else {
+            (Vec::new(), Conjunction::truth())
+        };
+        self.expect_punct(".")?;
+        let mut rule = Rule::new(head, body, constraint);
+        if let Some(label) = label {
+            rule = rule.with_label(label);
+        }
+        Ok(rule)
+    }
+
+    fn parse_body(&mut self) -> Result<(Vec<Literal>, Conjunction), ParseError> {
+        let mut literals = Vec::new();
+        let mut constraint = Conjunction::truth();
+        loop {
+            self.parse_body_item(&mut literals, &mut constraint)?;
+            if self.peek().token == Token::Punct(",") {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok((literals, constraint))
+    }
+
+    fn parse_body_item(
+        &mut self,
+        literals: &mut Vec<Literal>,
+        constraint: &mut Conjunction,
+    ) -> Result<(), ParseError> {
+        // A literal starts with a lower-case identifier followed by `(`
+        // (or is a zero-ary predicate followed by `,`/`.`).
+        if let Token::LowerIdent(_) = &self.peek().token {
+            let next = &self.peek_ahead(1).token;
+            if *next == Token::Punct("(")
+                || *next == Token::Punct(",")
+                || *next == Token::Punct(".")
+            {
+                literals.push(self.parse_literal()?);
+                return Ok(());
+            }
+        }
+        // Otherwise it is a constraint: arith op arith.
+        let lhs = self.parse_arith()?;
+        let op = match &self.peek().token {
+            Token::Punct(p) => CmpOp::parse(p)
+                .ok_or_else(|| self.error_here(format!("expected comparison operator, found `{p}`")))?,
+            other => {
+                return Err(self.error_here(format!(
+                    "expected comparison operator, found {other}"
+                )))
+            }
+        };
+        self.bump();
+        let rhs = self.parse_arith()?;
+        constraint.push(Atom::compare(lhs, op, rhs));
+        Ok(())
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        let name = self.parse_lower_ident()?;
+        let mut args = Vec::new();
+        if self.peek().token == Token::Punct("(") {
+            self.bump();
+            loop {
+                args.push(self.parse_term()?);
+                if self.peek().token == Token::Punct(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect_punct(")")?;
+        }
+        Ok(Literal::new(Pred::new(name), args))
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        // Symbolic constant: lower identifier not followed by arithmetic.
+        if let Token::LowerIdent(name) = self.peek().token.clone() {
+            self.bump();
+            return Ok(Term::sym(name));
+        }
+        let expr = self.parse_arith()?;
+        Ok(Term::expr(expr))
+    }
+
+    fn parse_arith(&mut self) -> Result<LinearExpr, ParseError> {
+        let mut acc = self.parse_arith_factor()?;
+        loop {
+            match &self.peek().token {
+                Token::Punct("+") => {
+                    self.bump();
+                    acc = acc + self.parse_arith_factor()?;
+                }
+                Token::Punct("-") => {
+                    self.bump();
+                    acc = acc - self.parse_arith_factor()?;
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn parse_arith_factor(&mut self) -> Result<LinearExpr, ParseError> {
+        let mut acc = self.parse_arith_atom()?;
+        loop {
+            match &self.peek().token {
+                Token::Punct("*") => {
+                    self.bump();
+                    let rhs = self.parse_arith_atom()?;
+                    acc = multiply_linear(&acc, &rhs)
+                        .ok_or_else(|| self.error_here("non-linear multiplication"))?;
+                }
+                Token::Punct("/") => {
+                    self.bump();
+                    let rhs = self.parse_arith_atom()?;
+                    if !rhs.is_constant() || rhs.constant_part().is_zero() {
+                        return Err(self.error_here("division only by non-zero constants"));
+                    }
+                    let factor = Rational::ONE / rhs.constant_part();
+                    acc = acc.scale(factor);
+                }
+                _ => break,
+            }
+        }
+        Ok(acc)
+    }
+
+    fn parse_arith_atom(&mut self) -> Result<LinearExpr, ParseError> {
+        match self.peek().token.clone() {
+            Token::Number(n) => {
+                self.bump();
+                Ok(LinearExpr::constant(n))
+            }
+            Token::UpperIdent(name) => {
+                self.bump();
+                Ok(LinearExpr::var(Var::new(name)))
+            }
+            Token::Punct("-") => {
+                self.bump();
+                Ok(-self.parse_arith_atom()?)
+            }
+            Token::Punct("(") => {
+                self.bump();
+                let inner = self.parse_arith()?;
+                self.expect_punct(")")?;
+                Ok(inner)
+            }
+            other => Err(self.error_here(format!("expected arithmetic term, found {other}"))),
+        }
+    }
+}
+
+fn multiply_linear(a: &LinearExpr, b: &LinearExpr) -> Option<LinearExpr> {
+    if a.is_constant() {
+        Some(b.scale(a.constant_part()))
+    } else if b.is_constant() {
+        Some(a.scale(b.constant_part()))
+    } else {
+        None
+    }
+}
+
+/// Parses a complete program from source text.
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    Parser::new(source)?.parse_program()
+}
+
+/// Parses a single rule.
+pub fn parse_rule(source: &str) -> Result<Rule, ParseError> {
+    let mut parser = Parser::new(source)?;
+    let rule = parser.parse_rule()?;
+    if parser.peek().token != Token::Eof {
+        return Err(parser.error_here("trailing input after rule"));
+    }
+    Ok(rule)
+}
+
+/// Parses a single literal (no trailing period).
+pub fn parse_literal(source: &str) -> Result<Literal, ParseError> {
+    let mut parser = Parser::new(source)?;
+    let literal = parser.parse_literal()?;
+    if parser.peek().token != Token::Eof {
+        return Err(parser.error_here("trailing input after literal"));
+    }
+    Ok(literal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flights_program() {
+        let source = r#"
+            % Example 1.1
+            r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+            r2: cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+            r3: flight(Src, Dst, Time, Cost) :- singleleg(Src, Dst, Time, Cost), Cost > 0, Time > 0.
+            r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2),
+                                      T = T1 + T2 + 30, C = C1 + C2.
+            ?- cheaporshort(madison, seattle, Time, Cost).
+        "#;
+        let program = parse_program(source).unwrap();
+        assert_eq!(program.rules().len(), 4);
+        assert!(program.query().is_some());
+        assert!(program.edb_predicates().contains(&Pred::new("singleleg")));
+        assert_eq!(program.idb_predicates().len(), 2);
+        let r4 = &program.rules()[3];
+        assert_eq!(r4.body.len(), 2);
+        assert_eq!(r4.constraint.len(), 2);
+        let query = program.query().unwrap();
+        assert_eq!(query.literals[0].args[0], Term::sym("madison"));
+    }
+
+    #[test]
+    fn parses_fibonacci_program() {
+        let source = r#"
+            r1: fib(0, 1).
+            r2: fib(1, 1).
+            r3: fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).
+            ?- fib(N, 5).
+        "#;
+        let program = parse_program(source).unwrap();
+        assert_eq!(program.rules().len(), 3);
+        let r3 = &program.rules()[2];
+        assert!(!r3.is_flat());
+        assert!(matches!(r3.head.args[1], Term::Expr(_)));
+        let flat = program.flattened();
+        assert!(flat.rules().iter().all(Rule::is_flat));
+    }
+
+    #[test]
+    fn parses_edb_declarations_and_facts() {
+        let source = r#"
+            edb b1/2.
+            p(1, 2).
+            p(X, Y) :- b1(X, Y), X <= 4.
+        "#;
+        let program = parse_program(source).unwrap();
+        assert!(program.edb_predicates().contains(&Pred::new("b1")));
+        assert!(program.rules()[0].is_constraint_fact());
+        assert_eq!(program.rules()[0].head.args[0], Term::num(1));
+    }
+
+    #[test]
+    fn parses_rationals_and_division() {
+        let rule = parse_rule("p(X) :- q(Y), X = Y / 2, Y >= 1.5.").unwrap();
+        assert_eq!(rule.constraint.len(), 2);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_program("p(X) :- q(X), X ! 3.").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.column > 1);
+        assert!(parse_program("p(X :- q(X).").is_err());
+        assert!(parse_rule("p(X) :- q(X). extra").is_err());
+    }
+
+    #[test]
+    fn constraint_only_rules_parse_as_constraint_facts() {
+        let rule = parse_rule("p(X) :- X >= 0, X <= 10.").unwrap();
+        assert!(rule.is_constraint_fact());
+        assert_eq!(rule.constraint.len(), 2);
+    }
+
+    #[test]
+    fn nonlinear_multiplication_is_rejected() {
+        assert!(parse_rule("p(X) :- q(Y), X = Y * Y.").is_err());
+        assert!(parse_rule("p(X) :- q(Y), X = 2 * Y.").is_ok());
+    }
+}

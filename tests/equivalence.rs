@@ -1,0 +1,118 @@
+//! Integration tests: query equivalence of the rewritten programs
+//! (Theorems 4.3, 4.6 and the correctness side of Section 7) across crates.
+
+use pushing_constraint_selections::prelude::*;
+
+/// Evaluates a program under a strategy and returns the rendered answer set
+/// (sorted), so answer sets can be compared across rewritings that rename the
+/// query predicate.
+fn answers(program: &Program, strategy: Strategy, db: &Database) -> Vec<String> {
+    let optimized = Optimizer::new(program.clone())
+        .strategy(strategy)
+        .optimize()
+        .expect("optimization succeeds");
+    let result = optimized.evaluate(db);
+    let query = optimized.program.query().expect("query present").literals[0].clone();
+    let mut rendered: Vec<String> = result
+        .answers_to(&query)
+        .iter()
+        .map(|fact| {
+            // Strip the (possibly adorned) predicate name so that answers are
+            // comparable across strategies.
+            let text = fact.to_string();
+            text.split_once('(').map(|(_, rest)| rest.to_string()).unwrap_or(text)
+        })
+        .collect();
+    rendered.sort();
+    rendered.dedup();
+    rendered
+}
+
+fn all_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::None,
+        Strategy::ConstraintRewrite,
+        Strategy::MagicOnly,
+        Strategy::Optimal,
+        Strategy::Sequence(vec![Step::Qrp, Step::Magic]),
+        Strategy::Sequence(vec![Step::Magic, Step::Qrp]),
+        Strategy::Sequence(vec![Step::Magic, Step::Pred, Step::Qrp]),
+    ]
+}
+
+#[test]
+fn flights_answers_agree_across_all_strategies() {
+    let program = programs::flights();
+    let db = programs::flights_database(6, 15);
+    let baseline = answers(&program, Strategy::None, &db);
+    assert!(!baseline.is_empty(), "query should have answers on this EDB");
+    for strategy in all_strategies() {
+        let got = answers(&program, strategy.clone(), &db);
+        assert_eq!(got, baseline, "strategy {strategy:?} changed the answers");
+    }
+}
+
+#[test]
+fn example_41_answers_agree_across_all_strategies() {
+    let program = programs::example_41();
+    let db = programs::example_41_database(20);
+    let baseline = answers(&program, Strategy::None, &db);
+    assert!(!baseline.is_empty());
+    for strategy in all_strategies() {
+        assert_eq!(answers(&program, strategy.clone(), &db), baseline);
+    }
+}
+
+#[test]
+fn example_71_and_72_answers_agree_across_orderings() {
+    for (program, db) in [
+        (programs::example_71(), programs::example_7x_database(15, 12)),
+        (programs::example_72(), programs::example_7x_database(15, 12)),
+    ] {
+        let baseline = answers(&program, Strategy::None, &db);
+        for strategy in all_strategies() {
+            assert_eq!(answers(&program, strategy.clone(), &db), baseline);
+        }
+    }
+}
+
+#[test]
+fn example_42_rewrite_is_equivalent_and_cheaper() {
+    let program = programs::example_42();
+    let db = programs::example_42_database(25);
+    let baseline = answers(&program, Strategy::None, &db);
+    let rewritten = answers(&program, Strategy::ConstraintRewrite, &db);
+    assert_eq!(baseline, rewritten);
+
+    let base_eval = Optimizer::new(program.clone())
+        .strategy(Strategy::None)
+        .optimize()
+        .unwrap()
+        .evaluate(&db);
+    let opt_eval = Optimizer::new(program)
+        .strategy(Strategy::ConstraintRewrite)
+        .optimize()
+        .unwrap()
+        .evaluate(&db);
+    assert!(opt_eval.count_for(&Pred::new("a")) <= base_eval.count_for(&Pred::new("a")));
+}
+
+#[test]
+fn rewritten_flights_never_materializes_irrelevant_flights() {
+    // The headline claim of Example 4.3, end to end.
+    let program = programs::flights();
+    let db = programs::flights_database(8, 40);
+    let optimized = Optimizer::new(program)
+        .strategy(Strategy::ConstraintRewrite)
+        .optimize()
+        .unwrap();
+    let result = optimized.evaluate(&db);
+    assert!(result.termination.is_fixpoint());
+    assert!(result.only_ground_facts(), "Theorem 4.4: only ground facts");
+    for fact in result.facts_for(&Pred::new("flight")) {
+        let values = fact.ground_values().expect("ground");
+        let time = values[2].as_num().unwrap();
+        let cost = values[3].as_num().unwrap();
+        assert!(!(time > 240.into() && cost > 150.into()), "irrelevant fact {fact}");
+    }
+}

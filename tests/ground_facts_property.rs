@@ -1,0 +1,98 @@
+//! Property-based integration tests (Theorem 4.4 and query equivalence) on
+//! randomly generated EDBs.
+
+use proptest::prelude::*;
+
+use pushing_constraint_selections::prelude::*;
+// proptest's prelude also exports a `Strategy` trait; disambiguate the optimizer's enum.
+use pushing_constraint_selections::Strategy as OptStrategy;
+
+fn edge_db(edges: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    for (x, y) in edges {
+        db.add_ground("b1", vec![Value::num(*x), Value::num(*y)]);
+        db.add_ground("b2", vec![Value::num(*y), Value::num(*x + *y)]);
+    }
+    db
+}
+
+fn answer_strings(program: &Program, strategy: OptStrategy, db: &Database) -> Vec<String> {
+    let optimized = Optimizer::new(program.clone())
+        .strategy(strategy)
+        .optimize()
+        .unwrap();
+    let result = optimized.evaluate(db);
+    let query = optimized.program.query().unwrap().literals[0].clone();
+    let mut rendered: Vec<String> = result
+        .answers_to(&query)
+        .iter()
+        .map(|f| {
+            let text = f.to_string();
+            text.split_once('(')
+                .map(|(_, rest)| rest.to_string())
+                .unwrap_or(text)
+        })
+        .collect();
+    rendered.sort();
+    rendered.dedup();
+    rendered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Theorem 4.3/4.4: on arbitrary ground EDBs the rewritten Example 7.1
+    /// program returns the same answers as the original, computes only
+    /// ground facts, and computes no more facts.
+    #[test]
+    fn constraint_rewrite_preserves_answers_on_random_edbs(
+        edges in proptest::collection::vec((0i64..12, 0i64..12), 1..14)
+    ) {
+        let program = programs::example_71();
+        let db = edge_db(&edges);
+        let baseline = answer_strings(&program, OptStrategy::None, &db);
+        let rewritten = answer_strings(&program, OptStrategy::ConstraintRewrite, &db);
+        prop_assert_eq!(baseline, rewritten);
+
+        let opt = Optimizer::new(program)
+            .strategy(OptStrategy::ConstraintRewrite)
+            .optimize()
+            .unwrap();
+        let eval = opt.evaluate(&db);
+        prop_assert!(eval.only_ground_facts());
+        prop_assert!(eval.termination.is_fixpoint());
+    }
+
+    /// The optimal sequence (Theorem 7.10) never computes more facts than
+    /// applying magic first, and both agree with the unoptimized answers.
+    #[test]
+    fn optimal_sequence_dominates_magic_first_on_random_edbs(
+        edges in proptest::collection::vec((0i64..10, 0i64..10), 1..10)
+    ) {
+        let program = programs::example_71();
+        let db = edge_db(&edges);
+        let baseline = answer_strings(&program, OptStrategy::None, &db);
+
+        let optimal = Optimizer::new(program.clone())
+            .strategy(OptStrategy::Optimal)
+            .optimize()
+            .unwrap();
+        let magic_first = Optimizer::new(program.clone())
+            .strategy(OptStrategy::Sequence(vec![Step::Magic, Step::Pred, Step::Qrp]))
+            .optimize()
+            .unwrap();
+        let optimal_eval = optimal.evaluate(&db);
+        let magic_first_eval = magic_first.evaluate(&db);
+        prop_assert!(optimal_eval.total_facts() <= magic_first_eval.total_facts());
+
+        prop_assert_eq!(answer_strings(&program, OptStrategy::Optimal, &db), baseline.clone());
+        prop_assert_eq!(
+            answer_strings(
+                &program,
+                OptStrategy::Sequence(vec![Step::Magic, Step::Pred, Step::Qrp]),
+                &db
+            ),
+            baseline
+        );
+    }
+}
