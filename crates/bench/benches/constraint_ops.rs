@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use pcs_constraints::{ltop, ptol, Atom, CmpOp, Conjunction, ConstraintSet, LinearExpr, PosArg, Var};
+use pcs_constraints::{
+    ltop, ptol, Atom, CmpOp, Conjunction, ConstraintSet, LinearExpr, PosArg, Var,
+};
 
 fn chain_conjunction(n: usize) -> Conjunction {
     // X1 <= X2 <= ... <= Xn, X1 >= 0, Xn <= 100

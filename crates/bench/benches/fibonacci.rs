@@ -20,10 +20,13 @@ fn bench_fibonacci(c: &mut Criterion) {
         .program;
     group.bench_function("table1_pfib_mg_capped_9_iters", |b| {
         b.iter(|| {
-            Evaluator::new(black_box(&plain_magic), EvalOptions {
-                limits: pcs_engine::EvalLimits::capped(9),
-                trace: false,
-            })
+            Evaluator::new(
+                black_box(&plain_magic),
+                EvalOptions {
+                    limits: pcs_engine::EvalLimits::capped(9),
+                    trace: false,
+                },
+            )
             .evaluate(&Database::new())
         })
     });

@@ -25,11 +25,9 @@ fn bench_flights(c: &mut Criterion) {
                 .strategy(strategy.clone())
                 .optimize()
                 .unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(*name, extra_legs),
-                &db,
-                |b, db| b.iter(|| black_box(&optimized).evaluate(black_box(db))),
-            );
+            group.bench_with_input(BenchmarkId::new(*name, extra_legs), &db, |b, db| {
+                b.iter(|| black_box(&optimized).evaluate(black_box(db)))
+            });
         }
     }
     group.finish();

@@ -19,7 +19,10 @@ fn bench_orderings(c: &mut Criterion) {
         ("pred_qrp_mg", vec![Step::Pred, Step::Qrp, Step::Magic]),
     ];
     let db = programs::example_7x_database(40, 25);
-    for (example, program) in [("ex71", programs::example_71()), ("ex72", programs::example_72())] {
+    for (example, program) in [
+        ("ex71", programs::example_71()),
+        ("ex72", programs::example_72()),
+    ] {
         for (label, steps) in &sequences {
             let optimized = Optimizer::new(program.clone())
                 .strategy(Strategy::Sequence(steps.clone()))

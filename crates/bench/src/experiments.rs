@@ -62,7 +62,10 @@ fn fib_trace_report(title: &str, program: &Program, iterations: usize) -> String
         result.stats.constraint_facts,
         answers.len()
     );
-    let _ = writeln!(out, "(* marks a derivation whose fact was subsumed and discarded)");
+    let _ = writeln!(
+        out,
+        "(* marks a derivation whose fact was subsumed and discarded)"
+    );
     out
 }
 
@@ -89,7 +92,10 @@ pub fn flights(sizes: &[(usize, usize)]) -> String {
             ("mg only", Strategy::MagicOnly),
             ("pred,qrp,mg (optimal)", Strategy::Optimal),
         ] {
-            let optimized = Optimizer::new(program.clone()).strategy(strategy).optimize().unwrap();
+            let optimized = Optimizer::new(program.clone())
+                .strategy(strategy)
+                .optimize()
+                .unwrap();
             let result = optimized.evaluate(&db);
             let flight_pred = result
                 .relations
@@ -185,7 +191,10 @@ pub fn balbin() -> String {
     let syntactic = gen_syntactic_constraints(&program, &query, &options);
     let semantic = gen_qrp_constraints(&program, &query, &options);
     let mut out = String::new();
-    let _ = writeln!(out, "Balbin et al. C transformation vs QRP constraints (Example 4.1):");
+    let _ = writeln!(
+        out,
+        "Balbin et al. C transformation vs QRP constraints (Example 4.1):"
+    );
     for pred in ["p1", "p2"] {
         let _ = writeln!(
             out,
@@ -207,7 +216,10 @@ pub fn orderings() -> String {
         ("mg,pred,qrp", vec![Step::Magic, Step::Pred, Step::Qrp]),
     ];
     let mut out = String::new();
-    let _ = writeln!(out, "Section 7 ordering study (facts computed; fewer is better)");
+    let _ = writeln!(
+        out,
+        "Section 7 ordering study (facts computed; fewer is better)"
+    );
     for (name, program, db) in [
         (
             "Example 7.1 (qrp,mg preferable)",

@@ -309,19 +309,11 @@ mod tests {
     fn normalization_collapses_equivalent_spellings() {
         // X <= 4  and  2X <= 8  are the same atom.
         let a = Atom::var_le(x(), 4);
-        let b = Atom::compare(
-            LinearExpr::term(2, x()),
-            CmpOp::Le,
-            LinearExpr::constant(8),
-        );
+        let b = Atom::compare(LinearExpr::term(2, x()), CmpOp::Le, LinearExpr::constant(8));
         assert_eq!(a, b);
         // X >= 2  is  -X <= -2.
         let c = Atom::var_ge(x(), 2);
-        let d = Atom::compare(
-            LinearExpr::constant(2),
-            CmpOp::Le,
-            LinearExpr::var(x()),
-        );
+        let d = Atom::compare(LinearExpr::constant(2), CmpOp::Le, LinearExpr::var(x()));
         assert_eq!(c, d);
     }
 
@@ -346,7 +338,15 @@ mod tests {
     #[test]
     fn negation_round_trips_on_evaluation() {
         let atom = Atom::var_lt(x(), 3);
-        let assign = |value: i128| move |v: &Var| if *v == x() { Some(Rational::from_int(value)) } else { None };
+        let assign = |value: i128| {
+            move |v: &Var| {
+                if *v == x() {
+                    Some(Rational::from_int(value))
+                } else {
+                    None
+                }
+            }
+        };
         assert_eq!(atom.evaluate(&assign(2)), Some(true));
         assert_eq!(atom.evaluate(&assign(3)), Some(false));
         let negated = atom.negate();
@@ -358,10 +358,7 @@ mod tests {
     #[test]
     fn ground_binding_extraction() {
         let atom = Atom::var_eq(x(), 5);
-        assert_eq!(
-            atom.as_ground_binding(),
-            Some((x(), Rational::from_int(5)))
-        );
+        assert_eq!(atom.as_ground_binding(), Some((x(), Rational::from_int(5))));
         assert_eq!(Atom::var_le(x(), 5).as_ground_binding(), None);
         assert_eq!(Atom::vars_eq(x(), y()).as_ground_binding(), None);
     }

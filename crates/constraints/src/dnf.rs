@@ -122,7 +122,8 @@ impl ConstraintSet {
             return false;
         }
         // Drop existing disjuncts that the new one subsumes.
-        self.disjuncts.retain(|existing| !existing.implies(&conjunction));
+        self.disjuncts
+            .retain(|existing| !existing.implies(&conjunction));
         self.disjuncts.push(conjunction);
         true
     }
@@ -346,11 +347,7 @@ impl ConstraintSet {
         };
         let mut kept = Conjunction::truth();
         for atom in first.atoms() {
-            if self
-                .disjuncts
-                .iter()
-                .all(|d| d.implies_atom(atom))
-            {
+            if self.disjuncts.iter().all(|d| d.implies_atom(atom)) {
                 kept.push(atom.clone());
             }
         }
@@ -522,7 +519,8 @@ mod tests {
     fn display_formatting() {
         assert_eq!(ConstraintSet::falsum().to_string(), "false");
         assert_eq!(ConstraintSet::truth().to_string(), "true");
-        let set = ConstraintSet::from_disjuncts([le(x(), 1), Conjunction::of(Atom::var_ge(x(), 5))]);
+        let set =
+            ConstraintSet::from_disjuncts([le(x(), 1), Conjunction::of(Atom::var_ge(x(), 5))]);
         let text = set.to_string();
         assert!(text.contains('|'));
     }

@@ -80,7 +80,7 @@ impl LinearExpr {
         }
         let var = var.into();
         let entry = self.terms.entry(var.clone()).or_insert(Rational::ZERO);
-        *entry = *entry + coefficient;
+        *entry += coefficient;
         if entry.is_zero() {
             self.terms.remove(&var);
         }
@@ -88,7 +88,7 @@ impl LinearExpr {
 
     /// Adds a constant to this expression in place.
     pub fn add_constant(&mut self, value: impl Into<Rational>) {
-        self.constant = self.constant + value.into();
+        self.constant += value.into();
     }
 
     /// The constant part of the expression.
@@ -173,7 +173,7 @@ impl LinearExpr {
     pub fn evaluate(&self, assignment: &dyn Fn(&Var) -> Option<Rational>) -> Option<Rational> {
         let mut acc = self.constant;
         for (v, c) in &self.terms {
-            acc = acc + *c * assignment(v)?;
+            acc += *c * assignment(v)?;
         }
         Some(acc)
     }
@@ -186,7 +186,7 @@ impl Add for LinearExpr {
         for (v, c) in rhs.terms {
             result.add_term(c, v);
         }
-        result.constant = result.constant + rhs.constant;
+        result.constant += rhs.constant;
         result
     }
 }

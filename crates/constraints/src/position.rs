@@ -224,11 +224,7 @@ mod tests {
     fn ptol_ltop_round_trip_on_distinct_args() {
         let set = ConstraintSet::of(Conjunction::from_atoms([
             Atom::var_le(pos(1), 4),
-            Atom::compare(
-                LinearExpr::var(pos(1)),
-                CmpOp::Le,
-                LinearExpr::var(pos(2)),
-            ),
+            Atom::compare(LinearExpr::var(pos(1)), CmpOp::Le, LinearExpr::var(pos(2))),
         ]));
         let args = vec![PosArg::var(Var::new("A")), PosArg::var(Var::new("B"))];
         let round = ltop(&args, &ptol(&args, &set));

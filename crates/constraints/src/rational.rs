@@ -336,6 +336,9 @@ mod tests {
     #[test]
     fn recip_of_zero_fails() {
         assert!(Rational::ZERO.recip().is_err());
-        assert_eq!(Rational::ratio(2, 3).recip().unwrap(), Rational::ratio(3, 2));
+        assert_eq!(
+            Rational::ratio(2, 3).recip().unwrap(),
+            Rational::ratio(3, 2)
+        );
     }
 }

@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn ordering_is_stable_by_name() {
-        let mut vars = vec![Var::new("Z"), Var::new("A"), Var::new("M")];
+        let mut vars = [Var::new("Z"), Var::new("A"), Var::new("M")];
         vars.sort();
         let names: Vec<_> = vars.iter().map(|v| v.name().to_string()).collect();
         assert_eq!(names, vec!["A", "M", "Z"]);

@@ -47,7 +47,7 @@ pub mod prelude {
     pub use pcs_transform::{
         apply_sequence, check_decidable_class, constraint_rewrite, gen_predicate_constraints,
         gen_prop_predicate_constraints, gen_prop_qrp_constraints, gen_qrp_constraints,
-        magic_rewrite, GenOptions, MagicOptions, PropagateOptions, RewriteOptions,
-        SequenceOptions, SipStrategy, Step, OPTIMAL_SEQUENCE,
+        magic_rewrite, GenOptions, MagicOptions, PropagateOptions, RewriteOptions, SequenceOptions,
+        SipStrategy, Step, OPTIMAL_SEQUENCE,
     };
 }

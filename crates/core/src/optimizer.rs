@@ -16,7 +16,7 @@ use pcs_transform::{
 };
 
 /// Which rewriting pipeline to apply.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// No rewriting: evaluate the program as written.
     None,
@@ -26,15 +26,10 @@ pub enum Strategy {
     /// Constraint magic rewriting only (Appendix B / Section 7.2).
     MagicOnly,
     /// The optimal sequence of Theorem 7.10: `pred, qrp, mg`.
+    #[default]
     Optimal,
     /// An arbitrary sequence of `pred` / `qrp` / `mg` steps (Section 7).
     Sequence(Vec<Step>),
-}
-
-impl Default for Strategy {
-    fn default() -> Self {
-        Strategy::Optimal
-    }
 }
 
 /// Builder for optimizing a program-query pair.

@@ -59,8 +59,8 @@ pub fn flights_database(num_cities: usize, extra_legs: usize) -> Database {
         db.add_ground(
             "singleleg",
             vec![
-                Value::sym(&city(i)),
-                Value::sym(&city(i + 1)),
+                Value::sym(city(i)),
+                Value::sym(city(i + 1)),
                 Value::num(time as i64),
                 Value::num(cost as i64),
             ],

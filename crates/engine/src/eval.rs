@@ -58,10 +58,7 @@ pub struct EvalResult {
 impl EvalResult {
     /// The facts computed for a predicate.
     pub fn facts_for(&self, pred: &Pred) -> &[Fact] {
-        self.relations
-            .get(pred)
-            .map(Relation::facts)
-            .unwrap_or(&[])
+        self.relations.get(pred).map(Relation::facts).unwrap_or(&[])
     }
 
     /// Number of facts computed for a predicate.
@@ -254,7 +251,10 @@ impl Evaluator {
 
         // Counts of facts per relation at the end of the last two iterations.
         let counts = |relations: &BTreeMap<Pred, Relation>| -> BTreeMap<Pred, usize> {
-            relations.iter().map(|(p, r)| (p.clone(), r.len())).collect()
+            relations
+                .iter()
+                .map(|(p, r)| (p.clone(), r.len()))
+                .collect()
         };
         let mut before_prev = counts(&relations); // end of iteration k-2
         let mut prev = counts(&relations); // end of iteration k-1
@@ -367,14 +367,16 @@ impl Evaluator {
             .iter()
             .map(|(p, r)| (p.clone(), r.len()))
             .collect();
-        stats.constraint_facts = relations.values().map(Relation::constraint_fact_count).sum();
+        stats.constraint_facts = relations
+            .values()
+            .map(Relation::constraint_fact_count)
+            .sum();
         EvalResult {
             relations,
             stats,
             termination,
         }
     }
-
 }
 
 /// Recursively joins the body literals of `rule` starting at `index`,
@@ -545,11 +547,8 @@ fn match_literal(pm: &PartialMatch, literal: &Literal, fact: &Fact) -> Option<Pa
                         }
                     }
                     Term::Expr(e) => {
-                        if !pm.add_atom(Atom::compare(
-                            e.clone(),
-                            CmpOp::Eq,
-                            LinearExpr::var(fresh),
-                        )) {
+                        if !pm.add_atom(Atom::compare(e.clone(), CmpOp::Eq, LinearExpr::var(fresh)))
+                        {
                             return None;
                         }
                     }

@@ -88,12 +88,12 @@ impl Fact {
     }
 
     /// Builds a fully free constraint fact `p($1..$n; C)`.
-    pub fn constrained(predicate: impl Into<Pred>, arity: usize, constraint: Conjunction) -> Option<Fact> {
-        Fact::new(
-            predicate.into(),
-            vec![Binding::Free; arity],
-            constraint,
-        )
+    pub fn constrained(
+        predicate: impl Into<Pred>,
+        arity: usize,
+        constraint: Conjunction,
+    ) -> Option<Fact> {
+        Fact::new(predicate.into(), vec![Binding::Free; arity], constraint)
     }
 
     /// The predicate of this fact.
@@ -276,7 +276,8 @@ mod tests {
     fn subsumption_between_constraint_facts() {
         // m_fib($1; $1 > 0) subsumes m_fib(2) and m_fib($1; $1 > 1),
         // but not m_fib($1; $1 > -1) or m_fib(0).
-        let broad = Fact::constrained("m_fib", 1, Conjunction::of(Atom::var_gt(pos(1), 0))).unwrap();
+        let broad =
+            Fact::constrained("m_fib", 1, Conjunction::of(Atom::var_gt(pos(1), 0))).unwrap();
         let ground = Fact::ground("m_fib", vec![Value::num(2)]);
         let narrower =
             Fact::constrained("m_fib", 1, Conjunction::of(Atom::var_gt(pos(1), 1))).unwrap();

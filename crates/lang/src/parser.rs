@@ -43,7 +43,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -140,7 +144,11 @@ impl<'a> Lexer<'a> {
         self.skip_trivia();
         let line = self.line;
         let column = self.column;
-        let spanned = |token| Spanned { token, line, column };
+        let spanned = |token| Spanned {
+            token,
+            line,
+            column,
+        };
         let Some(c) = self.peek_char() else {
             return Ok(spanned(Token::Eof));
         };
@@ -302,7 +310,11 @@ impl Parser {
                     self.expect_punct(".")?;
                     program.set_query(Query::with_constraint(literals, constraint));
                 }
-                Token::LowerIdent(word) if word == "edb" && matches!(self.peek_ahead(1).token, Token::LowerIdent(_)) && self.peek_ahead(2).token == Token::Punct("/") => {
+                Token::LowerIdent(word)
+                    if word == "edb"
+                        && matches!(self.peek_ahead(1).token, Token::LowerIdent(_))
+                        && self.peek_ahead(2).token == Token::Punct("/") =>
+                {
                     self.bump();
                     let name = self.parse_lower_ident()?;
                     self.expect_punct("/")?;
@@ -393,12 +405,11 @@ impl Parser {
         // Otherwise it is a constraint: arith op arith.
         let lhs = self.parse_arith()?;
         let op = match &self.peek().token {
-            Token::Punct(p) => CmpOp::parse(p)
-                .ok_or_else(|| self.error_here(format!("expected comparison operator, found `{p}`")))?,
+            Token::Punct(p) => CmpOp::parse(p).ok_or_else(|| {
+                self.error_here(format!("expected comparison operator, found `{p}`"))
+            })?,
             other => {
-                return Err(self.error_here(format!(
-                    "expected comparison operator, found {other}"
-                )))
+                return Err(self.error_here(format!("expected comparison operator, found {other}")))
             }
         };
         self.bump();

@@ -261,8 +261,8 @@ impl Program {
             query_pred.clone(),
             vars.iter().cloned().map(Term::Var).collect(),
         );
-        let rule = Rule::new(head, query.literals.clone(), query.constraint.clone())
-            .with_label("r_query");
+        let rule =
+            Rule::new(head, query.literals.clone(), query.constraint.clone()).with_label("r_query");
         let mut program = self.clone();
         program.add_rule(rule);
         Some((program, query_pred))
@@ -511,8 +511,14 @@ mod tests {
         assert!(p.mutually_recursive(&Pred::new("a"), &Pred::new("a")));
         assert!(!p.mutually_recursive(&Pred::new("q"), &Pred::new("a")));
         // Reverse topological: `a` must come before `q`.
-        let a_idx = sccs.iter().position(|c| c.contains(&Pred::new("a"))).unwrap();
-        let q_idx = sccs.iter().position(|c| c.contains(&Pred::new("q"))).unwrap();
+        let a_idx = sccs
+            .iter()
+            .position(|c| c.contains(&Pred::new("a")))
+            .unwrap();
+        let q_idx = sccs
+            .iter()
+            .position(|c| c.contains(&Pred::new("q")))
+            .unwrap();
         assert!(a_idx < q_idx);
     }
 

@@ -66,10 +66,7 @@ pub fn gen_syntactic_constraints(
                         selected.push(atom.clone());
                     }
                 }
-                let localized = ltop(
-                    &literal.pos_args(),
-                    &ConstraintSet::of(selected),
-                );
+                let localized = ltop(&literal.pos_args(), &ConstraintSet::of(selected));
                 inferred
                     .entry(literal.predicate.clone())
                     .and_modify(|existing| *existing = existing.or(&localized))

@@ -108,10 +108,9 @@ mod tests {
 
     #[test]
     fn arithmetic_function_symbols_leave_the_class() {
-        let program = parse_program(
-            "fib(N, X) :- N > 1, fib(N - 1, X1), fib(N - 2, X2), X = X1 + X2.",
-        )
-        .unwrap();
+        let program =
+            parse_program("fib(N, X) :- N > 1, fib(N - 1, X1), fib(N - 2, X2), X = X1 + X2.")
+                .unwrap();
         let report = check_decidable_class(&program);
         assert!(!report.in_class);
         assert!(!report.violations.is_empty());
@@ -125,10 +124,9 @@ mod tests {
 
     #[test]
     fn large_arities_saturate_the_bound() {
-        let program = parse_program(
-            "p(A, B, C, D, E, F, G, H, I) :- q(A, B, C, D, E, F, G, H, I), A <= B.",
-        )
-        .unwrap();
+        let program =
+            parse_program("p(A, B, C, D, E, F, G, H, I) :- q(A, B, C, D, E, F, G, H, I), A <= B.")
+                .unwrap();
         let report = check_decidable_class(&program);
         assert!(report.in_class);
         assert_eq!(report.iteration_bound(), u128::MAX);

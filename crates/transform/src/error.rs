@@ -35,7 +35,10 @@ impl fmt::Display for TransformError {
         match self {
             TransformError::MissingQuery => write!(f, "the program has no query"),
             TransformError::ArityMismatch { predicate } => {
-                write!(f, "predicate `{predicate}` is used with inconsistent arities")
+                write!(
+                    f,
+                    "predicate `{predicate}` is used with inconsistent arities"
+                )
             }
             TransformError::DidNotConverge {
                 procedure,

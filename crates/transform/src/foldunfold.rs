@@ -43,7 +43,9 @@ pub fn definition_step(
     arity: usize,
     disjuncts: &[Conjunction],
 ) -> Definition {
-    let vars: Vec<Var> = (0..arity).map(|i| Var::new(format!("X{}", i + 1))).collect();
+    let vars: Vec<Var> = (0..arity)
+        .map(|i| Var::new(format!("X{}", i + 1)))
+        .collect();
     let args: Vec<Term> = vars.iter().cloned().map(Term::Var).collect();
     let rules = disjuncts
         .iter()
@@ -78,11 +80,12 @@ pub fn definition_step(
 /// unification is performed by equating arguments, adding equality
 /// constraints where both sides are numeric.
 pub fn unfold(rule: &Rule, literal_index: usize, definitions: &[Rule]) -> Result<Vec<Rule>> {
-    let target = rule.body.get(literal_index).ok_or_else(|| {
-        TransformError::UnsupportedProgram {
-            reason: format!("rule has no body literal at index {literal_index}"),
-        }
-    })?;
+    let target =
+        rule.body
+            .get(literal_index)
+            .ok_or_else(|| TransformError::UnsupportedProgram {
+                reason: format!("rule has no body literal at index {literal_index}"),
+            })?;
     let mut gen = VarGen::with_prefix("_u");
     let mut out = Vec::new();
     for def in definitions {
@@ -236,20 +239,18 @@ mod tests {
         assert_eq!(def.rules[0].body.len(), 1);
 
         // Unfold the definition of p2 into the new rule: p2'(X) :- X <= 4, b2(X).
-        let unfolded = unfold(&def.rules[0], 0, &[r3.clone()]).unwrap();
+        let unfolded = unfold(&def.rules[0], 0, std::slice::from_ref(&r3)).unwrap();
         assert_eq!(unfolded.len(), 1);
         assert_eq!(unfolded[0].body[0].predicate, Pred::new("b2"));
-        assert!(unfolded[0]
-            .constraint
-            .implies_atom(&Atom::var_le(unfolded[0].body[0].args[0].vars()[0].clone(), 4)));
+        assert!(unfolded[0].constraint.implies_atom(&Atom::var_le(
+            unfolded[0].body[0].args[0].vars()[0].clone(),
+            4
+        )));
 
         // Fold the original definition of p2' into r1: the occurrence of p2(Y)
         // can be folded because (X + Y <= 6) & (X >= 2) implies Y <= 4.
         let folded = fold(&r1, &def).expect("fold applies");
-        assert!(folded
-            .body
-            .iter()
-            .any(|l| l.predicate == Pred::new("p2'")));
+        assert!(folded.body.iter().any(|l| l.predicate == Pred::new("p2'")));
         assert!(!folded.body.iter().any(|l| l.predicate == Pred::new("p2")));
 
         // Folding p1 with an unrelated definition does not apply.
@@ -275,8 +276,7 @@ mod tests {
             .any(|r| r.body[0].predicate == Pred::new("b")));
         assert!(resolvents
             .iter()
-            .any(|r| r.body[0].predicate == Pred::new("c")
-                && r.constraint.len() == 2));
+            .any(|r| r.body[0].predicate == Pred::new("c") && r.constraint.len() == 2));
     }
 
     #[test]

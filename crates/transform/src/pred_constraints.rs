@@ -120,7 +120,10 @@ pub fn gen_predicate_constraints(
                 .get(pred)
                 .cloned()
                 .unwrap_or_else(ConstraintSet::falsum);
-            let existing = current.get(pred).cloned().unwrap_or_else(ConstraintSet::falsum);
+            let existing = current
+                .get(pred)
+                .cloned()
+                .unwrap_or_else(ConstraintSet::falsum);
             if !fresh.implies(&existing) {
                 all_stable = false;
                 current.insert(pred.clone(), existing.or(&fresh));
@@ -145,10 +148,7 @@ pub fn gen_predicate_constraints(
 /// A body literal whose predicate constraint is a non-trivial disjunction
 /// splits the rule into one copy per (satisfiable) combination of disjuncts,
 /// since rule bodies admit only conjunctions of constraints (footnote 4).
-pub fn gen_prop_predicate_constraints(
-    program: &Program,
-    analysis: &ConstraintAnalysis,
-) -> Program {
+pub fn gen_prop_predicate_constraints(program: &Program, analysis: &ConstraintAnalysis) -> Program {
     let mut output = Program::new();
     for pred in program.edb_predicates() {
         output.declare_edb(pred);
@@ -177,11 +177,8 @@ pub fn gen_prop_predicate_constraints(
         }
         let mut emitted: Vec<Rule> = Vec::new();
         for (i, constraint) in variants.into_iter().enumerate() {
-            let mut new_rule = Rule::new(
-                rule.head.clone(),
-                rule.body.clone(),
-                constraint.simplify(),
-            );
+            let mut new_rule =
+                Rule::new(rule.head.clone(), rule.body.clone(), constraint.simplify());
             new_rule.label = match (&rule.label, i) {
                 (Some(label), 0) => Some(label.clone()),
                 (Some(label), i) => Some(format!("{label}_{}", i + 1)),
@@ -309,12 +306,8 @@ mod tests {
         let rewritten = gen_prop_predicate_constraints(&program, &analysis);
         // r1 now also carries T > 0 and C > 0 from flight's predicate constraint.
         let r1 = &rewritten.rules_for(&Pred::new("cheaporshort"))[0];
-        assert!(r1
-            .constraint
-            .implies_atom(&Atom::var_gt(Var::new("T"), 0)));
-        assert!(r1
-            .constraint
-            .implies_atom(&Atom::var_gt(Var::new("C"), 0)));
+        assert!(r1.constraint.implies_atom(&Atom::var_gt(Var::new("T"), 0)));
+        assert!(r1.constraint.implies_atom(&Atom::var_gt(Var::new("C"), 0)));
         assert_eq!(rewritten.rules().len(), program.rules().len());
     }
 

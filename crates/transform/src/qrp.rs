@@ -61,8 +61,8 @@ pub fn gen_qrp_constraints(
             }
             // Desired constraint on the head, localized to the rule variables,
             // conjoined with the rule's own constraints.
-            let head_local = ptol(&rule.head.pos_args(), &head_set)
-                .and_conjunction(&rule.constraint);
+            let head_local =
+                ptol(&rule.head.pos_args(), &head_set).and_conjunction(&rule.constraint);
             if !head_local.is_satisfiable() {
                 continue;
             }
@@ -224,16 +224,11 @@ mod tests {
         assert!(p2.equivalent(&expected_p2));
 
         // Propagation pushes the constraints into r2 and r3.
-        let rewritten =
-            gen_prop_qrp_constraints(&program, &analysis, &PropagateOptions::default());
+        let rewritten = gen_prop_qrp_constraints(&program, &analysis, &PropagateOptions::default());
         let r3 = &rewritten.rules_for(&Pred::new("p2"))[0];
-        assert!(r3
-            .constraint
-            .implies_atom(&Atom::var_le(Var::new("X"), 4)));
+        assert!(r3.constraint.implies_atom(&Atom::var_le(Var::new("X"), 4)));
         let r2 = &rewritten.rules_for(&Pred::new("p1"))[0];
-        assert!(r2
-            .constraint
-            .implies_atom(&Atom::var_ge(Var::new("X"), 2)));
+        assert!(r2.constraint.implies_atom(&Atom::var_ge(Var::new("X"), 2)));
     }
 
     #[test]
@@ -249,9 +244,7 @@ mod tests {
         .unwrap();
         let analysis = gen_qrp_constraints(&without, &query_set("q"), &GenOptions::default());
         assert!(analysis.converged);
-        assert!(analysis
-            .constraint_for(&Pred::new("a"))
-            .is_trivially_true());
+        assert!(analysis.constraint_for(&Pred::new("a")).is_trivially_true());
 
         let with = parse_program(
             "r1: q(X, Y) :- a(X, Y), X <= 10, Y <= X.\n\
@@ -286,8 +279,7 @@ mod tests {
         assert!(analysis.converged);
         let flight_qrp = analysis.constraint_for(&Pred::new("flight"));
         assert_eq!(flight_qrp.num_disjuncts(), 2);
-        let rewritten =
-            gen_prop_qrp_constraints(&program, &analysis, &PropagateOptions::default());
+        let rewritten = gen_prop_qrp_constraints(&program, &analysis, &PropagateOptions::default());
         // The single nonrecursive flight rule becomes two copies.
         assert_eq!(rewritten.rules_for(&Pred::new("flight")).len(), 2);
         // With the single-disjunct weakening, it stays a single rule.

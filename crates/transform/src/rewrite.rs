@@ -182,14 +182,10 @@ pub fn apply_sequence(
                     .attach_query_rule()
                     .ok_or(TransformError::MissingQuery)?;
                 let query_preds: BTreeSet<Pred> = [aux_pred.clone()].into_iter().collect();
-                let analysis =
-                    gen_qrp_constraints(&with_aux, &query_preds, &options.rewrite.gen);
+                let analysis = gen_qrp_constraints(&with_aux, &query_preds, &options.rewrite.gen);
                 if analysis.converged {
-                    let propagated = gen_prop_qrp_constraints(
-                        &with_aux,
-                        &analysis,
-                        &options.rewrite.propagate,
-                    );
+                    let propagated =
+                        gen_prop_qrp_constraints(&with_aux, &analysis, &options.rewrite.propagate);
                     // Remove the auxiliary query rule again.
                     let mut cleaned = Program::new();
                     for pred in propagated.edb_predicates() {
@@ -270,8 +266,7 @@ mod tests {
         // a flight with time > 240 and cost > 150 (Example 4.3).
         let db = flights_db();
         let plain = Evaluator::new(&program, EvalOptions::default()).evaluate(&db);
-        let rewritten =
-            Evaluator::new(&result.program, EvalOptions::default()).evaluate(&db);
+        let rewritten = Evaluator::new(&result.program, EvalOptions::default()).evaluate(&db);
         assert!(rewritten.only_ground_facts());
         assert!(rewritten.termination.is_fixpoint());
 
@@ -345,14 +340,9 @@ mod tests {
             ..Default::default()
         };
         let optimal = apply_sequence(&program, &OPTIMAL_SEQUENCE, &options).unwrap();
-        let magic_first = apply_sequence(
-            &program,
-            &[Step::Magic, Step::Pred, Step::Qrp],
-            &options,
-        )
-        .unwrap();
-        let eval_optimal =
-            Evaluator::new(&optimal.program, EvalOptions::default()).evaluate(&db);
+        let magic_first =
+            apply_sequence(&program, &[Step::Magic, Step::Pred, Step::Qrp], &options).unwrap();
+        let eval_optimal = Evaluator::new(&optimal.program, EvalOptions::default()).evaluate(&db);
         let eval_magic_first =
             Evaluator::new(&magic_first.program, EvalOptions::default()).evaluate(&db);
         assert!(eval_optimal.termination.is_fixpoint());

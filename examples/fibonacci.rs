@@ -24,8 +24,8 @@ fn fib_with_predicate_constraint(target: i64) -> Program {
 
 fn run(label: &str, program: &Program, iterations: usize) {
     let magic = magic_rewrite(program, &MagicOptions::full_sips()).expect("magic rewriting");
-    let result = Evaluator::new(&magic.program, EvalOptions::traced(iterations))
-        .evaluate(&Database::new());
+    let result =
+        Evaluator::new(&magic.program, EvalOptions::traced(iterations)).evaluate(&Database::new());
     println!("== {label} ==");
     for (i, iter) in result.stats.iterations.iter().enumerate() {
         let facts: Vec<String> = iter
@@ -52,7 +52,11 @@ fn run(label: &str, program: &Program, iterations: usize) {
 
 fn main() {
     // Table 1: the plain magic program diverges (we cap it at 9 iterations).
-    run("P_fib^mg (Table 1, capped at 9 iterations)", &programs::fibonacci(5), 9);
+    run(
+        "P_fib^mg (Table 1, capped at 9 iterations)",
+        &programs::fibonacci(5),
+        9,
+    );
     // Table 2: after introducing the predicate constraint $2 >= 1 the same
     // query terminates and answers N = 4.
     run(
@@ -61,5 +65,9 @@ fn main() {
         50,
     );
     // A query with no answer: ?- fib(N, 6) terminates with "no".
-    run("P_fib_1^mg with ?- fib(N, 6)", &fib_with_predicate_constraint(6), 50);
+    run(
+        "P_fib_1^mg with ?- fib(N, 6)",
+        &fib_with_predicate_constraint(6),
+        50,
+    );
 }

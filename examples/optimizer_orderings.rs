@@ -10,7 +10,10 @@ use pushing_constraint_selections::prelude::*;
 
 fn report(name: &str, program: &Program, db: &Database, sequences: &[&[Step]]) {
     println!("== {name} ==");
-    println!("{:<24} {:>12} {:>12} {:>10}", "sequence", "total facts", "derivations", "answers");
+    println!(
+        "{:<24} {:>12} {:>12} {:>10}",
+        "sequence", "total facts", "derivations", "answers"
+    );
     for steps in sequences {
         let optimized = Optimizer::new(program.clone())
             .strategy(Strategy::Sequence(steps.to_vec()))
@@ -40,10 +43,20 @@ fn main() {
 
     // Example 7.1 / D.1: qrp before mg wins.
     let db = programs::example_7x_database(40, 30);
-    report("Example 7.1 (qrp,mg preferable)", &programs::example_71(), &db, &sequences);
+    report(
+        "Example 7.1 (qrp,mg preferable)",
+        &programs::example_71(),
+        &db,
+        &sequences,
+    );
 
     // Example 7.2 / D.2: mg before qrp wins.
-    report("Example 7.2 (mg,qrp preferable)", &programs::example_72(), &db, &sequences);
+    report(
+        "Example 7.2 (mg,qrp preferable)",
+        &programs::example_72(),
+        &db,
+        &sequences,
+    );
 
     // Flights: the optimal sequence of Theorem 7.10.
     let flights_db = programs::flights_database(8, 40);

@@ -20,7 +20,9 @@ fn answers(program: &Program, strategy: Strategy, db: &Database) -> Vec<String> 
             // Strip the (possibly adorned) predicate name so that answers are
             // comparable across strategies.
             let text = fact.to_string();
-            text.split_once('(').map(|(_, rest)| rest.to_string()).unwrap_or(text)
+            text.split_once('(')
+                .map(|(_, rest)| rest.to_string())
+                .unwrap_or(text)
         })
         .collect();
     rendered.sort();
@@ -45,7 +47,10 @@ fn flights_answers_agree_across_all_strategies() {
     let program = programs::flights();
     let db = programs::flights_database(6, 15);
     let baseline = answers(&program, Strategy::None, &db);
-    assert!(!baseline.is_empty(), "query should have answers on this EDB");
+    assert!(
+        !baseline.is_empty(),
+        "query should have answers on this EDB"
+    );
     for strategy in all_strategies() {
         let got = answers(&program, strategy.clone(), &db);
         assert_eq!(got, baseline, "strategy {strategy:?} changed the answers");
@@ -66,8 +71,14 @@ fn example_41_answers_agree_across_all_strategies() {
 #[test]
 fn example_71_and_72_answers_agree_across_orderings() {
     for (program, db) in [
-        (programs::example_71(), programs::example_7x_database(15, 12)),
-        (programs::example_72(), programs::example_7x_database(15, 12)),
+        (
+            programs::example_71(),
+            programs::example_7x_database(15, 12),
+        ),
+        (
+            programs::example_72(),
+            programs::example_7x_database(15, 12),
+        ),
     ] {
         let baseline = answers(&program, Strategy::None, &db);
         for strategy in all_strategies() {
@@ -113,6 +124,9 @@ fn rewritten_flights_never_materializes_irrelevant_flights() {
         let values = fact.ground_values().expect("ground");
         let time = values[2].as_num().unwrap();
         let cost = values[3].as_num().unwrap();
-        assert!(!(time > 240.into() && cost > 150.into()), "irrelevant fact {fact}");
+        assert!(
+            !(time > 240.into() && cost > 150.into()),
+            "irrelevant fact {fact}"
+        );
     }
 }

@@ -1,0 +1,288 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the criterion API subset used by the workspace's five benches:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs one warm-up
+//! sample plus `sample_size` measured samples (each sample adaptively
+//! batches very fast closures), then prints the minimum, mean and maximum
+//! per-iteration wall-clock time.  There is no statistical analysis, no
+//! plotting, and no baseline comparison — the benches exist so that the
+//! paper-reproduction hot paths are *timed and compiled in CI*
+//! (`cargo bench --no-run`); swapping in the real criterion later requires
+//! no changes to the bench sources.
+//!
+//! ```
+//! use criterion::{Bencher, BenchmarkId, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("doc");
+//! group.sample_size(3);
+//! group.bench_function("sum", |b: &mut Bencher| b.iter(|| (0..100u64).sum::<u64>()));
+//! group.bench_with_input(BenchmarkId::new("sum_to", 100u64), &100u64, |b, n| {
+//!     b.iter(|| (0..*n).sum::<u64>())
+//! });
+//! group.finish();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; one per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies command-line configuration.
+    ///
+    /// The real criterion parses `--bench`, filters, and baseline flags; the
+    /// stand-in accepts and ignores them (cargo always passes `--bench` to
+    /// `harness = false` bench targets).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), 10, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the stand-in's sampling is
+    /// driven purely by [`Self::sample_size`].
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; the stand-in always runs
+    /// exactly one warm-up sample.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_benchmark(&id, self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.render());
+        run_benchmark(&id, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.  (The real criterion finalizes reports here.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, batching fast closures until the sample is long enough to
+    /// measure (>= 1 ms or 1000 iterations, whichever comes first).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let floor = Duration::from_millis(1);
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            black_box(f());
+            iterations += 1;
+            if iterations >= 1000 {
+                break;
+            }
+            // Read the clock at exponentially spaced iteration counts (then
+            // every 64), so slow closures stop after one iteration while
+            // nanosecond-scale closures are not dominated by clock reads.
+            let check = iterations.is_power_of_two() || iterations % 64 == 0;
+            if check && start.elapsed() >= floor {
+                break;
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    // One warm-up sample, discarded.
+    let mut bencher = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.iterations > 0 {
+            per_iter.push(bencher.elapsed.as_secs_f64() / bencher.iterations as f64);
+        }
+    }
+    if per_iter.is_empty() {
+        println!("  {id}: no samples (closure never called Bencher::iter)");
+        return;
+    }
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().copied().fold(0.0f64, f64::max);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "  {id}: [{} {} {}] ({} samples)",
+        format_seconds(min),
+        format_seconds(mean),
+        format_seconds(max),
+        per_iter.len()
+    );
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates the bench binary's `main`, mirroring criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_at_least_one_iteration() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("counter", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+            ran += 1;
+        });
+        // 1 warm-up + 10 samples.
+        assert_eq!(ran, 11);
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_secs(1))
+            .warm_up_time(Duration::from_millis(10));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 42), &42, |b, n| {
+            b.iter(|| n + 1)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_seconds_picks_sane_units() {
+        assert!(format_seconds(2.0).ends_with(" s"));
+        assert!(format_seconds(2e-3).ends_with(" ms"));
+        assert!(format_seconds(2e-6).ends_with(" us"));
+        assert!(format_seconds(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of proptest that the workspace's property tests
+//! use: the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`],
+//! [`test_runner::Config`] (aliased as `ProptestConfig`), integer-range and
+//! tuple strategies, and [`collection::vec`].
+//!
+//! Semantics are a simplification of the real crate: inputs are drawn from a
+//! deterministic SplitMix64 stream (one fixed seed per case index, so runs
+//! are reproducible), and there is **no shrinking** — a failing case panics
+//! with the case index so it can be replayed.  Swapping in the real crate
+//! later requires no changes to the tests themselves.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(8))]
+//!
+//!     // In a test module this would also carry #[test].
+//!     fn addition_commutes(pair in (0i64..100, 0i64..100)) {
+//!         let (a, b) = pair;
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Test-runner configuration and the deterministic source of randomness.
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-case random stream, backed by the vendored
+    /// [`rand::rngs::StdRng`] (as the real proptest is backed by `rand`).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: rand::rngs::StdRng,
+    }
+
+    impl TestRng {
+        /// The generator used for case number `case` of a test.
+        ///
+        /// Seeding is a pure function of the case index, so failures are
+        /// reproducible across runs and machines.
+        pub fn for_case(case: u32) -> Self {
+            use rand::SeedableRng as _;
+            let seed =
+                0xC0FF_EE00_DEAD_BEEF ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            TestRng {
+                inner: rand::rngs::StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::Rng as _;
+            self.inner.next_u64()
+        }
+
+        /// Uniform sample in `[0, bound)`; panics if `bound == 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "cannot sample below 0");
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of type [`Strategy::Value`].
+    ///
+    /// This mirrors the role (not the full shape) of proptest's `Strategy`
+    /// trait; there is no value tree and no shrinking.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Generates one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_strategy_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing a `Vec` whose length is drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec<_>` strategy: each case draws a length in `len`, then that
+    /// many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Defines property tests.
+///
+/// Supports the shape used in this workspace: an optional
+/// `#![proptest_config(...)]` header followed by `#[test] fn` items whose
+/// parameters are `pattern in strategy` pairs.  Each generated test runs
+/// `config.cases` deterministic cases; a failing case panics immediately
+/// (no shrinking), reporting the case index.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                for case in 0..config.cases {
+                    let mut proptest_rng = $crate::test_runner::TestRng::for_case(case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut proptest_rng,
+                        );
+                    )+
+                    let run = || $body;
+                    run();
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` under a name the real proptest exports.
+///
+/// The real macro returns a `TestCaseError`; this stand-in panics, which the
+/// surrounding test harness reports identically (minus shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// `assert_eq!` under a name the real proptest exports.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let strat = crate::collection::vec((0i64..5, 0i64..5), 1..14);
+        for case in 0..100 {
+            let mut rng = crate::test_runner::TestRng::for_case(case);
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 14);
+            for (a, b) in v {
+                assert!((0..5).contains(&a) && (0..5).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let strat = 0i64..1000;
+        let mut one = crate::test_runner::TestRng::for_case(3);
+        let mut two = crate::test_runner::TestRng::for_case(3);
+        assert_eq!(strat.generate(&mut one), strat.generate(&mut two));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_runnable_tests(xs in crate::collection::vec(0i64..10, 1..5)) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this vendored crate provides the small slice of the `rand` 0.9 API that
+//! the workspace actually uses: [`SeedableRng::seed_from_u64`],
+//! [`Rng::random_range`] over integer ranges, and [`rngs::StdRng`].
+//!
+//! The generator is SplitMix64 — statistically fine for synthetic workload
+//! generation, deterministic for a given seed, and emphatically **not**
+//! cryptographic.  If the real `rand` crate ever becomes available, deleting
+//! `vendor/rand` and pointing the workspace dependency at crates.io is the
+//! only change required.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let a: i64 = rng.random_range(30..=400);
+//! assert!((30..=400).contains(&a));
+//! let b = rng.random_range(0..10usize);
+//! assert!(b < 10);
+//! // Reproducible: the same seed yields the same stream.
+//! let mut again = StdRng::seed_from_u64(42);
+//! assert_eq!(again.random_range(30..=400i64), a);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a new generator seeded from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Core random-generation interface: a `u64` source plus range sampling.
+pub trait Rng {
+    /// Returns the next raw 64 random bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Mirrors `rand 0.9`'s `Rng::random_range`.  Panics if the range is
+    /// empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+/// A range that values of type `T` can be sampled from.
+///
+/// Implemented for half-open and inclusive ranges over the integer types the
+/// workspace generators use.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self` using `rng`.
+    fn sample_from<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let offset = (rng.next_u64() as u128) % span;
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator (SplitMix64).
+    ///
+    /// Unlike the real `rand::rngs::StdRng` this is not cryptographically
+    /// secure; it exists to make seeded workload generation reproducible.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood 2014): one additive step plus
+            // an avalanche of xor-shifts and multiplications.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..1000 {
+            let x: i64 = rng.random_range(-5..17);
+            assert!((-5..17).contains(&x));
+            let y: usize = rng.random_range(0..3);
+            assert!(y < 3);
+            let z: i64 = rng.random_range(30..=400);
+            assert!((30..=400).contains(&z));
+        }
+    }
+
+    #[test]
+    fn inclusive_singleton_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(rng.random_range(4..=4i64), 4);
+        }
+    }
+}
