@@ -25,6 +25,7 @@ fn bench_fibonacci(c: &mut Criterion) {
                 EvalOptions {
                     limits: pcs_engine::EvalLimits::capped(9),
                     trace: false,
+                    ..EvalOptions::default()
                 },
             )
             .evaluate(&Database::new())

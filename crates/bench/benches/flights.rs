@@ -18,7 +18,7 @@ fn bench_flights(c: &mut Criterion) {
         ("constraint_rewrite", Strategy::ConstraintRewrite),
         ("optimal_pred_qrp_mg", Strategy::Optimal),
     ];
-    for extra_legs in [20usize, 60] {
+    for extra_legs in [60usize, 240] {
         let db = programs::flights_database(8, extra_legs);
         for (name, strategy) in &strategies {
             let optimized = Optimizer::new(program.clone())

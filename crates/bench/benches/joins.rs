@@ -1,0 +1,70 @@
+//! The join core head-to-head: indexed (hash-probed, explicit-delta,
+//! reordered) versus legacy (nested-loop, count-sliced) evaluation on
+//! scaled-up random workloads.
+//!
+//! This is the hot path the ROADMAP cares about: rule application driven by
+//! joins over the stored facts.  The workloads are large enough that the
+//! quadratic scan cost of the legacy core dominates, making the indexed
+//! speedup directly visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pcs_bench::workload;
+use pcs_core::programs;
+use pcs_engine::{Database, EvalOptions, Evaluator};
+use pcs_lang::Program;
+
+const CORES: [(&str, bool); 2] = [("indexed", true), ("legacy", false)];
+
+fn core_options(index: bool) -> EvalOptions {
+    if index {
+        EvalOptions::indexed()
+    } else {
+        EvalOptions::legacy()
+    }
+}
+
+fn bench_program(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    program: &Program,
+    size: usize,
+    db: &Database,
+) {
+    for (name, index) in CORES {
+        let evaluator = Evaluator::new(program, core_options(index));
+        group.bench_with_input(
+            BenchmarkId::new(format!("{label}_{name}"), size),
+            db,
+            |b, db| b.iter(|| black_box(&evaluator).evaluate(black_box(db))),
+        );
+    }
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("joins");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // Transitive flight closure over random acyclic leg networks.
+    let flights = programs::flights();
+    for (cities, legs) in [(60usize, 120usize), (100, 200)] {
+        let db = workload::random_flights_database(cities, legs, 0xC0FFEE);
+        bench_program(&mut group, "flights", &flights, legs, &db);
+    }
+
+    // The Example 7.1 program: a long b2 chain closure joined against a wide
+    // fan of b1 edges.
+    let ex71 = programs::example_71();
+    for edges in [400usize, 1200] {
+        let db = workload::random_7x_database(edges, 60, 50, 7);
+        bench_program(&mut group, "ex71", &ex71, edges, &db);
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -18,7 +18,7 @@ fn bench_orderings(c: &mut Criterion) {
         ("mg_qrp", vec![Step::Magic, Step::Qrp]),
         ("pred_qrp_mg", vec![Step::Pred, Step::Qrp, Step::Magic]),
     ];
-    let db = programs::example_7x_database(40, 25);
+    let db = programs::example_7x_database(80, 40);
     for (example, program) in [
         ("ex71", programs::example_71()),
         ("ex72", programs::example_72()),

@@ -39,6 +39,7 @@ pub struct Optimizer {
     strategy: Strategy,
     magic: MagicOptions,
     edb_constraints: BTreeMap<Pred, ConstraintSet>,
+    eval: EvalOptions,
 }
 
 impl Optimizer {
@@ -50,12 +51,21 @@ impl Optimizer {
             strategy: Strategy::default(),
             magic: MagicOptions::bound_if_ground(),
             edb_constraints: BTreeMap::new(),
+            eval: EvalOptions::default(),
         }
     }
 
     /// Selects the rewriting strategy.
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the evaluation options the [`Optimized`] program will use (e.g.
+    /// `EvalOptions::legacy()` to evaluate with the nested-loop join core
+    /// instead of the default indexed one).
+    pub fn eval_options(mut self, eval: EvalOptions) -> Self {
+        self.eval = eval;
         self
     }
 
@@ -87,12 +97,14 @@ impl Optimizer {
             Strategy::None => Ok(Optimized {
                 program: self.program.clone(),
                 query_pred: query_pred.ok_or(TransformError::MissingQuery)?,
+                eval: self.eval.clone(),
             }),
             Strategy::ConstraintRewrite => {
                 let result = constraint_rewrite(&self.program, &rewrite_options)?;
                 Ok(Optimized {
                     program: result.program,
                     query_pred: query_pred.ok_or(TransformError::MissingQuery)?,
+                    eval: self.eval.clone(),
                 })
             }
             Strategy::MagicOnly => self.run_sequence(&[Step::Magic], rewrite_options),
@@ -112,6 +124,7 @@ impl Optimizer {
         Ok(Optimized {
             program: result.program,
             query_pred: result.query_pred,
+            eval: self.eval.clone(),
         })
     }
 }
@@ -124,12 +137,16 @@ pub struct Optimized {
     /// The predicate holding the query answers after rewriting (the adorned
     /// query predicate when Magic Templates was applied).
     pub query_pred: Pred,
+    /// The evaluation options configured on the [`Optimizer`] (indexed vs
+    /// legacy join core, limits, tracing).
+    pub eval: EvalOptions,
 }
 
 impl Optimized {
-    /// Evaluates the optimized program bottom-up against a database.
+    /// Evaluates the optimized program bottom-up against a database, using
+    /// the options configured via [`Optimizer::eval_options`].
     pub fn evaluate(&self, db: &Database) -> EvalResult {
-        self.evaluate_with(db, EvalOptions::default())
+        self.evaluate_with(db, self.eval.clone())
     }
 
     /// Evaluates with explicit options (limits, tracing).
@@ -180,6 +197,29 @@ mod tests {
             rewritten_eval.count_for(&Pred::new("flight"))
                 <= base_eval.count_for(&Pred::new("flight"))
         );
+    }
+
+    #[test]
+    fn eval_options_thread_through_the_builder() {
+        let program = programs::flights();
+        let db = programs::flights_database(6, 10);
+        let indexed = Optimizer::new(program.clone())
+            .eval_options(EvalOptions::indexed())
+            .optimize()
+            .unwrap();
+        let legacy = Optimizer::new(program)
+            .eval_options(EvalOptions::legacy())
+            .optimize()
+            .unwrap();
+        let a = indexed.evaluate(&db);
+        let b = legacy.evaluate(&db);
+        assert!(a.stats.indexed);
+        assert!(!b.stats.indexed);
+        assert_eq!(
+            a.count_for(&Pred::new("flight")),
+            b.count_for(&Pred::new("flight"))
+        );
+        assert_eq!(a.termination, b.termination);
     }
 
     #[test]

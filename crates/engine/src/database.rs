@@ -39,6 +39,23 @@ impl Database {
         self.add(Fact::ground(pred, values));
     }
 
+    /// Adds a fully free constraint fact `p($1..$n; C)`; returns `false`
+    /// (adding nothing) when the constraint is unsatisfiable.
+    pub fn add_constrained(
+        &mut self,
+        pred: impl Into<Pred>,
+        arity: usize,
+        constraint: pcs_constraints::Conjunction,
+    ) -> bool {
+        match Fact::constrained(pred, arity, constraint) {
+            Some(fact) => {
+                self.add(fact);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Declares the minimum predicate constraint for an EDB predicate.
     pub fn declare_constraint(&mut self, pred: impl Into<Pred>, constraint: ConstraintSet) {
         self.constraints.insert(pred.into(), constraint);

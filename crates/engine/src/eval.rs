@@ -11,27 +11,63 @@
 //! Ground facts and ground bindings are handled on a fast path that avoids
 //! Fourier–Motzkin work entirely, so programs whose evaluation computes only
 //! ground facts (Theorem 4.4) evaluate with ordinary Datalog-like cost.
+//!
+//! Two join cores are available behind [`EvalOptions::index`]:
+//!
+//! * the default **indexed** core drives each rule application off the
+//!   explicit stable/delta/pending partition of [`Relation`], reorders the
+//!   body literals per delta position (most-bound, most-selective first), and
+//!   probes the per-position hash indexes with the values bound so far,
+//!   falling back to scanning only the constraint-fact tail;
+//! * the **legacy** core re-scans every visible fact with a nested-loop join
+//!   and approximates the semi-naive deltas by slicing on fact counts.  It is
+//!   kept for differential testing (see `tests/differential.rs`).
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
 
-use pcs_constraints::{Atom, CmpOp, Conjunction, LinearExpr, Rational, Var, VarGen};
+use pcs_constraints::{Atom, CmpOp, Conjunction, LinearExpr, Rational, Var};
 use pcs_lang::{Literal, Pred, Program, Rule, Symbol, Term};
 
 use crate::database::Database;
 use crate::fact::{Binding, Fact};
 use crate::limits::{EvalLimits, Termination};
-use crate::relation::{InsertOutcome, Relation};
+use crate::relation::{InsertOutcome, Relation, Window};
 use crate::stats::{DerivationRecord, EvalStats, IterationStats};
 use crate::value::Value;
 
 /// Options controlling an evaluation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EvalOptions {
     /// Resource limits.
     pub limits: EvalLimits,
     /// When `true`, every derivation is recorded in the statistics
     /// (needed to regenerate Tables 1 and 2; expensive for large workloads).
     pub trace: bool,
+    /// When `true` (the default), evaluation uses the indexed join core;
+    /// when `false`, the legacy nested-loop core.  The default can be forced
+    /// to the legacy core by setting the `PCS_EVAL_INDEX` environment
+    /// variable to `off` (used by CI to run the whole suite differentially).
+    pub index: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            limits: EvalLimits::default(),
+            trace: false,
+            index: index_enabled_by_default(),
+        }
+    }
+}
+
+/// Reads the `PCS_EVAL_INDEX` environment variable; unset or any value other
+/// than `off`/`0`/`false`/`legacy` selects the indexed join core.
+fn index_enabled_by_default() -> bool {
+    !matches!(
+        std::env::var("PCS_EVAL_INDEX").as_deref().map(str::trim),
+        Ok("off") | Ok("0") | Ok("false") | Ok("legacy")
+    )
 }
 
 impl EvalOptions {
@@ -40,6 +76,24 @@ impl EvalOptions {
         EvalOptions {
             limits: EvalLimits::capped(max_iterations),
             trace: true,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Options selecting the indexed join core regardless of the environment.
+    pub fn indexed() -> Self {
+        EvalOptions {
+            index: true,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Options selecting the legacy nested-loop join core (differential
+    /// testing and benchmarking of the indexed core).
+    pub fn legacy() -> Self {
+        EvalOptions {
+            index: false,
+            ..EvalOptions::default()
         }
     }
 }
@@ -88,35 +142,54 @@ impl EvalResult {
     }
 }
 
+/// Decides whether `fact` is compatible with the ground arguments of `query`.
+///
+/// A ground query constant against a free fact position is accepted only if
+/// the fact's residual constraint is satisfiable with that position pinned to
+/// the constant — `?- q(5)` must not match a fact constrained to `$1 <= 3`.
 fn fact_matches_pattern(fact: &Fact, query: &Literal) -> bool {
     if fact.arity() != query.arity() {
         return false;
     }
-    for (binding, term) in fact.bindings().iter().zip(&query.args) {
+    let mut constraint = fact.constraint().clone();
+    for (i, (binding, term)) in fact.bindings().iter().zip(&query.args).enumerate() {
         match term {
             Term::Sym(s) => match binding {
                 Binding::Bound(Value::Sym(fs)) if fs == s => {}
-                Binding::Free => {}
+                // A free position can hold a symbol only when the residual
+                // constraint does not restrict it to numbers.
+                Binding::Free => {
+                    if fact.constraint().contains_var(&Var::position(i + 1)) {
+                        return false;
+                    }
+                }
                 _ => return false,
             },
             Term::Num(n) => match binding {
                 Binding::Bound(Value::Num(fn_)) if fn_ == n => {}
-                Binding::Free => {}
+                Binding::Free => constraint.push(Atom::var_eq(Var::position(i + 1), *n)),
                 _ => return false,
             },
             Term::Var(_) | Term::Expr(_) => {}
         }
     }
-    true
+    constraint.is_satisfiable()
 }
 
 /// A partially constructed derivation: symbolic bindings, ground numeric
-/// bindings, and a residual conjunction over not-yet-ground variables.
+/// bindings, a residual conjunction over not-yet-ground variables, and a
+/// monotone counter for naming join variables.
 #[derive(Clone)]
 struct PartialMatch {
     sym: BTreeMap<Var, Symbol>,
     num: BTreeMap<Var, Rational>,
     extra: Conjunction,
+    /// Monotone fresh-variable counter for this derivation.  Carried through
+    /// clones so that every join variable minted while extending the same
+    /// derivation gets a distinct name, no matter how `extra`/`num` shrink or
+    /// grow in between (a previous size-based scheme could collide and
+    /// silently capture variables across facts).
+    fresh: u64,
 }
 
 impl PartialMatch {
@@ -125,7 +198,15 @@ impl PartialMatch {
             sym: BTreeMap::new(),
             num: BTreeMap::new(),
             extra: rule.constraint.clone(),
+            fresh: 0,
         }
+    }
+
+    /// Mints a join variable for argument position `position` (1-based) of
+    /// the fact currently being matched.
+    fn fresh_var(&mut self, position: usize) -> Var {
+        self.fresh += 1;
+        Var::new(format!("_j{}p{}", self.fresh, position))
     }
 
     fn bind_sym(&mut self, var: &Var, sym: &Symbol) -> bool {
@@ -233,7 +314,15 @@ impl Evaluator {
 
     /// Runs the evaluation against a database.
     pub fn evaluate(&self, db: &Database) -> EvalResult {
-        let limits = self.options.limits;
+        if self.options.index {
+            self.evaluate_indexed(db)
+        } else {
+            self.evaluate_legacy(db)
+        }
+    }
+
+    /// Seeds one relation per program/EDB predicate with the database facts.
+    fn seed_relations(&self, db: &Database) -> BTreeMap<Pred, Relation> {
         let mut relations: BTreeMap<Pred, Relation> = BTreeMap::new();
         for pred in self.program.all_predicates() {
             relations.entry(pred).or_default();
@@ -244,6 +333,128 @@ impl Evaluator {
                 .or_default()
                 .insert(fact.clone());
         }
+        relations
+    }
+
+    fn finalize(
+        relations: BTreeMap<Pred, Relation>,
+        mut stats: EvalStats,
+        termination: Termination,
+    ) -> EvalResult {
+        stats.facts_per_predicate = relations
+            .iter()
+            .map(|(p, r)| (p.clone(), r.len()))
+            .collect();
+        stats.constraint_facts = relations
+            .values()
+            .map(Relation::constraint_fact_count)
+            .sum();
+        EvalResult {
+            relations,
+            stats,
+            termination,
+        }
+    }
+
+    /// The indexed semi-naive fixpoint: explicit delta windows, per-delta
+    /// body reordering, and index-probing joins.
+    fn evaluate_indexed(&self, db: &Database) -> EvalResult {
+        let limits = self.options.limits;
+        let mut relations = self.seed_relations(db);
+        // The EDB facts form the first delta; stable starts empty, so the
+        // iteration-0 round is the naive round over the initial facts.
+        for relation in relations.values_mut() {
+            relation.advance();
+        }
+
+        let mut stats = EvalStats {
+            indexed: true,
+            ..EvalStats::default()
+        };
+        let termination;
+        let mut total_derivations: usize = 0;
+        let mut iteration = 0usize;
+        loop {
+            if iteration >= limits.max_iterations {
+                termination = Termination::IterationLimit;
+                break;
+            }
+            let mut iter_stats = IterationStats {
+                delta_facts: relations
+                    .values()
+                    .map(|r| r.window_range(Window::Delta).len())
+                    .sum(),
+                ..IterationStats::default()
+            };
+            let mut hit_limit = None;
+
+            for (rule_index, rule) in self.program.rules().iter().enumerate() {
+                let rule_label = rule
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| format!("rule{}", rule_index + 1));
+                let mut derived: Vec<Fact> = Vec::new();
+                if rule.body.is_empty() {
+                    // Facts and constraint facts fire only in iteration 0.
+                    if iteration == 0 {
+                        finish_derivation(rule, PartialMatch::start(rule), &mut derived);
+                    }
+                } else {
+                    for delta_pos in 0..rule.body.len() {
+                        let has_delta = relations
+                            .get(&rule.body[delta_pos].predicate)
+                            .is_some_and(|r| !r.delta_is_empty());
+                        if !has_delta {
+                            continue;
+                        }
+                        let order = order_body(rule, delta_pos, &relations);
+                        join_indexed(
+                            rule,
+                            &order,
+                            0,
+                            PartialMatch::start(rule),
+                            &relations,
+                            &mut derived,
+                        );
+                    }
+                }
+                hit_limit = absorb_derived(
+                    derived,
+                    &rule_label,
+                    self.options.trace,
+                    &limits,
+                    &mut relations,
+                    &mut iter_stats,
+                    &mut total_derivations,
+                );
+                if hit_limit.is_some() {
+                    break;
+                }
+            }
+
+            let new_facts = iter_stats.new_facts;
+            stats.iterations.push(iter_stats);
+            for relation in relations.values_mut() {
+                relation.advance();
+            }
+            iteration += 1;
+
+            if let Some(limit) = hit_limit {
+                termination = limit;
+                break;
+            }
+            if new_facts == 0 {
+                termination = Termination::Fixpoint;
+                break;
+            }
+        }
+        Evaluator::finalize(relations, stats, termination)
+    }
+
+    /// The legacy fixpoint: nested-loop joins over fact-count slices.
+    fn evaluate_legacy(&self, db: &Database) -> EvalResult {
+        let limits = self.options.limits;
+        let mut relations = self.seed_relations(db);
 
         let mut stats = EvalStats::default();
         let termination;
@@ -277,8 +488,7 @@ impl Evaluator {
                 if rule.body.is_empty() {
                     // Facts and constraint facts fire only in iteration 0.
                     if iteration == 0 {
-                        let pm = PartialMatch::start(rule);
-                        finish_derivation(rule, pm, &mut derived);
+                        finish_derivation(rule, PartialMatch::start(rule), &mut derived);
                     }
                 } else {
                     // Iteration 0 is a naive round over the initial facts;
@@ -298,13 +508,12 @@ impl Evaluator {
                                 continue;
                             }
                         }
-                        let pm = PartialMatch::start(rule);
-                        join(
+                        join_legacy(
                             rule,
                             0,
                             delta_pos,
                             iteration,
-                            pm,
+                            PartialMatch::start(rule),
                             &relations,
                             &before_prev,
                             &prev,
@@ -312,36 +521,15 @@ impl Evaluator {
                         );
                     }
                 }
-                // Insert the derivations made by this rule.
-                for fact in derived {
-                    total_derivations += 1;
-                    iter_stats.derivations += 1;
-                    let outcome = relations
-                        .entry(fact.predicate().clone())
-                        .or_default()
-                        .insert(fact.clone());
-                    let is_new = outcome == InsertOutcome::Added;
-                    if is_new {
-                        iter_stats.new_facts += 1;
-                    } else {
-                        iter_stats.subsumed += 1;
-                    }
-                    if self.options.trace {
-                        iter_stats.records.push(DerivationRecord {
-                            rule: rule_label.clone(),
-                            fact: fact.to_string(),
-                            new: is_new,
-                        });
-                    }
-                    if total_derivations >= limits.max_derivations {
-                        hit_limit = Some(Termination::DerivationLimit);
-                        break;
-                    }
-                }
-                let total: usize = relations.values().map(Relation::len).sum();
-                if total >= limits.max_facts {
-                    hit_limit = Some(Termination::FactLimit);
-                }
+                hit_limit = absorb_derived(
+                    derived,
+                    &rule_label,
+                    self.options.trace,
+                    &limits,
+                    &mut relations,
+                    &mut iter_stats,
+                    &mut total_derivations,
+                );
                 if hit_limit.is_some() {
                     break;
                 }
@@ -362,27 +550,199 @@ impl Evaluator {
                 break;
             }
         }
+        Evaluator::finalize(relations, stats, termination)
+    }
+}
 
-        stats.facts_per_predicate = relations
+/// Inserts the derivations made by one rule application round, updating the
+/// per-iteration statistics.  Returns the limit that was hit, if any.
+fn absorb_derived(
+    derived: Vec<Fact>,
+    rule_label: &str,
+    trace: bool,
+    limits: &EvalLimits,
+    relations: &mut BTreeMap<Pred, Relation>,
+    iter_stats: &mut IterationStats,
+    total_derivations: &mut usize,
+) -> Option<Termination> {
+    let mut hit_limit = None;
+    for fact in derived {
+        *total_derivations += 1;
+        iter_stats.derivations += 1;
+        let rendered = trace.then(|| fact.to_string());
+        let outcome = relations
+            .entry(fact.predicate().clone())
+            .or_default()
+            .insert(fact);
+        let is_new = outcome == InsertOutcome::Added;
+        if is_new {
+            iter_stats.new_facts += 1;
+        } else {
+            iter_stats.subsumed += 1;
+        }
+        if let Some(fact) = rendered {
+            iter_stats.records.push(DerivationRecord {
+                rule: rule_label.to_string(),
+                fact,
+                new: is_new,
+            });
+        }
+        if *total_derivations >= limits.max_derivations {
+            hit_limit = Some(Termination::DerivationLimit);
+            break;
+        }
+    }
+    // The fact limit takes precedence when both trip in the same round.
+    let total: usize = relations.values().map(Relation::len).sum();
+    if total >= limits.max_facts {
+        hit_limit = Some(Termination::FactLimit);
+    }
+    hit_limit
+}
+
+/// Returns `true` if every variable of `term` is already bound (constants
+/// count as bound).
+fn term_is_bound(term: &Term, bound: &BTreeSet<Var>) -> bool {
+    match term {
+        Term::Sym(_) | Term::Num(_) => true,
+        Term::Var(v) => bound.contains(v),
+        Term::Expr(e) => e.vars().all(|v| bound.contains(v)),
+    }
+}
+
+/// Orders the body literals of `rule` for the given delta position: the delta
+/// literal first (its window is the smallest by construction), then greedily
+/// the literal with the most bound arguments given the variables the placed
+/// literals will bind, breaking ties by smaller visible fact window and then
+/// by original position.  Each literal keeps the [`Window`] derived from its
+/// *original* position relative to `delta_pos`, which is what makes the
+/// per-delta rounds cover every new fact combination exactly once.
+fn order_body(
+    rule: &Rule,
+    delta_pos: usize,
+    relations: &BTreeMap<Pred, Relation>,
+) -> Vec<(usize, Window)> {
+    let window_of = |i: usize| match i.cmp(&delta_pos) {
+        std::cmp::Ordering::Less => Window::Stable,
+        std::cmp::Ordering::Equal => Window::Delta,
+        std::cmp::Ordering::Greater => Window::Known,
+    };
+    let visible = |i: usize| {
+        relations
+            .get(&rule.body[i].predicate)
+            .map(|r| r.window_range(window_of(i)).len())
+            .unwrap_or(0)
+    };
+    // Variables the rule's own constraints pin to a constant are bound too.
+    let mut bound: BTreeSet<Var> = BTreeSet::new();
+    for atom in rule.constraint.atoms() {
+        if let Some((v, _)) = atom.as_ground_binding() {
+            bound.insert(v);
+        }
+    }
+
+    let mut order = Vec::with_capacity(rule.body.len());
+    order.push((delta_pos, Window::Delta));
+    bound.extend(rule.body[delta_pos].vars());
+    let mut remaining: Vec<usize> = (0..rule.body.len()).filter(|&i| i != delta_pos).collect();
+    while !remaining.is_empty() {
+        let (slot, &pick) = remaining
             .iter()
-            .map(|(p, r)| (p.clone(), r.len()))
-            .collect();
-        stats.constraint_facts = relations
-            .values()
-            .map(Relation::constraint_fact_count)
-            .sum();
-        EvalResult {
-            relations,
-            stats,
-            termination,
+            .enumerate()
+            .min_by_key(|&(_, &i)| {
+                let bound_args = rule.body[i]
+                    .args
+                    .iter()
+                    .filter(|t| term_is_bound(t, &bound))
+                    .count();
+                (Reverse(bound_args), visible(i), i)
+            })
+            .expect("remaining is non-empty");
+        remaining.remove(slot);
+        bound.extend(rule.body[pick].vars());
+        order.push((pick, window_of(pick)));
+    }
+    order
+}
+
+/// The argument positions of `literal` whose value is already determined by
+/// the partial match, with that value — the candidate index probes.
+fn bound_probes(pm: &PartialMatch, literal: &Literal) -> Vec<(usize, Value)> {
+    let mut probes = Vec::new();
+    for (i, term) in literal.args.iter().enumerate() {
+        let value = match term {
+            Term::Sym(s) => Some(Value::Sym(s.clone())),
+            Term::Num(n) => Some(Value::Num(*n)),
+            Term::Var(x) => pm
+                .sym
+                .get(x)
+                .map(|s| Value::Sym(s.clone()))
+                .or_else(|| pm.num.get(x).map(|n| Value::Num(*n))),
+            Term::Expr(e) => {
+                let mut expr = e.clone();
+                for v in e.vars() {
+                    if let Some(value) = pm.num.get(v) {
+                        expr = expr.substitute(v, &LinearExpr::constant(*value));
+                    }
+                }
+                expr.is_constant().then(|| Value::Num(expr.constant_part()))
+            }
+        };
+        if let Some(value) = value {
+            probes.push((i, value));
+        }
+    }
+    probes
+}
+
+/// Recursively joins the body literals of `rule` in the given order,
+/// collecting the facts of every completed derivation into `derived`.
+///
+/// At each step the most selective bound argument position probes the
+/// relation's hash index (exact matches plus the constraint-fact tail); a
+/// literal with no bound arguments falls back to scanning its window.
+fn join_indexed(
+    rule: &Rule,
+    order: &[(usize, Window)],
+    step: usize,
+    pm: PartialMatch,
+    relations: &BTreeMap<Pred, Relation>,
+    derived: &mut Vec<Fact>,
+) {
+    let Some(&(literal_index, window)) = order.get(step) else {
+        finish_derivation(rule, pm, derived);
+        return;
+    };
+    let literal = &rule.body[literal_index];
+    let Some(relation) = relations.get(&literal.predicate) else {
+        return;
+    };
+    let probes = bound_probes(&pm, literal);
+    let best = probes
+        .iter()
+        .min_by_key(|(pos, value)| relation.probe_len(window, *pos, value));
+    match best {
+        Some((pos, value)) => {
+            for fact in relation.probe(window, *pos, value) {
+                if let Some(next) = match_literal(&pm, literal, fact) {
+                    join_indexed(rule, order, step + 1, next, relations, derived);
+                }
+            }
+        }
+        None => {
+            for fact in relation.window_facts(window) {
+                if let Some(next) = match_literal(&pm, literal, fact) {
+                    join_indexed(rule, order, step + 1, next, relations, derived);
+                }
+            }
         }
     }
 }
 
-/// Recursively joins the body literals of `rule` starting at `index`,
-/// collecting the facts of every completed derivation into `derived`.
+/// Recursively joins the body literals of `rule` starting at `index` with the
+/// legacy nested-loop, count-sliced discipline.
 #[allow(clippy::too_many_arguments)]
-fn join(
+fn join_legacy(
     rule: &Rule,
     index: usize,
     delta_pos: usize,
@@ -418,7 +778,7 @@ fn join(
     };
     for fact in &all_facts[lo..hi.min(all_facts.len())] {
         if let Some(next) = match_literal(&pm, literal, fact) {
-            join(
+            join_legacy(
                 rule,
                 index + 1,
                 delta_pos,
@@ -456,19 +816,9 @@ fn match_literal(pm: &PartialMatch, literal: &Literal, fact: &Fact) -> Option<Pa
     if !fact.constraint().is_trivially_true()
         || fact.bindings().iter().any(|b| matches!(b, Binding::Free))
     {
-        let mut gen = VarGen::with_prefix("_j");
-        // Make the generated names unique per call site by seeding them with
-        // the current size of the residual conjunction.
-        for _ in 0..pm.extra.len() {
-            let _ = gen.fresh();
-        }
         for (i, binding) in fact.bindings().iter().enumerate() {
             if matches!(binding, Binding::Free) {
-                position_vars[i] = Some(Var::new(format!(
-                    "_j{}p{}",
-                    pm.extra.len() + pm.num.len(),
-                    i + 1
-                )));
+                position_vars[i] = Some(pm.fresh_var(i + 1));
             }
         }
         let renamed = fact.constraint().rename(&|v: &Var| {
@@ -615,7 +965,12 @@ mod tests {
 
     fn eval(source: &str, db: &Database) -> EvalResult {
         let program = parse_program(source).unwrap();
-        Evaluator::new(&program, EvalOptions::default()).evaluate(db)
+        Evaluator::new(&program, EvalOptions::indexed()).evaluate(db)
+    }
+
+    fn eval_legacy(source: &str, db: &Database) -> EvalResult {
+        let program = parse_program(source).unwrap();
+        Evaluator::new(&program, EvalOptions::legacy()).evaluate(db)
     }
 
     #[test]
@@ -745,7 +1100,7 @@ mod tests {
         let result = Evaluator::new(&program, EvalOptions::traced(5)).evaluate(&db);
         assert_eq!(result.termination, Termination::IterationLimit);
         assert_eq!(result.stats.iterations.len(), 5);
-        assert!(result.count_for(&Pred::new("nat")) >= 5);
+        assert!(result.count_for(&Pred::new("nat")) >= 4);
     }
 
     #[test]
@@ -757,5 +1112,104 @@ mod tests {
         let query = Literal::new("s", vec![Term::sym("a"), Term::var("Y")]);
         let answers = result.answers_to(&query);
         assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn answers_respect_constraint_fact_bounds() {
+        // Regression: `?- q(5)` must not match a fact constrained to
+        // `$1 <= 3`; the old pattern matcher accepted any ground constant
+        // against a free position without consulting the constraint.
+        let db = Database::new();
+        let result = eval("q(X) :- X <= 3.", &db);
+        assert_eq!(result.count_for(&Pred::new("q")), 1);
+        let inside = Literal::new("q", vec![Term::num(2)]);
+        let outside = Literal::new("q", vec![Term::num(5)]);
+        assert_eq!(result.answers_to(&inside).len(), 1);
+        assert_eq!(result.answers_to(&outside).len(), 0);
+        // A symbol can never inhabit a numerically constrained position.
+        let symbolic = Literal::new("q", vec![Term::sym("madison")]);
+        assert_eq!(result.answers_to(&symbolic).len(), 0);
+    }
+
+    #[test]
+    fn join_variables_do_not_collide_across_facts() {
+        // Regression for the size-based fresh-variable scheme: matching the
+        // `a` fact mints a join variable at `extra.len() + num.len() = 3`
+        // (the three Y bounds), and resolving Y = 5 then drops those three
+        // bounds while adding one numeric binding — so the `b` fact's join
+        // variable was *also* named `_j3p1`, silently forcing X = Z.
+        let db = Database::new();
+        let source = "a(X, 5) :- X >= 0.\n\
+                      b(Z) :- Z <= 2.\n\
+                      q(X, Z) :- a(X, Y), b(Z), Y <= 7, Y <= 8, Y <= 9.";
+        for result in [eval(source, &db), eval_legacy(source, &db)] {
+            assert_eq!(result.count_for(&Pred::new("q")), 1);
+            let q = &result.facts_for(&Pred::new("q"))[0];
+            assert!(q
+                .constraint()
+                .implies_atom(&Atom::var_ge(Var::position(1), 0)));
+            assert!(q
+                .constraint()
+                .implies_atom(&Atom::var_le(Var::position(2), 2)));
+            // Under the collision, $1 inherited the b fact's upper bound.
+            assert!(!q
+                .constraint()
+                .implies_atom(&Atom::var_le(Var::position(1), 2)));
+        }
+    }
+
+    #[test]
+    fn indexed_and_legacy_cores_agree() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 2), (1, 4)] {
+            db.add_ground("edge", vec![Value::num(a), Value::num(b)]);
+        }
+        let source = "path(X, Y) :- edge(X, Y).\n\
+                      path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+                      short(X, Y) :- path(X, Y), X <= 2.";
+        let indexed = eval(source, &db);
+        let legacy = eval_legacy(source, &db);
+        assert_eq!(indexed.termination, legacy.termination);
+        for pred in ["path", "short"] {
+            let mut a: Vec<String> = indexed
+                .facts_for(&Pred::new(pred))
+                .iter()
+                .map(|f| f.to_string())
+                .collect();
+            let mut b: Vec<String> = legacy
+                .facts_for(&Pred::new(pred))
+                .iter()
+                .map(|f| f.to_string())
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn body_reordering_moves_bound_literals_first() {
+        let mut db = Database::new();
+        for i in 0..4 {
+            db.add_ground("big", vec![Value::num(i), Value::num(i + 1)]);
+        }
+        db.add_ground("tiny", vec![Value::num(1)]);
+        let program = parse_program("q(X, Y) :- big(X, Y), tiny(X).").unwrap();
+        let evaluator = Evaluator::new(&program, EvalOptions::indexed());
+        let mut relations = evaluator.seed_relations(&db);
+        for r in relations.values_mut() {
+            r.advance();
+        }
+        let rule = &evaluator.program().rules()[0];
+        // With the delta at `big`, `tiny` follows and probes on the bound X.
+        let order = order_body(rule, 0, &relations);
+        assert_eq!(order[0], (0, Window::Delta));
+        assert_eq!(order[1], (1, Window::Known));
+        // With the delta at `tiny`, it stays first and `big` probes on X.
+        let order = order_body(rule, 1, &relations);
+        assert_eq!(order[0], (1, Window::Delta));
+        assert_eq!(order[1], (0, Window::Stable));
+        let result = evaluator.evaluate(&db);
+        assert_eq!(result.count_for(&Pred::new("q")), 1);
     }
 }

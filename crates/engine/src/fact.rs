@@ -111,6 +111,16 @@ impl Fact {
         &self.bindings
     }
 
+    /// The ground value at `position` (0-based), or `None` if the position is
+    /// free or out of range.  This is what the per-position relation indexes
+    /// key on.
+    pub fn bound_value(&self, position: usize) -> Option<&Value> {
+        match self.bindings.get(position) {
+            Some(Binding::Bound(value)) => Some(value),
+            _ => None,
+        }
+    }
+
     /// The residual constraint over the free positions (`$i`).
     pub fn constraint(&self) -> &Conjunction {
         &self.constraint

@@ -39,6 +39,6 @@ pub use database::Database;
 pub use eval::{EvalOptions, EvalResult, Evaluator};
 pub use fact::{Binding, Fact};
 pub use limits::{EvalLimits, Termination};
-pub use relation::{InsertOutcome, Relation};
+pub use relation::{InsertOutcome, Relation, Window};
 pub use stats::{DerivationRecord, EvalStats, IterationStats};
 pub use value::Value;

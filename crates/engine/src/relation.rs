@@ -1,8 +1,11 @@
-//! In-memory relations of constraint facts with subsumption-based insertion.
+//! In-memory relations of constraint facts with subsumption-based insertion,
+//! per-position hash indexes, and an explicit stable/delta/pending partition
+//! for semi-naive evaluation.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
 
-use crate::fact::Fact;
+use crate::fact::{Binding, Fact};
 use crate::value::Value;
 
 /// The outcome of inserting a fact into a relation.
@@ -15,16 +18,51 @@ pub enum InsertOutcome {
     Subsumed,
 }
 
+/// Which segment of a relation a semi-naive join step is allowed to see.
+///
+/// Facts move through three segments: *stable* facts were known before the
+/// previous iteration, *delta* facts were first derived during the previous
+/// iteration, and facts inserted since the last [`Relation::advance`] are
+/// *pending* (invisible to every window until the next advance).  With the
+/// delta literal at body position `j`, literals before `j` read
+/// [`Window::Stable`], the literal at `j` reads [`Window::Delta`], and
+/// literals after `j` read [`Window::Known`] (stable ∪ delta), so every new
+/// combination of facts is joined exactly once per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Facts known before the previous iteration.
+    Stable,
+    /// Facts first derived during the previous iteration.
+    Delta,
+    /// Stable and delta facts together (everything except pending ones).
+    Known,
+}
+
 /// A finite set of constraint facts for one predicate.
 ///
 /// Ground facts are additionally tracked in a hash set so the common case
 /// (programs whose evaluation computes only ground facts, Theorem 4.4) does
-/// not pay for pairwise subsumption checks.
+/// not pay for pairwise subsumption checks.  Every insertion also maintains
+/// per-position hash indexes mapping a bound [`Value`] to the facts holding
+/// it at that position, plus the list of facts that are *free* (constrained)
+/// there; joins probe the index with the values bound so far and fall back to
+/// scanning only that constraint-fact tail.
 #[derive(Clone, Default)]
 pub struct Relation {
     facts: Vec<Fact>,
     ground_index: HashSet<Vec<Value>>,
     constraint_fact_count: usize,
+    /// Facts `0..stable_end` are stable, `stable_end..delta_end` are the
+    /// delta, and `delta_end..` are pending until the next [`Self::advance`].
+    stable_end: usize,
+    delta_end: usize,
+    /// Per argument position: fact indices holding each bound value there.
+    value_index: Vec<HashMap<Value, Vec<usize>>>,
+    /// Per argument position: fact indices that are free (constrained) there.
+    free_index: Vec<Vec<usize>>,
+    /// Indices of the proper (non-ground) constraint facts, the only facts
+    /// that can subsume anything beyond an exact ground duplicate.
+    constraint_fact_indices: Vec<usize>,
 }
 
 impl Relation {
@@ -33,7 +71,7 @@ impl Relation {
         Relation::default()
     }
 
-    /// The facts currently in the relation.
+    /// The facts currently in the relation (all segments).
     pub fn facts(&self) -> &[Fact] {
         &self.facts
     }
@@ -54,36 +92,135 @@ impl Relation {
     }
 
     /// Returns `true` if the relation contains a fact that subsumes `fact`.
+    ///
+    /// Ground duplicates are answered by the hash index; beyond that only
+    /// proper constraint facts can subsume (normalization pins single-valued
+    /// positions, so a ground fact subsumes exactly its own duplicate), which
+    /// keeps insertion linear in the number of constraint facts instead of
+    /// the relation size.
     pub fn covers(&self, fact: &Fact) -> bool {
         if let Some(values) = fact.ground_values() {
             if self.ground_index.contains(&values) {
                 return true;
             }
         }
-        self.facts
+        self.constraint_fact_indices
             .iter()
-            .filter(|existing| !existing.is_ground() || fact.is_ground())
-            .any(|existing| existing.subsumes(fact))
+            .any(|&index| self.facts[index].subsumes(fact))
     }
 
     /// Inserts a fact unless it is subsumed by an existing one.
+    ///
+    /// The fact lands in the *pending* segment: it is stored (and visible
+    /// through [`Self::facts`]) immediately, but no [`Window`] exposes it
+    /// until the next [`Self::advance`].
     pub fn insert(&mut self, fact: Fact) -> InsertOutcome {
         if self.covers(&fact) {
             return InsertOutcome::Subsumed;
         }
+        let index = self.facts.len();
         if let Some(values) = fact.ground_values() {
             self.ground_index.insert(values);
         } else {
             self.constraint_fact_count += 1;
+            self.constraint_fact_indices.push(index);
+        }
+        if self.value_index.len() < fact.arity() {
+            self.value_index.resize_with(fact.arity(), HashMap::new);
+            self.free_index.resize_with(fact.arity(), Vec::new);
+        }
+        for (position, binding) in fact.bindings().iter().enumerate() {
+            match binding {
+                Binding::Bound(value) => self.value_index[position]
+                    .entry(value.clone())
+                    .or_default()
+                    .push(index),
+                Binding::Free => self.free_index[position].push(index),
+            }
         }
         self.facts.push(fact);
         InsertOutcome::Added
+    }
+
+    /// Rotates the partition at an iteration boundary: the delta becomes
+    /// stable and the pending insertions become the new delta.
+    pub fn advance(&mut self) {
+        self.stable_end = self.delta_end;
+        self.delta_end = self.facts.len();
+    }
+
+    /// Returns `true` if the delta segment is empty.
+    pub fn delta_is_empty(&self) -> bool {
+        self.stable_end == self.delta_end
+    }
+
+    /// The index range of facts visible through `window`.
+    pub fn window_range(&self, window: Window) -> Range<usize> {
+        match window {
+            Window::Stable => 0..self.stable_end,
+            Window::Delta => self.stable_end..self.delta_end,
+            Window::Known => 0..self.delta_end,
+        }
+    }
+
+    /// The facts visible through `window`.
+    pub fn window_facts(&self, window: Window) -> &[Fact] {
+        &self.facts[self.window_range(window)]
+    }
+
+    /// Number of candidate facts a [`Self::probe`] with the same arguments
+    /// would yield, without materializing them (used to pick the most
+    /// selective probe position).
+    pub fn probe_len(&self, window: Window, position: usize, value: &Value) -> usize {
+        let range = self.window_range(window);
+        clip(self.exact_entries(position, value), &range).len()
+            + clip(self.free_entries(position), &range).len()
+    }
+
+    /// The facts in `window` that can hold `value` at `position`: facts bound
+    /// to exactly that value there, followed by the constraint-fact tail of
+    /// facts that are free at `position` (their residual constraint decides).
+    pub fn probe(
+        &self,
+        window: Window,
+        position: usize,
+        value: &Value,
+    ) -> impl Iterator<Item = &Fact> {
+        let range = self.window_range(window);
+        let exact = clip(self.exact_entries(position, value), &range);
+        let free = clip(self.free_entries(position), &range);
+        exact
+            .iter()
+            .chain(free.iter())
+            .map(move |&index| &self.facts[index])
+    }
+
+    fn exact_entries(&self, position: usize, value: &Value) -> &[usize] {
+        self.value_index
+            .get(position)
+            .and_then(|by_value| by_value.get(value))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    fn free_entries(&self, position: usize) -> &[usize] {
+        self.free_index
+            .get(position)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Iterates over the facts.
     pub fn iter(&self) -> impl Iterator<Item = &Fact> {
         self.facts.iter()
     }
+}
+
+/// Restricts a sorted index list to the entries inside `range`.
+fn clip<'a>(entries: &'a [usize], range: &Range<usize>) -> &'a [usize] {
+    let lo = entries.partition_point(|&i| i < range.start);
+    let hi = entries.partition_point(|&i| i < range.end);
+    &entries[lo..hi]
 }
 
 impl std::fmt::Debug for Relation {
@@ -138,5 +275,54 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rel.insert(broad), InsertOutcome::Added);
+    }
+
+    #[test]
+    fn windows_track_the_stable_delta_pending_partition() {
+        let mut rel = Relation::new();
+        rel.insert(Fact::ground("e", vec![Value::num(1)]));
+        // Nothing is visible until the first advance.
+        assert!(rel.window_facts(Window::Known).is_empty());
+        assert!(rel.delta_is_empty());
+        rel.advance();
+        assert_eq!(rel.window_facts(Window::Delta).len(), 1);
+        assert!(rel.window_facts(Window::Stable).is_empty());
+        rel.insert(Fact::ground("e", vec![Value::num(2)]));
+        // The new fact is pending: delta and known are unchanged.
+        assert_eq!(rel.window_facts(Window::Delta).len(), 1);
+        assert_eq!(rel.window_facts(Window::Known).len(), 1);
+        rel.advance();
+        assert_eq!(rel.window_facts(Window::Stable).len(), 1);
+        assert_eq!(rel.window_facts(Window::Delta).len(), 1);
+        assert_eq!(rel.window_facts(Window::Known).len(), 2);
+        rel.advance();
+        assert!(rel.delta_is_empty());
+        assert_eq!(rel.window_facts(Window::Stable).len(), 2);
+    }
+
+    #[test]
+    fn probe_finds_exact_matches_and_the_constraint_tail() {
+        let mut rel = Relation::new();
+        rel.insert(Fact::ground("p", vec![Value::sym("a"), Value::num(1)]));
+        rel.insert(Fact::ground("p", vec![Value::sym("b"), Value::num(2)]));
+        let tail = Fact::new(
+            "p".into(),
+            vec![Binding::Free, Binding::Bound(Value::num(3))],
+            Conjunction::of(Atom::var_le(Var::position(1), 0)),
+        )
+        .unwrap();
+        rel.insert(tail);
+        rel.advance();
+        // Probing position 1 for `a` sees the exact match plus the free fact.
+        let hits: Vec<_> = rel.probe(Window::Delta, 0, &Value::sym("a")).collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(rel.probe_len(Window::Delta, 0, &Value::sym("a")), 2);
+        // Probing position 2 for 2 sees only the exact match.
+        let hits: Vec<_> = rel.probe(Window::Delta, 1, &Value::num(2)).collect();
+        assert_eq!(hits.len(), 1);
+        // A value nobody holds still yields the constraint-fact tail.
+        assert_eq!(rel.probe_len(Window::Delta, 0, &Value::sym("zzz")), 1);
+        // Probes respect windows.
+        assert_eq!(rel.probe_len(Window::Stable, 0, &Value::sym("a")), 0);
     }
 }

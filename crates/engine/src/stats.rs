@@ -31,6 +31,10 @@ pub struct IterationStats {
     pub new_facts: usize,
     /// Number of derivations whose fact was subsumed.
     pub subsumed: usize,
+    /// Total size of the per-relation deltas driving this iteration
+    /// (populated by the indexed join core only; the legacy core slices on
+    /// fact counts and leaves it at zero).
+    pub delta_facts: usize,
     /// The individual derivations (only when tracing is enabled).
     pub records: Vec<DerivationRecord>,
 }
@@ -44,6 +48,8 @@ pub struct EvalStats {
     pub facts_per_predicate: BTreeMap<Pred, usize>,
     /// Number of stored facts that are not ground (proper constraint facts).
     pub constraint_facts: usize,
+    /// Whether the indexed join core produced these statistics.
+    pub indexed: bool,
 }
 
 impl EvalStats {
@@ -90,17 +96,18 @@ mod tests {
                     derivations: 3,
                     new_facts: 2,
                     subsumed: 1,
-                    records: vec![],
+                    ..IterationStats::default()
                 },
                 IterationStats {
                     derivations: 5,
                     new_facts: 5,
                     subsumed: 0,
-                    records: vec![],
+                    ..IterationStats::default()
                 },
             ],
             facts_per_predicate: [(Pred::new("p"), 7)].into_iter().collect(),
             constraint_facts: 0,
+            indexed: true,
         };
         assert_eq!(stats.total_derivations(), 8);
         assert_eq!(stats.total_new_facts(), 7);

@@ -21,6 +21,7 @@ fn evaluate_magic(program: &Program, cap: usize) -> (Termination, usize, usize) 
         EvalOptions {
             limits: EvalLimits::capped(cap),
             trace: false,
+            ..EvalOptions::default()
         },
     )
     .evaluate(&Database::new());
