@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Available experiment names: `table1`, `table2`, `flights`, `ex41`, `ex42`,
-//! `balbin`, `orderings`, `overlap`, `all`.
+//! `balbin`, `orderings`, `overlap`, `parallel`, `all`.
 
 use pcs_bench::experiments;
 
@@ -23,10 +23,11 @@ fn main() {
         "balbin" => experiments::balbin(),
         "orderings" | "optimal" => experiments::orderings(),
         "overlap" => experiments::overlap(),
+        "parallel" | "threads" => experiments::parallel_scaling(&[1, 2, 4, 8]),
         "all" => experiments::all(),
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, all"
+                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, all"
             );
             std::process::exit(2);
         }

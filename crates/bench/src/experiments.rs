@@ -314,6 +314,64 @@ pub fn overlap() -> String {
     out
 }
 
+/// E13 (PR 3): thread-scaling of the parallel semi-naive fixpoint on scaled
+/// flights workloads.  Reports wall-clock per thread count (best of three
+/// runs) and the speedup over one thread, plus the fact totals as a live
+/// check that every configuration computed the identical result.
+pub fn parallel_scaling(thread_counts: &[usize]) -> String {
+    use std::time::{Duration, Instant};
+
+    let program = programs::flights();
+    let hardware = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Parallel fixpoint thread-scaling (indexed core; this machine has {hardware} hardware thread{})",
+        if hardware == 1 { "" } else { "s" }
+    );
+    for (label, db) in [
+        (
+            "random flights, 120 cities / 260 legs",
+            crate::workload::random_flights_database(120, 260, 0xC0FFEE),
+        ),
+        (
+            "layered flights, 4 layers x 8 cities",
+            crate::workload::layered_flights_database(4, 8, 0xF00D),
+        ),
+    ] {
+        let _ = writeln!(out, "workload: {label} ({} EDB facts)", db.len());
+        let _ = writeln!(
+            out,
+            "{:<10} {:>12} {:>10} {:>12}",
+            "threads", "best of 3", "speedup", "total facts"
+        );
+        let mut baseline: Option<Duration> = None;
+        for &threads in thread_counts {
+            let evaluator = Evaluator::new(&program, EvalOptions::indexed().with_threads(threads));
+            let mut best = Duration::MAX;
+            let mut total_facts = 0;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let result = evaluator.evaluate(&db);
+                best = best.min(start.elapsed());
+                total_facts = result.total_facts();
+            }
+            let baseline = *baseline.get_or_insert(best);
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10.1}ms {:>9.2}x {:>12}",
+                threads,
+                best.as_secs_f64() * 1e3,
+                baseline.as_secs_f64() / best.as_secs_f64(),
+                total_facts
+            );
+        }
+    }
+    out
+}
+
 /// Runs every experiment and concatenates the reports.
 pub fn all() -> String {
     let mut out = String::new();
@@ -326,6 +384,7 @@ pub fn all() -> String {
         balbin(),
         orderings(),
         overlap(),
+        parallel_scaling(&[1, 2, 4, 8]),
     ] {
         out.push_str(&section);
         out.push('\n');

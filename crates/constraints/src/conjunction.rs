@@ -451,4 +451,66 @@ mod tests {
         assert!(Conjunction::falsum().implies(&strong));
         assert!(strong.implies(&Conjunction::truth()));
     }
+
+    #[test]
+    fn fourier_motzkin_stays_exact_with_huge_coefficients() {
+        // Coefficients around 2^80: the bound arithmetic reduces by gcd, so
+        // elimination stays exact where the result is representable.
+        let x = Var::new("X");
+        let big = Rational::from_int((1i128 << 80) + 1);
+        let twice = Rational::from_int(2) * big;
+        // big*x <= 1  ∧  2*big*x >= 1: satisfiable (1/(2 big) <= x <= 1/big).
+        let sat = Conjunction::from_atoms([
+            Atom::compare(
+                LinearExpr::var(x.clone()).scale(big),
+                CmpOp::Le,
+                LinearExpr::constant(1),
+            ),
+            Atom::compare(
+                LinearExpr::var(x.clone()).scale(twice),
+                CmpOp::Ge,
+                LinearExpr::constant(1),
+            ),
+        ]);
+        assert!(sat.is_satisfiable());
+        // big*x <= 1  ∧  big*x >= 2: unsatisfiable.
+        let unsat = Conjunction::from_atoms([
+            Atom::compare(
+                LinearExpr::var(x.clone()).scale(big),
+                CmpOp::Le,
+                LinearExpr::constant(1),
+            ),
+            Atom::compare(
+                LinearExpr::var(x.clone()).scale(big),
+                CmpOp::Ge,
+                LinearExpr::constant(2),
+            ),
+        ]);
+        assert!(!unsat.is_satisfiable());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed i128")]
+    fn fourier_motzkin_overflow_panics_instead_of_wrapping() {
+        // Regression: combining the bounds 1/a and -1/b needs the common
+        // denominator a*b ~ 2^140, which does not fit in i128.  The unchecked
+        // operator path used to wrap silently in release builds, corrupting
+        // the eliminated constraint; it must panic descriptively instead.
+        let x = Var::new("X");
+        let a = Rational::from_int((1i128 << 70) + 1);
+        let b = Rational::from_int((1i128 << 70) - 1);
+        let conj = Conjunction::from_atoms([
+            Atom::compare(
+                LinearExpr::var(x.clone()).scale(a),
+                CmpOp::Le,
+                LinearExpr::constant(1),
+            ),
+            Atom::compare(
+                LinearExpr::var(x.clone()).scale(b),
+                CmpOp::Ge,
+                LinearExpr::constant(-1),
+            ),
+        ]);
+        let _ = conj.eliminate_var(&x);
+    }
 }

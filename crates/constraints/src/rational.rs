@@ -25,14 +25,21 @@ pub struct Rational {
     denom: i128,
 }
 
-/// Greatest common divisor of two non-negative integers.
-fn gcd(mut a: i128, mut b: i128) -> i128 {
+/// Greatest common divisor of the absolute values of two integers.
+///
+/// Computed in `u128` so that `i128::MIN` inputs cannot wrap; the result is
+/// converted back to `i128` and genuinely cannot overflow for the callers
+/// below (every call site passes at least one argument that is not
+/// `i128::MIN`, so the gcd is at most `2^126`), but the conversion still
+/// panics descriptively rather than wrapping if that invariant is broken.
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
     while b != 0 {
         let t = a % b;
         a = b;
         b = t;
     }
-    a.abs()
+    i128::try_from(a).unwrap_or_else(|_| panic!("rational gcd overflowed i128"))
 }
 
 impl Rational {
@@ -68,16 +75,46 @@ impl Rational {
     }
 
     fn normalized(numer: i128, denom: i128) -> Self {
+        Self::try_normalized(numer, denom)
+            .unwrap_or_else(|| panic!("rational normalization of {numer}/{denom} overflowed i128"))
+    }
+
+    /// Sign- and gcd-normalizes `numer / denom`, returning `None` when the
+    /// normalized numerator or denominator does not fit in `i128` (which can
+    /// only happen for inputs involving `i128::MIN`).  The magnitudes are
+    /// reduced in `u128`, so no intermediate step can wrap.
+    fn try_normalized(numer: i128, denom: i128) -> Option<Self> {
         debug_assert!(denom != 0);
         if numer == 0 {
-            return Rational::ZERO;
+            return Some(Rational::ZERO);
         }
-        let sign = if denom < 0 { -1 } else { 1 };
-        let g = gcd(numer, denom);
-        Rational {
-            numer: sign * (numer / g),
-            denom: (denom / g).abs(),
-        }
+        let negative = (numer < 0) != (denom < 0);
+        let (mut n, mut d) = (numer.unsigned_abs(), denom.unsigned_abs());
+        let g = {
+            let (mut a, mut b) = (n, d);
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        };
+        n /= g;
+        d /= g;
+        let numer = if negative {
+            // `-2^127` is representable even though `2^127` is not.
+            if n == i128::MIN.unsigned_abs() {
+                i128::MIN
+            } else {
+                -i128::try_from(n).ok()?
+            }
+        } else {
+            i128::try_from(n).ok()?
+        };
+        Some(Rational {
+            numer,
+            denom: i128::try_from(d).ok()?,
+        })
     }
 
     /// Numerator of the normalized representation.
@@ -111,9 +148,15 @@ impl Rational {
     }
 
     /// Absolute value.
+    ///
+    /// Panics for `i128::MIN / 1`, whose absolute value is not representable,
+    /// instead of wrapping in release builds.
     pub fn abs(&self) -> Self {
         Rational {
-            numer: self.numer.abs(),
+            numer: self
+                .numer
+                .checked_abs()
+                .unwrap_or_else(|| panic!("rational abs of {self} overflowed i128")),
             denom: self.denom,
         }
     }
@@ -137,12 +180,15 @@ impl Rational {
             .checked_mul(rhs_den)?
             .checked_add(other.numer.checked_mul(lhs_den)?)?;
         let denom = self.denom.checked_mul(rhs_den)?;
-        Some(Self::normalized(numer, denom))
+        Self::try_normalized(numer, denom)
     }
 
     /// Checked subtraction.
     pub fn checked_sub(&self, other: &Self) -> Option<Self> {
-        self.checked_add(&(-*other))
+        self.checked_add(&Rational {
+            numer: other.numer.checked_neg()?,
+            denom: other.denom,
+        })
     }
 
     /// Checked multiplication with cross-gcd reduction.
@@ -151,7 +197,7 @@ impl Rational {
         let g2 = gcd(other.numer, self.denom).max(1);
         let numer = (self.numer / g1).checked_mul(other.numer / g2)?;
         let denom = (self.denom / g2).checked_mul(other.denom / g1)?;
-        Some(Self::normalized(numer, denom))
+        Self::try_normalized(numer, denom)
     }
 
     /// Checked division.
@@ -159,7 +205,7 @@ impl Rational {
         if other.is_zero() {
             return None;
         }
-        self.checked_mul(&Rational::normalized(other.denom, other.numer))
+        self.checked_mul(&Rational::try_normalized(other.denom, other.numer)?)
     }
 
     /// Rounds towards negative infinity to the nearest integer.
@@ -228,15 +274,27 @@ macro_rules! forward_binop {
         impl $trait for Rational {
             type Output = Rational;
             fn $method(self, rhs: Rational) -> Rational {
-                self.$checked(&rhs)
-                    .unwrap_or_else(|| panic!("rational {} overflowed", stringify!($method)))
+                self.$checked(&rhs).unwrap_or_else(|| {
+                    panic!(
+                        "rational {} of {} and {} overflowed i128",
+                        stringify!($method),
+                        self,
+                        rhs
+                    )
+                })
             }
         }
         impl $trait<&Rational> for &Rational {
             type Output = Rational;
             fn $method(self, rhs: &Rational) -> Rational {
-                self.$checked(rhs)
-                    .unwrap_or_else(|| panic!("rational {} overflowed", stringify!($method)))
+                self.$checked(rhs).unwrap_or_else(|| {
+                    panic!(
+                        "rational {} of {} and {} overflowed i128",
+                        stringify!($method),
+                        self,
+                        rhs
+                    )
+                })
             }
         }
     };
@@ -263,7 +321,10 @@ impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
         Rational {
-            numer: -self.numer,
+            numer: self
+                .numer
+                .checked_neg()
+                .unwrap_or_else(|| panic!("rational negation of {self} overflowed i128")),
             denom: self.denom,
         }
     }
@@ -331,6 +392,59 @@ mod tests {
         assert_eq!(Rational::ratio(-7, 2).ceil(), -3);
         assert_eq!(Rational::from_int(5).floor(), 5);
         assert_eq!(Rational::from_int(5).ceil(), 5);
+    }
+
+    #[test]
+    fn checked_ops_report_overflow_instead_of_wrapping() {
+        let max = Rational::from_int(i128::MAX);
+        let min = Rational::from_int(i128::MIN);
+        assert!(max.checked_add(&Rational::ONE).is_none());
+        assert!(max.checked_mul(&Rational::from_int(2)).is_none());
+        assert!(Rational::ZERO.checked_sub(&min).is_none());
+        // Near the edge, representable results still come out exact.
+        assert_eq!(
+            max.checked_sub(&Rational::ONE).unwrap(),
+            Rational::from_int(i128::MAX - 1)
+        );
+        assert_eq!(
+            min.checked_add(&Rational::ONE).unwrap(),
+            Rational::from_int(i128::MIN + 1)
+        );
+    }
+
+    #[test]
+    fn normalization_handles_i128_min() {
+        assert_eq!(
+            Rational::new(i128::MIN, 1).unwrap(),
+            Rational::from_int(i128::MIN)
+        );
+        assert_eq!(
+            Rational::new(i128::MIN, 2).unwrap(),
+            Rational::from_int(i128::MIN / 2)
+        );
+        assert_eq!(Rational::new(i128::MIN, i128::MIN).unwrap(), Rational::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed i128")]
+    fn operator_overflow_panics_descriptively() {
+        // The unchecked operator impls must route through the checked paths
+        // and panic (not wrap, as `i128` arithmetic does in release builds).
+        let _ = Rational::from_int(i128::MAX) + Rational::ONE;
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed i128")]
+    fn unrepresentable_normalization_panics_descriptively() {
+        // -1/2^127 has no normalized representation: the positive
+        // denominator 2^127 does not fit in i128.
+        let _ = Rational::new(1, i128::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed i128")]
+    fn negation_of_i128_min_panics_descriptively() {
+        let _ = -Rational::from_int(i128::MIN);
     }
 
     #[test]

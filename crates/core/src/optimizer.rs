@@ -69,6 +69,17 @@ impl Optimizer {
         self
     }
 
+    /// Sets the number of evaluation worker threads the [`Optimized`]
+    /// program will use (see `EvalOptions::threads`): `1` selects the exact
+    /// sequential code path, larger values shard each fixpoint iteration
+    /// across a worker pool with a deterministic merge.  This is a
+    /// convenience over [`Optimizer::eval_options`] that preserves the other
+    /// configured evaluation options.
+    pub fn eval_threads(mut self, threads: usize) -> Self {
+        self.eval.threads = threads.max(1);
+        self
+    }
+
     /// Sets the Magic Templates options (sips, constraint magic).
     pub fn magic_options(mut self, magic: MagicOptions) -> Self {
         self.magic = magic;
@@ -220,6 +231,24 @@ mod tests {
             b.count_for(&Pred::new("flight"))
         );
         assert_eq!(a.termination, b.termination);
+    }
+
+    #[test]
+    fn eval_threads_shard_without_changing_results() {
+        let program = programs::flights();
+        let db = programs::flights_database(6, 12);
+        let sequential = Optimizer::new(program.clone())
+            .eval_threads(1)
+            .optimize()
+            .unwrap();
+        let parallel = Optimizer::new(program).eval_threads(4).optimize().unwrap();
+        assert_eq!(sequential.eval.threads, 1);
+        assert_eq!(parallel.eval.threads, 4);
+        let a = sequential.evaluate(&db);
+        let b = parallel.evaluate(&db);
+        assert_eq!(a.termination, b.termination);
+        assert_eq!(a.stats.facts_per_predicate, b.stats.facts_per_predicate);
+        assert_eq!(a.stats.total_derivations(), b.stats.total_derivations());
     }
 
     #[test]

@@ -25,6 +25,8 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
 
 use pcs_constraints::{Atom, CmpOp, Conjunction, LinearExpr, Rational, Var};
 use pcs_lang::{Literal, Pred, Program, Rule, Symbol, Term};
@@ -49,6 +51,25 @@ pub struct EvalOptions {
     /// to the legacy core by setting the `PCS_EVAL_INDEX` environment
     /// variable to `off` (used by CI to run the whole suite differentially).
     pub index: bool,
+    /// Number of worker threads for the derivation rounds inside each
+    /// iteration.  `1` evaluates on the calling thread through the exact
+    /// sequential code path; larger values shard the
+    /// (rule × delta-position × delta-fact) work of every iteration across a
+    /// scoped worker pool whose thread-local buffers are merged in
+    /// deterministic (rule, delta-position, delta-fact) order, so the
+    /// computed relations, statistics, and termination are identical to the
+    /// sequential evaluation.  Defaults to the machine's available
+    /// parallelism; the `PCS_EVAL_THREADS` environment variable overrides
+    /// the default.
+    pub threads: usize,
+    /// Minimum per-iteration derivation work (delta candidates summed over
+    /// all rules and delta positions) before a multi-thread evaluation
+    /// actually shards the round across the worker pool; narrower rounds
+    /// run on the calling thread, since spawning workers would cost more
+    /// than the round itself.  Purely a scheduling knob — the results are
+    /// identical either way.  Defaults to [`MIN_PARALLEL_ROUND_WORK`]; set
+    /// to `0` to shard every round.
+    pub min_parallel_work: usize,
 }
 
 impl Default for EvalOptions {
@@ -57,9 +78,18 @@ impl Default for EvalOptions {
             limits: EvalLimits::default(),
             trace: false,
             index: index_enabled_by_default(),
+            threads: threads_from_env(),
+            min_parallel_work: MIN_PARALLEL_ROUND_WORK,
         }
     }
 }
+
+/// Default for [`EvalOptions::min_parallel_work`]: rounds with fewer total
+/// delta candidates than this evaluate on the calling thread even when a
+/// worker pool is configured, because per-iteration thread spawning would
+/// dominate such narrow rounds (e.g. the magic Fibonacci programs derive a
+/// handful of facts per iteration across hundreds of iterations).
+pub const MIN_PARALLEL_ROUND_WORK: usize = 256;
 
 /// Reads the `PCS_EVAL_INDEX` environment variable; unset or any value other
 /// than `off`/`0`/`false`/`legacy` selects the indexed join core.
@@ -68,6 +98,21 @@ fn index_enabled_by_default() -> bool {
         std::env::var("PCS_EVAL_INDEX").as_deref().map(str::trim),
         Ok("off") | Ok("0") | Ok("false") | Ok("legacy")
     )
+}
+
+/// Reads the `PCS_EVAL_THREADS` environment variable; a positive integer
+/// selects that many evaluation worker threads, anything else falls back to
+/// the machine's available parallelism.
+fn threads_from_env() -> usize {
+    match std::env::var("PCS_EVAL_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
 }
 
 impl EvalOptions {
@@ -94,6 +139,26 @@ impl EvalOptions {
         EvalOptions {
             index: false,
             ..EvalOptions::default()
+        }
+    }
+
+    /// Returns these options with the given number of evaluation worker
+    /// threads (clamped to at least one; `1` selects the exact sequential
+    /// code path regardless of the environment).
+    pub fn with_threads(self, threads: usize) -> Self {
+        EvalOptions {
+            threads: threads.max(1),
+            ..self
+        }
+    }
+
+    /// Returns these options with the given sharding threshold (see
+    /// [`EvalOptions::min_parallel_work`]); `0` shards every round through
+    /// the worker pool, however narrow.
+    pub fn with_min_parallel_work(self, min_parallel_work: usize) -> Self {
+        EvalOptions {
+            min_parallel_work,
+            ..self
         }
     }
 }
@@ -314,11 +379,7 @@ impl Evaluator {
 
     /// Runs the evaluation against a database.
     pub fn evaluate(&self, db: &Database) -> EvalResult {
-        if self.options.index {
-            self.evaluate_indexed(db)
-        } else {
-            self.evaluate_legacy(db)
-        }
+        self.run_fixpoint(db, self.options.index)
     }
 
     /// Seeds one relation per program/EDB predicate with the database facts.
@@ -356,111 +417,34 @@ impl Evaluator {
         }
     }
 
-    /// The indexed semi-naive fixpoint: explicit delta windows, per-delta
-    /// body reordering, and index-probing joins.
-    fn evaluate_indexed(&self, db: &Database) -> EvalResult {
+    /// The semi-naive fixpoint shared by both join cores.
+    ///
+    /// Every iteration is decomposed into an ordered list of derivation
+    /// [`RoundTask`]s that only *read* the relations: joins see exactly the
+    /// facts visible at the iteration boundary (pending insertions are
+    /// invisible to every [`Window`] and to the legacy count slices), so the
+    /// tasks can run in any order — including concurrently on a scoped
+    /// worker pool when [`EvalOptions::threads`] is greater than one.  The
+    /// derived facts are then absorbed strictly in task order, which makes
+    /// the parallel evaluation bit-for-bit identical to the sequential one:
+    /// subsumption outcomes, statistics, and termination depend only on the
+    /// absorb order.
+    fn run_fixpoint(&self, db: &Database, indexed: bool) -> EvalResult {
         let limits = self.options.limits;
+        let threads = self.options.threads.max(1);
         let mut relations = self.seed_relations(db);
-        // The EDB facts form the first delta; stable starts empty, so the
-        // iteration-0 round is the naive round over the initial facts.
-        for relation in relations.values_mut() {
-            relation.advance();
-        }
-
-        let mut stats = EvalStats {
-            indexed: true,
-            ..EvalStats::default()
-        };
-        let termination;
-        let mut total_derivations: usize = 0;
-        let mut iteration = 0usize;
-        loop {
-            if iteration >= limits.max_iterations {
-                termination = Termination::IterationLimit;
-                break;
-            }
-            let mut iter_stats = IterationStats {
-                delta_facts: relations
-                    .values()
-                    .map(|r| r.window_range(Window::Delta).len())
-                    .sum(),
-                ..IterationStats::default()
-            };
-            let mut hit_limit = None;
-
-            for (rule_index, rule) in self.program.rules().iter().enumerate() {
-                let rule_label = rule
-                    .label
-                    .clone()
-                    .unwrap_or_else(|| format!("rule{}", rule_index + 1));
-                let mut derived: Vec<Fact> = Vec::new();
-                if rule.body.is_empty() {
-                    // Facts and constraint facts fire only in iteration 0.
-                    if iteration == 0 {
-                        finish_derivation(rule, PartialMatch::start(rule), &mut derived);
-                    }
-                } else {
-                    for delta_pos in 0..rule.body.len() {
-                        let has_delta = relations
-                            .get(&rule.body[delta_pos].predicate)
-                            .is_some_and(|r| !r.delta_is_empty());
-                        if !has_delta {
-                            continue;
-                        }
-                        let order = order_body(rule, delta_pos, &relations);
-                        join_indexed(
-                            rule,
-                            &order,
-                            0,
-                            PartialMatch::start(rule),
-                            &relations,
-                            &mut derived,
-                        );
-                    }
-                }
-                hit_limit = absorb_derived(
-                    derived,
-                    &rule_label,
-                    self.options.trace,
-                    &limits,
-                    &mut relations,
-                    &mut iter_stats,
-                    &mut total_derivations,
-                );
-                if hit_limit.is_some() {
-                    break;
-                }
-            }
-
-            let new_facts = iter_stats.new_facts;
-            stats.iterations.push(iter_stats);
+        if indexed {
+            // The EDB facts form the first delta; stable starts empty, so
+            // the iteration-0 round is the naive round over the initial
+            // facts.
             for relation in relations.values_mut() {
                 relation.advance();
             }
-            iteration += 1;
-
-            if let Some(limit) = hit_limit {
-                termination = limit;
-                break;
-            }
-            if new_facts == 0 {
-                termination = Termination::Fixpoint;
-                break;
-            }
         }
-        Evaluator::finalize(relations, stats, termination)
-    }
 
-    /// The legacy fixpoint: nested-loop joins over fact-count slices.
-    fn evaluate_legacy(&self, db: &Database) -> EvalResult {
-        let limits = self.options.limits;
-        let mut relations = self.seed_relations(db);
-
-        let mut stats = EvalStats::default();
-        let termination;
-        let mut total_derivations: usize = 0;
-
-        // Counts of facts per relation at the end of the last two iterations.
+        // Legacy semi-naive state: fact counts per relation at the end of
+        // the last two iterations (the indexed core reads its windows
+        // instead and never touches these).
         let counts = |relations: &BTreeMap<Pred, Relation>| -> BTreeMap<Pred, usize> {
             relations
                 .iter()
@@ -470,75 +454,111 @@ impl Evaluator {
         let mut before_prev = counts(&relations); // end of iteration k-2
         let mut prev = counts(&relations); // end of iteration k-1
 
+        let mut stats = EvalStats {
+            indexed,
+            ..EvalStats::default()
+        };
+        let mut totals = EvalTotals {
+            derivations: 0,
+            facts: relations.values().map(Relation::len).sum(),
+        };
+        let termination;
         let mut iteration = 0usize;
         loop {
             if iteration >= limits.max_iterations {
                 termination = Termination::IterationLimit;
                 break;
             }
-            let mut iter_stats = IterationStats::default();
-            let mut hit_limit = None;
-
-            for (rule_index, rule) in self.program.rules().iter().enumerate() {
-                let rule_label = rule
-                    .label
-                    .clone()
-                    .unwrap_or_else(|| format!("rule{}", rule_index + 1));
-                let mut derived: Vec<Fact> = Vec::new();
-                if rule.body.is_empty() {
-                    // Facts and constraint facts fire only in iteration 0.
-                    if iteration == 0 {
-                        finish_derivation(rule, PartialMatch::start(rule), &mut derived);
-                    }
+            if totals.facts >= limits.max_facts {
+                termination = Termination::FactLimit;
+                break;
+            }
+            let mut iter_stats = IterationStats {
+                delta_facts: if indexed {
+                    relations
+                        .values()
+                        .map(|r| r.window_range(Window::Delta).len())
+                        .sum()
                 } else {
-                    // Iteration 0 is a naive round over the initial facts;
-                    // later iterations are semi-naive over the previous delta.
-                    let delta_positions: Vec<usize> = if iteration == 0 {
-                        vec![0]
-                    } else {
-                        (0..rule.body.len()).collect()
+                    0
+                },
+                ..IterationStats::default()
+            };
+
+            let (mut tasks, round_work) =
+                self.round_tasks(indexed, iteration, &relations, &before_prev, &prev);
+            // Shard only rounds wide enough to amortize spawning the worker
+            // pool; narrow rounds run on the calling thread with the exact
+            // same results (the absorb order is the task order either way).
+            let parallel = threads > 1 && round_work >= self.options.min_parallel_work;
+            if parallel {
+                tasks = chunk_tasks(tasks, threads);
+            }
+            // Any task derivations beyond this budget are guaranteed to be
+            // discarded by the in-order absorption below, so tasks stop
+            // generating there — a single iteration cannot buffer unboundedly
+            // past `max_derivations`.
+            let budget = limits.max_derivations.saturating_sub(totals.derivations);
+            let mut hit_limit = None;
+            if parallel && tasks.len() > 1 {
+                let buffers = {
+                    let ctx = RoundCtx {
+                        relations: &relations,
+                        iteration,
+                        before_prev: &before_prev,
+                        prev: &prev,
                     };
-                    for delta_pos in delta_positions {
-                        if iteration > 0 {
-                            // Skip if the delta for this literal is empty.
-                            let pred = &rule.body[delta_pos].predicate;
-                            let lo = before_prev.get(pred).copied().unwrap_or(0);
-                            let hi = prev.get(pred).copied().unwrap_or(0);
-                            if lo == hi {
-                                continue;
-                            }
-                        }
-                        join_legacy(
-                            rule,
-                            0,
-                            delta_pos,
-                            iteration,
-                            PartialMatch::start(rule),
-                            &relations,
-                            &before_prev,
-                            &prev,
-                            &mut derived,
-                        );
+                    run_tasks_parallel(&tasks, &ctx, budget, threads)
+                };
+                for (task, derived) in tasks.iter().zip(buffers) {
+                    hit_limit = absorb_derived(
+                        derived,
+                        &task.label,
+                        self.options.trace,
+                        &limits,
+                        &mut relations,
+                        &mut iter_stats,
+                        &mut totals,
+                    );
+                    if hit_limit.is_some() {
+                        break;
                     }
                 }
-                hit_limit = absorb_derived(
-                    derived,
-                    &rule_label,
-                    self.options.trace,
-                    &limits,
-                    &mut relations,
-                    &mut iter_stats,
-                    &mut total_derivations,
-                );
-                if hit_limit.is_some() {
-                    break;
+            } else {
+                for task in &tasks {
+                    let derived = {
+                        let ctx = RoundCtx {
+                            relations: &relations,
+                            iteration,
+                            before_prev: &before_prev,
+                            prev: &prev,
+                        };
+                        run_task(task, &ctx, budget)
+                    };
+                    hit_limit = absorb_derived(
+                        derived,
+                        &task.label,
+                        self.options.trace,
+                        &limits,
+                        &mut relations,
+                        &mut iter_stats,
+                        &mut totals,
+                    );
+                    if hit_limit.is_some() {
+                        break;
+                    }
                 }
             }
 
             let new_facts = iter_stats.new_facts;
             stats.iterations.push(iter_stats);
-            before_prev = prev;
-            prev = counts(&relations);
+            if indexed {
+                for relation in relations.values_mut() {
+                    relation.advance();
+                }
+            } else {
+                before_prev = std::mem::replace(&mut prev, counts(&relations));
+            }
             iteration += 1;
 
             if let Some(limit) = hit_limit {
@@ -552,10 +572,333 @@ impl Evaluator {
         }
         Evaluator::finalize(relations, stats, termination)
     }
+
+    /// Builds the ordered derivation tasks of one iteration, one per
+    /// (rule, delta-position), plus an estimate of the round's width (total
+    /// delta candidates) used to decide whether sharding is worthwhile.
+    ///
+    /// Tasks are emitted in (rule, delta-position) order, the exact order
+    /// the sequential evaluator visits the work, so absorbing the task
+    /// buffers in task order reproduces the sequential insertion sequence.
+    fn round_tasks(
+        &self,
+        indexed: bool,
+        iteration: usize,
+        relations: &BTreeMap<Pred, Relation>,
+        before_prev: &BTreeMap<Pred, usize>,
+        prev: &BTreeMap<Pred, usize>,
+    ) -> (Vec<RoundTask<'_>>, usize) {
+        let mut tasks = Vec::new();
+        let mut work = 0usize;
+        for (rule_index, rule) in self.program.rules().iter().enumerate() {
+            let label = rule
+                .label
+                .clone()
+                .unwrap_or_else(|| format!("rule{}", rule_index + 1));
+            if rule.body.is_empty() {
+                // Facts and constraint facts fire only in iteration 0.
+                if iteration == 0 {
+                    work += 1;
+                    tasks.push(RoundTask {
+                        rule,
+                        label,
+                        kind: TaskKind::Seed,
+                    });
+                }
+                continue;
+            }
+            if indexed {
+                for delta_pos in 0..rule.body.len() {
+                    let has_delta = relations
+                        .get(&rule.body[delta_pos].predicate)
+                        .is_some_and(|r| !r.delta_is_empty());
+                    if !has_delta {
+                        continue;
+                    }
+                    let order = order_body(rule, delta_pos, relations);
+                    let candidates = delta_candidates(rule, &order, relations);
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    work += candidates.len();
+                    tasks.push(RoundTask {
+                        rule,
+                        label: label.clone(),
+                        kind: TaskKind::Indexed { order, candidates },
+                    });
+                }
+            } else {
+                // Iteration 0 is a naive round over the initial facts;
+                // later iterations are semi-naive over the previous delta.
+                let delta_positions: Vec<usize> = if iteration == 0 {
+                    vec![0]
+                } else {
+                    (0..rule.body.len()).collect()
+                };
+                for delta_pos in delta_positions {
+                    let pred = &rule.body[delta_pos].predicate;
+                    let (lo, hi) = if iteration == 0 {
+                        (0, prev.get(pred).copied().unwrap_or(0))
+                    } else {
+                        (
+                            before_prev.get(pred).copied().unwrap_or(0),
+                            prev.get(pred).copied().unwrap_or(0),
+                        )
+                    };
+                    // Skip if the delta for this literal is empty.
+                    if lo == hi {
+                        continue;
+                    }
+                    work += hi - lo;
+                    tasks.push(RoundTask {
+                        rule,
+                        label: label.clone(),
+                        kind: TaskKind::Legacy { delta_pos },
+                    });
+                }
+            }
+        }
+        (tasks, work)
+    }
 }
 
-/// Inserts the derivations made by one rule application round, updating the
+/// Splits the delta-candidate lists of the indexed tasks into at most
+/// `threads × TASK_CHUNKS_PER_THREAD` chunks each, for load balancing across
+/// the worker pool.  The chunk boundaries cannot affect results: the chunks
+/// of one task stay adjacent, so the merged absorb order is unchanged.
+fn chunk_tasks(tasks: Vec<RoundTask<'_>>, threads: usize) -> Vec<RoundTask<'_>> {
+    let mut out = Vec::with_capacity(tasks.len());
+    for task in tasks {
+        let RoundTask { rule, label, kind } = task;
+        match kind {
+            TaskKind::Indexed { order, candidates } => {
+                let chunk = candidates
+                    .len()
+                    .div_ceil(threads * TASK_CHUNKS_PER_THREAD)
+                    .max(1);
+                if chunk >= candidates.len() {
+                    out.push(RoundTask {
+                        rule,
+                        label,
+                        kind: TaskKind::Indexed { order, candidates },
+                    });
+                } else {
+                    for slice in candidates.chunks(chunk) {
+                        out.push(RoundTask {
+                            rule,
+                            label: label.clone(),
+                            kind: TaskKind::Indexed {
+                                order: order.clone(),
+                                candidates: slice.to_vec(),
+                            },
+                        });
+                    }
+                }
+            }
+            kind => out.push(RoundTask { rule, label, kind }),
+        }
+    }
+    out
+}
+
+/// Ceiling on how many chunks the delta candidates of one
+/// (rule, delta-position) pair are split into, per worker thread.  More
+/// chunks balance skewed candidate workloads better at a small bookkeeping
+/// cost; the value does not affect results, only scheduling.
+const TASK_CHUNKS_PER_THREAD: usize = 4;
+
+/// One unit of derivation work inside an iteration.  Tasks only read the
+/// relations; their buffers are absorbed in task order at the barrier.
+struct RoundTask<'a> {
+    rule: &'a Rule,
+    /// The rule's display label for derivation records.
+    label: String,
+    kind: TaskKind,
+}
+
+/// What a [`RoundTask`] joins.
+enum TaskKind {
+    /// An empty-body rule (fact or constraint fact), fired in iteration 0.
+    Seed,
+    /// An indexed join: the precomputed body order and the chunk of
+    /// delta-window fact indices (into the delta literal's relation) this
+    /// task covers.
+    Indexed {
+        order: Vec<(usize, Window)>,
+        candidates: Vec<usize>,
+    },
+    /// A legacy nested-loop join over the count slices for one delta
+    /// position.
+    Legacy { delta_pos: usize },
+}
+
+/// The read-only evaluation state a round task joins against.
+struct RoundCtx<'a> {
+    relations: &'a BTreeMap<Pred, Relation>,
+    iteration: usize,
+    before_prev: &'a BTreeMap<Pred, usize>,
+    prev: &'a BTreeMap<Pred, usize>,
+}
+
+/// Runs one task to completion, collecting at most `cap` derived facts.
+fn run_task(task: &RoundTask<'_>, ctx: &RoundCtx<'_>, cap: usize) -> Vec<Fact> {
+    let mut derived = Vec::new();
+    let rule = task.rule;
+    match &task.kind {
+        TaskKind::Seed => finish_derivation(rule, PartialMatch::start(rule), &mut derived),
+        TaskKind::Indexed { order, candidates } => {
+            let literal = &rule.body[order[0].0];
+            let Some(relation) = ctx.relations.get(&literal.predicate) else {
+                return derived;
+            };
+            let start = PartialMatch::start(rule);
+            for &index in candidates {
+                if derived.len() >= cap {
+                    break;
+                }
+                if let Some(next) = match_literal(&start, literal, &relation.facts()[index]) {
+                    join_indexed(rule, order, 1, next, ctx.relations, &mut derived, cap);
+                }
+            }
+        }
+        TaskKind::Legacy { delta_pos } => join_legacy(
+            rule,
+            0,
+            *delta_pos,
+            ctx.iteration,
+            PartialMatch::start(rule),
+            ctx.relations,
+            ctx.before_prev,
+            ctx.prev,
+            &mut derived,
+            cap,
+        ),
+    }
+    derived
+}
+
+/// Runs the tasks of one iteration on a scoped worker pool and returns one
+/// buffer per task, positionally.
+///
+/// Workers pull task ordinals from a shared cursor (so tasks start in
+/// order), accumulate into thread-local buffers, and the buffers are merged
+/// back in task order — scheduling therefore cannot influence the absorb
+/// sequence.  A worker about to start a task first consults the completed
+/// *prefix* of the task list: once the tasks before some point have already
+/// derived `budget` facts, every later task's buffer is guaranteed to be
+/// discarded by the in-order absorption, so it is skipped outright.
+fn run_tasks_parallel(
+    tasks: &[RoundTask<'_>],
+    ctx: &RoundCtx<'_>,
+    budget: usize,
+    threads: usize,
+) -> Vec<Vec<Fact>> {
+    let workers = threads.min(tasks.len());
+    let cursor = AtomicUsize::new(0);
+    let progress = RoundProgress::new(tasks.len());
+    let collected: Vec<(usize, Vec<Fact>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<Fact>)> = Vec::new();
+                    loop {
+                        let ordinal = cursor.fetch_add(1, AtomicOrdering::Relaxed);
+                        let Some(task) = tasks.get(ordinal) else {
+                            break;
+                        };
+                        let derived = if progress.prefix_derivations() >= budget {
+                            Vec::new()
+                        } else {
+                            run_task(task, ctx, budget)
+                        };
+                        progress.record(ordinal, derived.len());
+                        local.push((ordinal, derived));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| {
+                // Re-raise a worker panic with its original payload so that
+                // e.g. the descriptive rational-overflow messages survive
+                // the thread boundary.
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    let mut buffers: Vec<Vec<Fact>> = Vec::new();
+    buffers.resize_with(tasks.len(), Vec::new);
+    for (ordinal, derived) in collected {
+        buffers[ordinal] = derived;
+    }
+    buffers
+}
+
+/// Tracks, across workers, how many facts the completed contiguous *prefix*
+/// of the task list has derived.  The prefix count is monotone and
+/// independent of scheduling, so gating on it never skips a task whose
+/// buffer could still be absorbed.
+struct RoundProgress {
+    inner: Mutex<RoundProgressInner>,
+}
+
+struct RoundProgressInner {
+    /// Per-task derivation counts; `None` until the task finishes.
+    counts: Vec<Option<usize>>,
+    /// Number of contiguous finished tasks from the front.
+    prefix_tasks: usize,
+    /// Total derivations of that finished prefix.
+    prefix_derivations: usize,
+}
+
+impl RoundProgress {
+    fn new(tasks: usize) -> Self {
+        RoundProgress {
+            inner: Mutex::new(RoundProgressInner {
+                counts: vec![None; tasks],
+                prefix_tasks: 0,
+                prefix_derivations: 0,
+            }),
+        }
+    }
+
+    fn record(&self, ordinal: usize, derivations: usize) {
+        let mut inner = self.inner.lock().expect("round progress poisoned");
+        inner.counts[ordinal] = Some(derivations);
+        while let Some(Some(count)) = inner.counts.get(inner.prefix_tasks).copied() {
+            inner.prefix_derivations += count;
+            inner.prefix_tasks += 1;
+        }
+    }
+
+    fn prefix_derivations(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("round progress poisoned")
+            .prefix_derivations
+    }
+}
+
+/// Running totals of an evaluation, shared by the limit checks.
+struct EvalTotals {
+    /// Derivations absorbed so far (across all iterations).
+    derivations: usize,
+    /// Facts currently stored across all relations.
+    facts: usize,
+}
+
+/// Inserts the derivations made by one round task, updating the
 /// per-iteration statistics.  Returns the limit that was hit, if any.
+///
+/// Both limits are enforced *per fact*: the first insertion that reaches
+/// `max_facts` (or the first derivation that reaches `max_derivations`)
+/// stops the absorption immediately, so a single huge iteration cannot
+/// overshoot the caps by the size of its buffered round.  The fact limit
+/// takes precedence when both trip on the same fact.
 fn absorb_derived(
     derived: Vec<Fact>,
     rule_label: &str,
@@ -563,11 +906,10 @@ fn absorb_derived(
     limits: &EvalLimits,
     relations: &mut BTreeMap<Pred, Relation>,
     iter_stats: &mut IterationStats,
-    total_derivations: &mut usize,
+    totals: &mut EvalTotals,
 ) -> Option<Termination> {
-    let mut hit_limit = None;
     for fact in derived {
-        *total_derivations += 1;
+        totals.derivations += 1;
         iter_stats.derivations += 1;
         let rendered = trace.then(|| fact.to_string());
         let outcome = relations
@@ -577,6 +919,7 @@ fn absorb_derived(
         let is_new = outcome == InsertOutcome::Added;
         if is_new {
             iter_stats.new_facts += 1;
+            totals.facts += 1;
         } else {
             iter_stats.subsumed += 1;
         }
@@ -587,17 +930,16 @@ fn absorb_derived(
                 new: is_new,
             });
         }
-        if *total_derivations >= limits.max_derivations {
-            hit_limit = Some(Termination::DerivationLimit);
-            break;
+        if totals.facts >= limits.max_facts {
+            return Some(Termination::FactLimit);
+        }
+        if totals.derivations >= limits.max_derivations {
+            return Some(Termination::DerivationLimit);
         }
     }
-    // The fact limit takes precedence when both trip in the same round.
-    let total: usize = relations.values().map(Relation::len).sum();
-    if total >= limits.max_facts {
-        hit_limit = Some(Termination::FactLimit);
-    }
-    hit_limit
+    // A database over the fact limit before any rule fires is caught by the
+    // loop-top check in `run_fixpoint`, so reaching here means under-limit.
+    None
 }
 
 /// Returns `true` if every variable of `term` is already bound (constants
@@ -695,12 +1037,45 @@ fn bound_probes(pm: &PartialMatch, literal: &Literal) -> Vec<(usize, Value)> {
     probes
 }
 
-/// Recursively joins the body literals of `rule` in the given order,
-/// collecting the facts of every completed derivation into `derived`.
+/// The delta-window fact indices the first (delta) literal of `order` can
+/// match, in the exact order the join visits them: the most selective bound
+/// argument position (constants of the literal; the partial match is still
+/// empty at step 0) probes the relation's hash index, and a literal with no
+/// bound arguments falls back to scanning the delta window.
+///
+/// This is the sharding axis of a parallel round: the candidate list is
+/// chunked across tasks, and concatenating the per-chunk results in order
+/// reproduces the sequential derivation sequence.
+fn delta_candidates(
+    rule: &Rule,
+    order: &[(usize, Window)],
+    relations: &BTreeMap<Pred, Relation>,
+) -> Vec<usize> {
+    let (literal_index, window) = order[0];
+    let literal = &rule.body[literal_index];
+    let Some(relation) = relations.get(&literal.predicate) else {
+        return Vec::new();
+    };
+    let pm = PartialMatch::start(rule);
+    let probes = bound_probes(&pm, literal);
+    let best = probes
+        .iter()
+        .min_by_key(|(pos, value)| relation.probe_len(window, *pos, value));
+    match best {
+        Some((pos, value)) => relation.probe_indices(window, *pos, value).collect(),
+        None => relation.window_range(window).collect(),
+    }
+}
+
+/// Recursively joins the body literals of `rule` in the given order from
+/// `step` onwards (step 0, the delta literal, is enumerated by
+/// [`delta_candidates`]), collecting the facts of every completed derivation
+/// into `derived` until `cap` facts have been collected.
 ///
 /// At each step the most selective bound argument position probes the
 /// relation's hash index (exact matches plus the constraint-fact tail); a
 /// literal with no bound arguments falls back to scanning its window.
+#[allow(clippy::too_many_arguments)]
 fn join_indexed(
     rule: &Rule,
     order: &[(usize, Window)],
@@ -708,7 +1083,11 @@ fn join_indexed(
     pm: PartialMatch,
     relations: &BTreeMap<Pred, Relation>,
     derived: &mut Vec<Fact>,
+    cap: usize,
 ) {
+    if derived.len() >= cap {
+        return;
+    }
     let Some(&(literal_index, window)) = order.get(step) else {
         finish_derivation(rule, pm, derived);
         return;
@@ -725,14 +1104,14 @@ fn join_indexed(
         Some((pos, value)) => {
             for fact in relation.probe(window, *pos, value) {
                 if let Some(next) = match_literal(&pm, literal, fact) {
-                    join_indexed(rule, order, step + 1, next, relations, derived);
+                    join_indexed(rule, order, step + 1, next, relations, derived, cap);
                 }
             }
         }
         None => {
             for fact in relation.window_facts(window) {
                 if let Some(next) = match_literal(&pm, literal, fact) {
-                    join_indexed(rule, order, step + 1, next, relations, derived);
+                    join_indexed(rule, order, step + 1, next, relations, derived, cap);
                 }
             }
         }
@@ -740,7 +1119,8 @@ fn join_indexed(
 }
 
 /// Recursively joins the body literals of `rule` starting at `index` with the
-/// legacy nested-loop, count-sliced discipline.
+/// legacy nested-loop, count-sliced discipline, collecting at most `cap`
+/// derived facts.
 #[allow(clippy::too_many_arguments)]
 fn join_legacy(
     rule: &Rule,
@@ -752,7 +1132,11 @@ fn join_legacy(
     before_prev: &BTreeMap<Pred, usize>,
     prev: &BTreeMap<Pred, usize>,
     derived: &mut Vec<Fact>,
+    cap: usize,
 ) {
+    if derived.len() >= cap {
+        return;
+    }
     if index == rule.body.len() {
         finish_derivation(rule, pm, derived);
         return;
@@ -765,8 +1149,12 @@ fn join_legacy(
     // Select the slice of facts visible to this literal under the semi-naive
     // discipline (old facts before the delta literal, delta at the delta
     // literal, everything known at the end of the previous iteration after).
+    // Iteration 0 is a naive round over the facts present at the iteration
+    // boundary — the snapshot the `prev` counts captured — so the join reads
+    // the same slice whether the round's tasks run sequentially interleaved
+    // with absorption or all in parallel before it.
     let (lo, hi) = if iteration == 0 {
-        (0, all_facts.len())
+        (0, prev.get(pred).copied().unwrap_or(0))
     } else {
         let before = before_prev.get(pred).copied().unwrap_or(0);
         let end = prev.get(pred).copied().unwrap_or(0);
@@ -788,6 +1176,7 @@ fn join_legacy(
                 before_prev,
                 prev,
                 derived,
+                cap,
             );
         }
     }
@@ -1184,6 +1573,117 @@ mod tests {
             a.sort();
             b.sort();
             assert_eq!(a, b);
+        }
+    }
+
+    /// Renders relations sorted so runs can be compared fact-for-fact.
+    fn rendered(result: &EvalResult) -> Vec<(String, Vec<String>)> {
+        result
+            .relations
+            .iter()
+            .map(|(pred, relation)| {
+                let mut facts: Vec<String> = relation.iter().map(|f| f.to_string()).collect();
+                facts.sort();
+                (pred.to_string(), facts)
+            })
+            .collect()
+    }
+
+    /// Asserts two evaluations are bit-for-bit identical: relations,
+    /// termination, and every per-iteration statistic.
+    fn assert_identical_runs(a: &EvalResult, b: &EvalResult) {
+        assert_eq!(a.termination, b.termination);
+        assert_eq!(rendered(a), rendered(b));
+        assert_eq!(a.stats.iterations.len(), b.stats.iterations.len());
+        for (i, (x, y)) in a
+            .stats
+            .iterations
+            .iter()
+            .zip(&b.stats.iterations)
+            .enumerate()
+        {
+            assert_eq!(x.derivations, y.derivations, "derivations at iteration {i}");
+            assert_eq!(x.new_facts, y.new_facts, "new facts at iteration {i}");
+            assert_eq!(x.subsumed, y.subsumed, "subsumed at iteration {i}");
+            assert_eq!(x.delta_facts, y.delta_facts, "delta facts at iteration {i}");
+        }
+        assert_eq!(a.stats.facts_per_predicate, b.stats.facts_per_predicate);
+        assert_eq!(a.stats.constraint_facts, b.stats.constraint_facts);
+    }
+
+    #[test]
+    fn parallel_rounds_match_the_sequential_evaluation_exactly() {
+        // Ground joins plus constraint facts, so both the hash-probe path
+        // and the constraint-fact tail cross the worker boundary.
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 2), (1, 4), (2, 5), (5, 6)] {
+            db.add_ground("edge", vec![Value::num(a), Value::num(b)]);
+        }
+        let source = "seed(X) :- X >= 4, X <= 5.\n\
+                      path(X, Y) :- edge(X, Y).\n\
+                      path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+                      near(X, Y) :- path(X, Y), seed(X).";
+        let program = parse_program(source).unwrap();
+        for index in [true, false] {
+            let base = EvalOptions {
+                index,
+                ..EvalOptions::default()
+            };
+            let sequential = Evaluator::new(&program, base.clone().with_threads(1)).evaluate(&db);
+            for threads in [2, 4, 7] {
+                // Force sharding even though the rounds are narrow.
+                let options = base.clone().with_threads(threads).with_min_parallel_work(0);
+                let parallel = Evaluator::new(&program, options).evaluate(&db);
+                assert_identical_runs(&sequential, &parallel);
+            }
+        }
+    }
+
+    #[test]
+    fn fact_limit_is_enforced_inside_an_iteration() {
+        // One iteration of the cross-product rule derives 100 facts; the cap
+        // must stop the round mid-iteration, not after absorbing all of it.
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.add_ground("p", vec![Value::num(i)]);
+        }
+        let program = parse_program("q(X, Y) :- p(X), p(Y).").unwrap();
+        for threads in [1, 4] {
+            let options = EvalOptions {
+                limits: EvalLimits {
+                    max_facts: 20,
+                    ..EvalLimits::default()
+                },
+                ..EvalOptions::indexed()
+            }
+            .with_threads(threads)
+            .with_min_parallel_work(0);
+            let result = Evaluator::new(&program, options).evaluate(&db);
+            assert_eq!(result.termination, Termination::FactLimit);
+            assert_eq!(result.total_facts(), 20, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn derivation_limit_is_enforced_inside_an_iteration() {
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.add_ground("p", vec![Value::num(i)]);
+        }
+        let program = parse_program("q(X, Y) :- p(X), p(Y).").unwrap();
+        for threads in [1, 4] {
+            let options = EvalOptions {
+                limits: EvalLimits {
+                    max_derivations: 13,
+                    ..EvalLimits::default()
+                },
+                ..EvalOptions::indexed()
+            }
+            .with_threads(threads)
+            .with_min_parallel_work(0);
+            let result = Evaluator::new(&program, options).evaluate(&db);
+            assert_eq!(result.termination, Termination::DerivationLimit);
+            assert_eq!(result.stats.total_derivations(), 13, "threads = {threads}");
         }
     }
 

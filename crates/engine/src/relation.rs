@@ -186,13 +186,25 @@ impl Relation {
         position: usize,
         value: &Value,
     ) -> impl Iterator<Item = &Fact> {
+        self.probe_indices(window, position, value)
+            .map(move |index| &self.facts[index])
+    }
+
+    /// The fact indices a [`Self::probe`] with the same arguments yields, in
+    /// probe order (exact matches first, then the free/constraint-fact
+    /// tail).  Parallel evaluation rounds shard these index lists across
+    /// worker threads; the probe path is `&self`-only, so a `&Relation` can
+    /// be shared freely.
+    pub fn probe_indices(
+        &self,
+        window: Window,
+        position: usize,
+        value: &Value,
+    ) -> impl Iterator<Item = usize> + '_ {
         let range = self.window_range(window);
         let exact = clip(self.exact_entries(position, value), &range);
         let free = clip(self.free_entries(position), &range);
-        exact
-            .iter()
-            .chain(free.iter())
-            .map(move |&index| &self.facts[index])
+        exact.iter().chain(free.iter()).copied()
     }
 
     fn exact_entries(&self, position: usize, value: &Value) -> &[usize] {
@@ -215,6 +227,15 @@ impl Relation {
         self.facts.iter()
     }
 }
+
+// A parallel evaluation round shares `&Relation` (and the facts behind it)
+// across scoped worker threads.  Keep the types free of interior mutability:
+// this fails to compile if `Relation` or `Fact` ever stops being `Sync`.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<Relation>();
+    assert_shareable::<Fact>();
+};
 
 /// Restricts a sorted index list to the entries inside `range`.
 fn clip<'a>(entries: &'a [usize], range: &Range<usize>) -> &'a [usize] {

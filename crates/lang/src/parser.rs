@@ -629,6 +629,65 @@ mod tests {
     }
 
     #[test]
+    fn negative_numerals_parse_in_facts_queries_and_constraints() {
+        // Facts and queries with negative constant arguments.
+        let program = parse_program("m(-3, -4).\n?- m(-3, X).").unwrap();
+        assert_eq!(program.rules()[0].head.args[0], Term::num(-3));
+        assert_eq!(program.rules()[0].head.args[1], Term::num(-4));
+        let query = program.query().unwrap();
+        assert_eq!(query.literals[0].args[0], Term::num(-3));
+        // Negative constraint constants, on either side of the comparison.
+        let rule = parse_rule("q(X) :- p(X), X <= -3, -5 <= X.").unwrap();
+        let at = |v: i64| {
+            rule.constraint
+                .evaluate(&|_| Some(Rational::from_int(v as i128)))
+                .unwrap()
+        };
+        assert!(at(-4));
+        assert!(!at(-2), "X <= -3 must reject -2");
+        assert!(!at(-6), "-5 <= X must reject -6");
+        // Negative decimals.
+        let rule = parse_rule("q(X) :- p(X), X >= -1.5.").unwrap();
+        let c = &rule.constraint;
+        assert!(c.evaluate(&|_| Some(Rational::from_int(-1))).unwrap());
+        assert!(!c.evaluate(&|_| Some(Rational::from_int(-2))).unwrap());
+        // Unary minus over parenthesized expressions and double negation.
+        let rule = parse_rule("q(Y) :- p(X), Y = -(X + 1) - -2.").unwrap();
+        let sat = rule.constraint.evaluate(&|v: &Var| {
+            Some(Rational::from_int(match v.name() {
+                "X" => 3,
+                // Y = -(3 + 1) + 2 = -2
+                "Y" => -2,
+                _ => return None,
+            }))
+        });
+        assert_eq!(sat, Some(true));
+    }
+
+    #[test]
+    fn programs_round_trip_through_display() {
+        // Rendered programs must re-parse to the same rendering, including
+        // negative numerals, rationals, labels, EDB declarations, and the
+        // query.
+        let sources = [
+            "r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.\n\
+             flight(S, D, T, C) :- singleleg(S, D, T, C), C > 0.\n\
+             ?- cheaporshort(madison, seattle, Time, Cost).",
+            "edb b1/2.\np(-1, 2.5).\nq(X) :- b1(X, Y), X <= -3, Y = X - 1.\n?- q(-1).",
+            "fib(0, 1).\nfib(N, X1 + X2) :- N > 1, fib(N - 1, X1), fib(N - 2, X2).\n\
+             ?- fib(N, 5).",
+            "bounds(X) :- X >= -1.5, X <= 7/2.",
+        ];
+        for source in sources {
+            let program = parse_program(source).unwrap();
+            let printed = program.to_string();
+            let reparsed = parse_program(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            assert_eq!(printed, reparsed.to_string(), "for source {source:?}");
+        }
+    }
+
+    #[test]
     fn nonlinear_multiplication_is_rejected() {
         assert!(parse_rule("p(X) :- q(Y), X = Y * Y.").is_err());
         assert!(parse_rule("p(X) :- q(Y), X = 2 * Y.").is_ok());

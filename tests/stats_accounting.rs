@@ -1,0 +1,68 @@
+//! Per-iteration statistics accounting under the indexed join core: the
+//! delta sizes driving each iteration must match the new-fact counts of the
+//! previous iteration, and the totals must tie out against the stored facts
+//! — on the flights workload, sequentially and with a parallel worker pool.
+
+use pushing_constraint_selections::prelude::*;
+
+fn assert_delta_accounting(threads: usize) {
+    let program = programs::flights();
+    let db = programs::flights_database(6, 20);
+    // min_parallel_work = 0 forces sharding even on these narrow rounds.
+    let options = EvalOptions::indexed()
+        .with_threads(threads)
+        .with_min_parallel_work(0);
+    let result = Evaluator::new(&program, options).evaluate(&db);
+    assert!(result.termination.is_fixpoint());
+    let stats = &result.stats;
+    assert!(stats.indexed);
+    let iterations = &stats.iterations;
+    assert!(iterations.len() >= 3, "flights closure iterates");
+
+    // Iteration 0 is the naive round: its delta is the seeded EDB.
+    assert_eq!(iterations[0].delta_facts, db.len(), "threads = {threads}");
+    // Every later delta is exactly the previous iteration's new facts.
+    for k in 1..iterations.len() {
+        assert_eq!(
+            iterations[k].delta_facts,
+            iterations[k - 1].new_facts,
+            "delta of iteration {k} (threads = {threads})"
+        );
+    }
+    // The fixpoint round derives nothing new, and the stored totals tie
+    // out: seeded facts plus all new facts equals the stored facts.
+    assert_eq!(iterations.last().unwrap().new_facts, 0);
+    assert_eq!(db.len() + stats.total_new_facts(), stats.total_facts());
+    assert_eq!(stats.total_facts(), result.total_facts());
+    // Derivations split exactly into new and subsumed.
+    assert_eq!(
+        stats.total_derivations(),
+        stats.total_new_facts() + stats.total_subsumed()
+    );
+}
+
+#[test]
+fn indexed_delta_accounting_matches_total_fact_deltas() {
+    assert_delta_accounting(1);
+}
+
+#[test]
+fn indexed_delta_accounting_is_unchanged_by_parallelism() {
+    assert_delta_accounting(4);
+}
+
+#[test]
+fn legacy_core_reports_zero_deltas_but_matching_totals() {
+    let program = programs::flights();
+    let db = programs::flights_database(6, 20);
+    let indexed = Evaluator::new(&program, EvalOptions::indexed().with_threads(1)).evaluate(&db);
+    let legacy = Evaluator::new(&program, EvalOptions::legacy().with_threads(1)).evaluate(&db);
+    // The legacy core slices on fact counts and leaves `delta_facts` at
+    // zero; everything it stores still matches the indexed core.
+    assert!(legacy.stats.iterations.iter().all(|i| i.delta_facts == 0));
+    assert_eq!(
+        legacy.stats.facts_per_predicate,
+        indexed.stats.facts_per_predicate
+    );
+    assert_eq!(legacy.stats.total_facts(), indexed.stats.total_facts());
+}
