@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Available experiment names: `table1`, `table2`, `flights`, `ex41`, `ex42`,
-//! `balbin`, `orderings`, `overlap`, `parallel`, `all`.
+//! `balbin`, `orderings`, `overlap`, `parallel`, `incremental`, `all`.
 
 use pcs_bench::experiments;
 
@@ -24,10 +24,11 @@ fn main() {
         "orderings" | "optimal" => experiments::orderings(),
         "overlap" => experiments::overlap(),
         "parallel" | "threads" => experiments::parallel_scaling(&[1, 2, 4, 8]),
+        "incremental" | "resume" => experiments::incremental(&[(60, 120, 4), (100, 200, 8)]),
         "all" => experiments::all(),
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, all"
+                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, incremental, all"
             );
             std::process::exit(2);
         }

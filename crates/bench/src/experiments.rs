@@ -372,6 +372,86 @@ pub fn parallel_scaling(thread_counts: &[usize]) -> String {
     out
 }
 
+/// E14 (PR 4): incremental update latency — resuming the semi-naive
+/// fixpoint from a materialization versus re-evaluating base + updates from
+/// scratch, on random flights workloads across strategies.  The resumed
+/// timing includes cloning the materialized relations, i.e. the full
+/// copy-on-update path a live `pcs-service` session pays per batch.  The
+/// fact totals double as a live check that both paths computed the same
+/// result.
+pub fn incremental(scales: &[(usize, usize, usize)]) -> String {
+    use std::time::{Duration, Instant};
+
+    let program = programs::flights();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Incremental updates (resume from materialization vs from-scratch re-evaluation; best of 3)"
+    );
+    for &(cities, legs, batch) in scales {
+        let base = crate::workload::random_flights_database(cities, legs, 0xC0FFEE);
+        let updates = crate::workload::flights_update_legs(cities, batch, 0xBEEF);
+        let mut full = base.clone();
+        for fact in &updates {
+            full.add(fact.clone());
+        }
+        let _ = writeln!(
+            out,
+            "workload: {cities} cities / {legs} legs + {batch} update legs ({} EDB facts)",
+            full.len()
+        );
+        let _ = writeln!(
+            out,
+            "   {:<30} {:>12} {:>12} {:>9} {:>12}",
+            "strategy", "scratch", "resume", "speedup", "total facts"
+        );
+        for (name, strategy) in [
+            ("original", Strategy::None),
+            ("pred,qrp (Constraint_rewrite)", Strategy::ConstraintRewrite),
+            ("pred,qrp,mg (optimal)", Strategy::Optimal),
+        ] {
+            let optimized = Optimizer::new(program.clone())
+                .strategy(strategy)
+                .optimize()
+                .expect("optimization succeeds");
+            let evaluator = optimized.evaluator();
+            let materialized = evaluator.evaluate(&base);
+            let mut scratch_best = Duration::MAX;
+            let mut scratch_facts = 0;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let result = evaluator.evaluate(&full);
+                scratch_best = scratch_best.min(start.elapsed());
+                scratch_facts = result.total_facts();
+            }
+            let mut resume_best = Duration::MAX;
+            let mut resume_facts = 0;
+            for _ in 0..3 {
+                let start = Instant::now();
+                // Clone inside the timed section: a live session clones the
+                // current epoch's relations for every update batch.
+                let result = evaluator.resume(materialized.relations.clone(), updates.clone());
+                resume_best = resume_best.min(start.elapsed());
+                resume_facts = result.total_facts();
+            }
+            assert_eq!(
+                scratch_facts, resume_facts,
+                "resume diverged from scratch in the incremental experiment"
+            );
+            let _ = writeln!(
+                out,
+                "   {:<30} {:>10.2}ms {:>10.2}ms {:>8.1}x {:>12}",
+                name,
+                scratch_best.as_secs_f64() * 1e3,
+                resume_best.as_secs_f64() * 1e3,
+                scratch_best.as_secs_f64() / resume_best.as_secs_f64(),
+                resume_facts
+            );
+        }
+    }
+    out
+}
+
 /// Runs every experiment and concatenates the reports.
 pub fn all() -> String {
     let mut out = String::new();
@@ -385,6 +465,7 @@ pub fn all() -> String {
         orderings(),
         overlap(),
         parallel_scaling(&[1, 2, 4, 8]),
+        incremental(&[(60, 120, 4), (100, 200, 8)]),
     ] {
         out.push_str(&section);
         out.push('\n');
@@ -409,6 +490,14 @@ mod tests {
     fn flights_report_lists_all_strategies() {
         let report = flights(&[(5, 10)]);
         assert!(report.contains("original"));
+        assert!(report.contains("pred,qrp,mg (optimal)"));
+    }
+
+    #[test]
+    fn incremental_report_compares_resume_to_scratch() {
+        let report = incremental(&[(12, 20, 3)]);
+        assert!(report.contains("scratch"));
+        assert!(report.contains("resume"));
         assert!(report.contains("pred,qrp,mg (optimal)"));
     }
 

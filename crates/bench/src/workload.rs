@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use pcs_core::programs;
-use pcs_engine::{Database, Value};
+use pcs_engine::{Database, Fact, Value};
 
 pub use pcs_core::programs::{
     example_41_database, example_42_database, example_7x_database, flights_database,
@@ -81,6 +81,37 @@ pub fn layered_flights_database(layers: usize, width: usize, seed: u64) -> Datab
     db
 }
 
+/// A batch of update legs for the incremental experiments: `num_legs` new
+/// legs between random cities of a `num_cities` flight network, oriented
+/// from the lower- to the higher-numbered city so the grown network stays a
+/// DAG (the same invariant as [`random_flights_database`]).  Returned as
+/// facts ready for `Evaluator::resume` or `Session::insert`.  Seeded and
+/// reproducible; use a different seed than the base database so the batch
+/// is mostly genuinely new legs.
+pub fn flights_update_legs(num_cities: usize, num_legs: usize, seed: u64) -> Vec<Fact> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut legs = Vec::with_capacity(num_legs);
+    while legs.len() < num_legs {
+        let a = rng.random_range(0..num_cities);
+        let b = rng.random_range(0..num_cities);
+        if a == b {
+            continue;
+        }
+        let time: i64 = rng.random_range(30..=400);
+        let cost: i64 = rng.random_range(20..=500);
+        legs.push(Fact::ground(
+            "singleleg",
+            vec![
+                Value::sym(format!("c{}", a.min(b))),
+                Value::sym(format!("c{}", a.max(b))),
+                Value::num(time),
+                Value::num(cost),
+            ],
+        ));
+    }
+    legs
+}
+
 /// A random EDB for the Example 7.1/7.2 programs: `b1` edges with sources in
 /// `[0, max_source)` and a `b2` chain of the given length.
 pub fn random_7x_database(b1_edges: usize, max_source: i64, chain: usize, seed: u64) -> Database {
@@ -111,6 +142,24 @@ mod tests {
         let d = random_7x_database(20, 10, 5, 7);
         assert_eq!(c.len(), d.len());
         assert!(c.len() >= 5);
+    }
+
+    #[test]
+    fn update_legs_are_acyclic_and_reproducible() {
+        let a = flights_update_legs(12, 8, 3);
+        let b = flights_update_legs(12, 8, 3);
+        assert_eq!(a.len(), 8);
+        assert_eq!(
+            a.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            b.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+        for leg in &a {
+            let values = leg.ground_values().unwrap();
+            let src = values[0].as_sym().unwrap().name().to_string();
+            let dst = values[1].as_sym().unwrap().name().to_string();
+            let number = |s: &str| s[1..].parse::<usize>().unwrap();
+            assert!(number(&src) < number(&dst), "{src} -> {dst}");
+        }
     }
 
     #[test]

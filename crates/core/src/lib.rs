@@ -42,7 +42,10 @@ pub mod prelude {
     pub use crate::optimizer::{Optimized, Optimizer, Strategy};
     pub use crate::programs;
     pub use pcs_constraints::{Atom, CmpOp, Conjunction, ConstraintSet, LinearExpr, Rational, Var};
-    pub use pcs_engine::{Database, EvalLimits, EvalOptions, Evaluator, Fact, Termination, Value};
+    pub use pcs_engine::{
+        parse_facts, Database, EvalLimits, EvalOptions, Evaluator, Fact, FactsError, Termination,
+        Value,
+    };
     pub use pcs_lang::{parse_program, Literal, Pred, Program, Query, Rule, Term};
     pub use pcs_transform::{
         apply_sequence, check_decidable_class, constraint_rewrite, gen_predicate_constraints,

@@ -55,6 +55,13 @@ impl Optimizer {
         }
     }
 
+    /// The source program this optimizer was created with (before any
+    /// rewriting).  Long-lived sessions use it to map interactive queries on
+    /// the original query predicate onto the rewritten one.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
     /// Selects the rewriting strategy.
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
@@ -154,10 +161,30 @@ pub struct Optimized {
 }
 
 impl Optimized {
+    /// The evaluator for this program with the configured options — the
+    /// handoff a long-lived `pcs-service` session uses: build the evaluator
+    /// once, [`Evaluator::evaluate`] to materialize, then
+    /// [`Evaluator::resume`] per update batch.
+    pub fn evaluator(&self) -> Evaluator {
+        Evaluator::new(&self.program, self.eval.clone())
+    }
+
     /// Evaluates the optimized program bottom-up against a database, using
     /// the options configured via [`Optimizer::eval_options`].
     pub fn evaluate(&self, db: &Database) -> EvalResult {
         self.evaluate_with(db, self.eval.clone())
+    }
+
+    /// Resumes a completed materialization of this program (the `relations`
+    /// of a previous [`EvalResult`]) with a batch of update facts as the
+    /// seed delta, re-running only the affected part of the fixpoint.  See
+    /// [`Evaluator::resume`] for the exact contract.
+    pub fn resume(
+        &self,
+        relations: std::collections::BTreeMap<Pred, pcs_engine::Relation>,
+        updates: Vec<pcs_engine::Fact>,
+    ) -> EvalResult {
+        self.evaluator().resume(relations, updates)
     }
 
     /// Evaluates with explicit options (limits, tracing).
@@ -249,6 +276,43 @@ mod tests {
         assert_eq!(a.termination, b.termination);
         assert_eq!(a.stats.facts_per_predicate, b.stats.facts_per_predicate);
         assert_eq!(a.stats.total_derivations(), b.stats.total_derivations());
+    }
+
+    #[test]
+    fn optimized_resume_matches_scratch_across_strategies() {
+        let program = programs::flights();
+        let base = programs::flights_database(6, 10);
+        // Five extra legs arriving later as an update batch.
+        let mut full = programs::flights_database(6, 15);
+        let updates: Vec<pcs_engine::Fact> = full
+            .facts_for(&Pred::new("singleleg"))
+            .iter()
+            .filter(|fact| !base.facts_for(&Pred::new("singleleg")).contains(fact))
+            .cloned()
+            .collect();
+        assert!(!updates.is_empty());
+        full = base.clone();
+        for fact in &updates {
+            full.add(fact.clone());
+        }
+        for strategy in [
+            Strategy::None,
+            Strategy::ConstraintRewrite,
+            Strategy::Optimal,
+        ] {
+            let optimized = Optimizer::new(program.clone())
+                .strategy(strategy)
+                .optimize()
+                .unwrap();
+            let scratch = optimized.evaluate(&full);
+            let materialized = optimized.evaluate(&base);
+            let resumed = optimized.resume(materialized.relations, updates.clone());
+            assert_eq!(resumed.termination, scratch.termination);
+            assert_eq!(
+                resumed.stats.facts_per_predicate,
+                scratch.stats.facts_per_predicate
+            );
+        }
     }
 
     #[test]

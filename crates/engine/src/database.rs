@@ -1,12 +1,102 @@
-//! Extensional databases (EDBs).
+//! Extensional databases (EDBs) and parser-backed bulk fact loading.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
-use pcs_constraints::ConstraintSet;
-use pcs_lang::Pred;
+use pcs_constraints::{Atom, CmpOp, ConstraintSet, LinearExpr, Var, VarGen};
+use pcs_lang::{ParseError, Pred, Rule, Term};
 
-use crate::fact::Fact;
+use crate::fact::{Binding, Fact};
 use crate::value::Value;
+
+/// An error turning fact-only source text into [`Fact`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactsError {
+    /// The text did not parse as fact-only input (syntax errors, rules with
+    /// body literals, queries, `edb` declarations).
+    Parse(ParseError),
+    /// A constraint fact's conjunction is unsatisfiable, so it denotes no
+    /// ground facts at all — almost certainly a typo worth surfacing rather
+    /// than silently loading nothing.
+    Unsatisfiable(String),
+}
+
+impl fmt::Display for FactsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactsError::Parse(e) => write!(f, "{e}"),
+            FactsError::Unsatisfiable(rule) => {
+                write!(f, "constraint fact `{rule}` is unsatisfiable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FactsError::Parse(e) => Some(e),
+            FactsError::Unsatisfiable(_) => None,
+        }
+    }
+}
+
+impl From<ParseError> for FactsError {
+    fn from(e: ParseError) -> Self {
+        FactsError::Parse(e)
+    }
+}
+
+/// Parses fact-only source text into facts: ground facts (`p(a, 1).`) and
+/// constraint facts (`p(X) :- X >= 0, X <= 10.`, including repeated head
+/// variables like `pair(X, X).`).
+///
+/// This is the text front-end behind [`Database::add_facts_str`] and the
+/// `+fact.` insertions of the `pcs-service` session; it is exposed
+/// separately so callers that feed facts straight into a resumed evaluation
+/// never have to build [`crate::value::Value`] vectors by hand.
+pub fn parse_facts(source: &str) -> Result<Vec<Fact>, FactsError> {
+    let rules = pcs_lang::parse_facts(source)?;
+    let mut gen = VarGen::new();
+    let mut facts = Vec::with_capacity(rules.len());
+    for rule in &rules {
+        // Flattening moves arithmetic head arguments (`p(1 + 2).`) into the
+        // constraint, so the conversion below only sees variables and
+        // constants.
+        facts.push(fact_from_rule(&rule.flattened(&mut gen))?);
+    }
+    Ok(facts)
+}
+
+/// Converts a flattened, body-less rule into the fact it denotes: constants
+/// become bound positions, head variables become free positions tied to the
+/// rule's constraints (repeated variables tie their positions together), and
+/// the constraint is projected onto the free positions by [`Fact::new`].
+fn fact_from_rule(rule: &Rule) -> Result<Fact, FactsError> {
+    let mut constraint = rule.constraint.clone();
+    let mut bindings = Vec::with_capacity(rule.head.arity());
+    for (i, term) in rule.head.args.iter().enumerate() {
+        let position = LinearExpr::var(Var::position(i + 1));
+        match term {
+            Term::Num(n) => bindings.push(Binding::Bound(Value::Num(*n))),
+            Term::Sym(s) => bindings.push(Binding::Bound(Value::Sym(s.clone()))),
+            Term::Var(v) => {
+                bindings.push(Binding::Free);
+                constraint.push(Atom::compare(
+                    position,
+                    CmpOp::Eq,
+                    LinearExpr::var(v.clone()),
+                ));
+            }
+            Term::Expr(e) => {
+                bindings.push(Binding::Free);
+                constraint.push(Atom::compare(position, CmpOp::Eq, e.clone()));
+            }
+        }
+    }
+    Fact::new(rule.head.predicate.clone(), bindings, constraint)
+        .ok_or_else(|| FactsError::Unsatisfiable(rule.to_string()))
+}
 
 /// An extensional database: finite relations for the EDB predicates, plus
 /// optional *minimum predicate constraints* declared for them.
@@ -54,6 +144,32 @@ impl Database {
             }
             None => false,
         }
+    }
+
+    /// Parses fact-only text (see [`parse_facts`]) and adds every fact;
+    /// returns how many facts were added.
+    ///
+    /// Both ground facts and constraint facts are accepted:
+    ///
+    /// ```
+    /// use pcs_engine::Database;
+    ///
+    /// let mut db = Database::new();
+    /// let added = db
+    ///     .add_facts_str(
+    ///         "singleleg(madison, chicago, 50, 100).\n\
+    ///          discount(C) :- C >= 0, C <= 25.",
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(added, 2);
+    /// ```
+    pub fn add_facts_str(&mut self, source: &str) -> Result<usize, FactsError> {
+        let facts = parse_facts(source)?;
+        let count = facts.len();
+        for fact in facts {
+            self.add(fact);
+        }
+        Ok(count)
     }
 
     /// Declares the minimum predicate constraint for an EDB predicate.
@@ -124,6 +240,57 @@ mod tests {
         assert_eq!(db.facts_for(&Pred::new("b1")).len(), 2);
         assert_eq!(db.facts_for(&Pred::new("missing")).len(), 0);
         assert_eq!(db.predicates().count(), 2);
+    }
+
+    #[test]
+    fn add_facts_str_parses_ground_and_constraint_facts() {
+        let mut db = Database::new();
+        let added = db
+            .add_facts_str(
+                "% a comment\n\
+                 singleleg(madison, chicago, 50, 100).\n\
+                 limit(X) :- X >= 0, X <= 10.\n\
+                 pair(X, X) :- X >= 1.\n\
+                 sum(1 + 2).",
+            )
+            .unwrap();
+        assert_eq!(added, 4);
+        assert_eq!(db.len(), 4);
+        let leg = &db.facts_for(&Pred::new("singleleg"))[0];
+        assert_eq!(leg.ground_values().unwrap()[0], Value::sym("madison"));
+        let limit = &db.facts_for(&Pred::new("limit"))[0];
+        assert!(!limit.is_ground());
+        assert!(limit
+            .constraint()
+            .implies_atom(&Atom::var_le(Var::position(1), 10)));
+        // Repeated head variables tie their positions together.
+        let pair = &db.facts_for(&Pred::new("pair"))[0];
+        assert!(pair.constraint().implies_atom(&Atom::compare(
+            pcs_constraints::LinearExpr::var(Var::position(1)),
+            pcs_constraints::CmpOp::Eq,
+            pcs_constraints::LinearExpr::var(Var::position(2)),
+        )));
+        // Arithmetic head arguments are evaluated.
+        let sum = &db.facts_for(&Pred::new("sum"))[0];
+        assert_eq!(sum.ground_values(), Some(vec![Value::num(3)]));
+    }
+
+    #[test]
+    fn add_facts_str_rejects_non_facts_and_unsatisfiable_facts() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.add_facts_str("q(X) :- p(X)."),
+            Err(FactsError::Parse(_))
+        ));
+        assert!(matches!(
+            db.add_facts_str("?- q(1)."),
+            Err(FactsError::Parse(_))
+        ));
+        let err = db.add_facts_str("z(X) :- X < 0, X > 1.").unwrap_err();
+        assert!(matches!(err, FactsError::Unsatisfiable(_)));
+        assert!(err.to_string().contains("unsatisfiable"));
+        // Nothing was added by the failed calls.
+        assert!(db.is_empty());
     }
 
     #[test]

@@ -91,28 +91,69 @@ impl Default for EvalOptions {
 /// handful of facts per iteration across hundreds of iterations).
 pub const MIN_PARALLEL_ROUND_WORK: usize = 256;
 
-/// Reads the `PCS_EVAL_INDEX` environment variable; unset or any value other
-/// than `off`/`0`/`false`/`legacy` selects the indexed join core.
+/// Reads one evaluator environment variable through `parse`.
+///
+/// Unset means `default`.  A set-but-unrecognized value also falls back to
+/// `default`, but with a visible warning on stderr: a misspelled
+/// `PCS_EVAL_THREADS=two` or `PCS_EVAL_INDEX=offf` must not silently select
+/// the default configuration.
+fn env_setting<T>(
+    name: &str,
+    expected: &str,
+    default: impl FnOnce() -> T,
+    parse: impl Fn(&str) -> Option<T>,
+) -> T {
+    match std::env::var(name) {
+        Ok(raw) => {
+            let value = raw.trim();
+            parse(value).unwrap_or_else(|| {
+                eprintln!("warning: ignoring invalid {name}={value:?}: expected {expected}");
+                default()
+            })
+        }
+        Err(_) => default(),
+    }
+}
+
+/// Recognized spellings of the `PCS_EVAL_INDEX` join-core selector.
+fn parse_index_setting(value: &str) -> Option<bool> {
+    match value {
+        "on" | "1" | "true" | "indexed" => Some(true),
+        "off" | "0" | "false" | "legacy" => Some(false),
+        _ => None,
+    }
+}
+
+/// Recognized values of the `PCS_EVAL_THREADS` worker-count override.
+fn parse_threads_setting(value: &str) -> Option<usize> {
+    value.parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Reads the `PCS_EVAL_INDEX` environment variable; unset (or invalid, with
+/// a warning) selects the indexed join core.
 fn index_enabled_by_default() -> bool {
-    !matches!(
-        std::env::var("PCS_EVAL_INDEX").as_deref().map(str::trim),
-        Ok("off") | Ok("0") | Ok("false") | Ok("legacy")
+    env_setting(
+        "PCS_EVAL_INDEX",
+        "`on`/`1`/`true`/`indexed` or `off`/`0`/`false`/`legacy`",
+        || true,
+        parse_index_setting,
     )
 }
 
 /// Reads the `PCS_EVAL_THREADS` environment variable; a positive integer
-/// selects that many evaluation worker threads, anything else falls back to
-/// the machine's available parallelism.
+/// selects that many evaluation worker threads, unset (or invalid, with a
+/// warning) falls back to the machine's available parallelism.
 fn threads_from_env() -> usize {
-    match std::env::var("PCS_EVAL_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
-    }
+    env_setting(
+        "PCS_EVAL_THREADS",
+        "a positive thread count",
+        || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        },
+        parse_threads_setting,
+    )
 }
 
 impl EvalOptions {
@@ -193,9 +234,17 @@ impl EvalResult {
     /// Facts for the predicate of `query` that are compatible with its ground
     /// arguments (the "answers" to the query).
     pub fn answers_to(&self, query: &Literal) -> Vec<&Fact> {
+        self.answers_to_constrained(query, &Conjunction::truth())
+    }
+
+    /// Like [`Self::answers_to`], but additionally requires the side
+    /// constraints `side` (over the query literal's variables) to be
+    /// satisfiable together with the fact — the engine half of interactive
+    /// queries such as `?- q(X, Y), X <= 3.`.
+    pub fn answers_to_constrained(&self, query: &Literal, side: &Conjunction) -> Vec<&Fact> {
         self.facts_for(&query.predicate)
             .iter()
-            .filter(|fact| fact_matches_pattern(fact, query))
+            .filter(|fact| fact_matches_pattern(fact, query, side))
             .collect()
     }
 
@@ -207,24 +256,44 @@ impl EvalResult {
     }
 }
 
-/// Decides whether `fact` is compatible with the ground arguments of `query`.
+/// Decides whether `fact` is compatible with the ground arguments and the
+/// variable-repetition pattern of `query`.
 ///
 /// A ground query constant against a free fact position is accepted only if
 /// the fact's residual constraint is satisfiable with that position pinned to
 /// the constant — `?- q(5)` must not match a fact constrained to `$1 <= 3`.
-fn fact_matches_pattern(fact: &Fact, query: &Literal) -> bool {
+/// A query variable occurring more than once (`?- q(X, X)`) requires all its
+/// positions to be able to hold one common value: equal ground values, or a
+/// satisfiable conjunction of position equalities over the free slots.
+/// Side constraints over the query variables (`side`) are rewritten onto the
+/// fact's positions and conjoined before the final satisfiability check.
+fn fact_matches_pattern(fact: &Fact, query: &Literal, side: &Conjunction) -> bool {
     if fact.arity() != query.arity() {
         return false;
     }
     let mut constraint = fact.constraint().clone();
+    // A free position can hold a symbol only when the residual constraint
+    // does not restrict it to numbers.
+    let free_accepts_sym = |slot: usize| !fact.constraint().contains_var(&Var::position(slot));
+    // Per query variable: the ground value some occurrence is bound to (if
+    // any) and the 1-based free slots its occurrences cover.
+    #[derive(Default)]
+    struct VarGroup {
+        value: Option<Value>,
+        slots: Vec<usize>,
+    }
+    let mut groups: BTreeMap<&Var, VarGroup> = BTreeMap::new();
+    // Equalities induced by expression arguments (`?- q(X + 1)`), kept
+    // aside until the groups are complete so their variables can be
+    // rewritten onto the fact's positions alongside the side constraints.
+    let mut expr_atoms: Vec<Atom> = Vec::new();
     for (i, (binding, term)) in fact.bindings().iter().zip(&query.args).enumerate() {
+        let slot = i + 1;
         match term {
             Term::Sym(s) => match binding {
                 Binding::Bound(Value::Sym(fs)) if fs == s => {}
-                // A free position can hold a symbol only when the residual
-                // constraint does not restrict it to numbers.
                 Binding::Free => {
-                    if fact.constraint().contains_var(&Var::position(i + 1)) {
+                    if !free_accepts_sym(slot) {
                         return false;
                     }
                 }
@@ -232,11 +301,88 @@ fn fact_matches_pattern(fact: &Fact, query: &Literal) -> bool {
             },
             Term::Num(n) => match binding {
                 Binding::Bound(Value::Num(fn_)) if fn_ == n => {}
-                Binding::Free => constraint.push(Atom::var_eq(Var::position(i + 1), *n)),
+                Binding::Free => constraint.push(Atom::var_eq(Var::position(slot), *n)),
                 _ => return false,
             },
-            Term::Var(_) | Term::Expr(_) => {}
+            Term::Var(x) => {
+                let group = groups.entry(x).or_default();
+                match binding {
+                    Binding::Bound(value) => match &group.value {
+                        Some(existing) if existing != value => return false,
+                        _ => group.value = Some(value.clone()),
+                    },
+                    Binding::Free => group.slots.push(slot),
+                }
+            }
+            // An arithmetic expression argument must equal the fact's value
+            // at this position; a symbol can never satisfy arithmetic.
+            Term::Expr(e) => match binding {
+                Binding::Bound(Value::Num(n)) => expr_atoms.push(Atom::compare(
+                    e.clone(),
+                    CmpOp::Eq,
+                    LinearExpr::constant(*n),
+                )),
+                Binding::Bound(Value::Sym(_)) => return false,
+                Binding::Free => expr_atoms.push(Atom::compare(
+                    e.clone(),
+                    CmpOp::Eq,
+                    LinearExpr::var(Var::position(slot)),
+                )),
+            },
         }
+    }
+    for group in groups.values() {
+        match &group.value {
+            // Every free slot of the group must be able to hold the symbol.
+            Some(Value::Sym(_)) => {
+                if !group.slots.iter().all(|&slot| free_accepts_sym(slot)) {
+                    return false;
+                }
+            }
+            // Pin every free slot of the group to the number.
+            Some(Value::Num(n)) => {
+                for &slot in &group.slots {
+                    constraint.push(Atom::var_eq(Var::position(slot), *n));
+                }
+            }
+            // No ground occurrence: the free slots must agree pairwise.
+            None => {
+                for pair in group.slots.windows(2) {
+                    constraint.push(Atom::compare(
+                        LinearExpr::var(Var::position(pair[0])),
+                        CmpOp::Eq,
+                        LinearExpr::var(Var::position(pair[1])),
+                    ));
+                }
+            }
+        }
+    }
+    // Rewrite the expression-argument equalities and the side constraints
+    // onto the fact's positions: a query variable bound to a number
+    // substitutes as a constant, one covering a free slot substitutes as
+    // that slot's position variable, and one bound to a symbol cannot
+    // appear in arithmetic at all.  Variables the query literal's
+    // non-expression arguments do not mention stay as they are
+    // (existential), linked to the rest through the conjoined atoms — so
+    // `?- q(X + 1), X >= 100` pins the fact's value to `>= 101` even
+    // though `X` itself covers no position.
+    for atom in expr_atoms.iter().chain(side.atoms()) {
+        let mut current = atom.clone();
+        for var in atom.vars() {
+            if let Some(group) = groups.get(var) {
+                match (&group.value, group.slots.first()) {
+                    (Some(Value::Num(n)), _) => {
+                        current = current.substitute(var, &LinearExpr::constant(*n));
+                    }
+                    (Some(Value::Sym(_)), _) => return false,
+                    (None, Some(&slot)) => {
+                        current = current.substitute(var, &LinearExpr::var(Var::position(slot)));
+                    }
+                    (None, None) => {}
+                }
+            }
+        }
+        constraint.push(current);
     }
     constraint.is_satisfiable()
 }
@@ -379,7 +525,51 @@ impl Evaluator {
 
     /// Runs the evaluation against a database.
     pub fn evaluate(&self, db: &Database) -> EvalResult {
-        self.run_fixpoint(db, self.options.index)
+        self.run_fixpoint(Start::Scratch(db), self.options.index)
+    }
+
+    /// Re-enters the semi-naive fixpoint on an already-materialized set of
+    /// relations, with `updates` as the seed delta.
+    ///
+    /// `relations` is the `relations` map of a *completed* evaluation of the
+    /// same program (typically a previous [`EvalResult`]); every stored fact
+    /// is treated as stable, the update facts that are not subsumed by the
+    /// materialization become the first delta, and the fixpoint proceeds
+    /// exactly as if the updates had been derived by a regular iteration.
+    /// Empty-body rules do not re-fire (their facts are already in the
+    /// materialization), and the legacy join core replays its count-sliced
+    /// discipline starting from a semi-naive round, so for both cores the
+    /// resumed result stores the same facts as evaluating base + updates
+    /// from scratch — the property `tests/resume_differential.rs` pins down
+    /// across every rewriting strategy.
+    ///
+    /// Resuming from a partial materialization (one that stopped on a
+    /// resource limit rather than a fixpoint) is not supported: derivations
+    /// the interrupted run never attempted are not replayed.
+    pub fn resume(
+        &self,
+        mut relations: BTreeMap<Pred, Relation>,
+        updates: Vec<Fact>,
+    ) -> EvalResult {
+        // Quiesce whatever partition the previous run left behind: every
+        // stored fact becomes stable, so the only delta is the updates.
+        for relation in relations.values_mut() {
+            relation.seal();
+        }
+        for pred in self.program.all_predicates() {
+            relations.entry(pred).or_default();
+        }
+        for fact in updates {
+            relations
+                .entry(fact.predicate().clone())
+                .or_default()
+                .insert(fact);
+        }
+        // The surviving (non-subsumed) updates become the first delta.
+        for relation in relations.values_mut() {
+            relation.advance();
+        }
+        self.run_fixpoint(Start::Resume(relations), self.options.index)
     }
 
     /// Seeds one relation per program/EDB predicate with the database facts.
@@ -429,33 +619,65 @@ impl Evaluator {
     /// the parallel evaluation bit-for-bit identical to the sequential one:
     /// subsumption outcomes, statistics, and termination depend only on the
     /// absorb order.
-    fn run_fixpoint(&self, db: &Database, indexed: bool) -> EvalResult {
+    ///
+    /// A [`Start::Scratch`] evaluation seeds the relations from a database
+    /// and opens with a naive round (every initial fact is delta, empty-body
+    /// rules fire).  A [`Start::Resume`] evaluation receives relations whose
+    /// stable segment is a completed materialization and whose delta is the
+    /// freshly inserted update facts; it opens directly with a semi-naive
+    /// round over that delta.
+    fn run_fixpoint(&self, start: Start<'_>, indexed: bool) -> EvalResult {
         let limits = self.options.limits;
         let threads = self.options.threads.max(1);
-        let mut relations = self.seed_relations(db);
-        if indexed {
-            // The EDB facts form the first delta; stable starts empty, so
-            // the iteration-0 round is the naive round over the initial
-            // facts.
-            for relation in relations.values_mut() {
-                relation.advance();
+        let resumed = matches!(start, Start::Resume(_));
+        let mut relations = match start {
+            Start::Scratch(db) => {
+                let mut relations = self.seed_relations(db);
+                if indexed {
+                    // The EDB facts form the first delta; stable starts
+                    // empty, so the iteration-0 round is the naive round
+                    // over the initial facts.
+                    for relation in relations.values_mut() {
+                        relation.advance();
+                    }
+                }
+                relations
             }
-        }
+            Start::Resume(relations) => relations,
+        };
 
         // Legacy semi-naive state: fact counts per relation at the end of
         // the last two iterations (the indexed core reads its windows
-        // instead and never touches these).
+        // instead and never touches these).  A resumed run recovers the
+        // counts from the stable/delta boundary the resume entry point set
+        // up, so its first legacy round joins the update delta against the
+        // stable materialization.
         let counts = |relations: &BTreeMap<Pred, Relation>| -> BTreeMap<Pred, usize> {
             relations
                 .iter()
                 .map(|(p, r)| (p.clone(), r.len()))
                 .collect()
         };
-        let mut before_prev = counts(&relations); // end of iteration k-2
-        let mut prev = counts(&relations); // end of iteration k-1
+        let boundary = |relations: &BTreeMap<Pred, Relation>, window: Window| {
+            relations
+                .iter()
+                .map(|(p, r)| (p.clone(), r.window_range(window).end))
+                .collect::<BTreeMap<Pred, usize>>()
+        };
+        let mut before_prev = if resumed {
+            boundary(&relations, Window::Stable) // end of iteration k-2
+        } else {
+            counts(&relations)
+        };
+        let mut prev = if resumed {
+            boundary(&relations, Window::Known) // end of iteration k-1
+        } else {
+            counts(&relations)
+        };
 
         let mut stats = EvalStats {
             indexed,
+            resumed,
             ..EvalStats::default()
         };
         let mut totals = EvalTotals {
@@ -485,8 +707,12 @@ impl Evaluator {
                 ..IterationStats::default()
             };
 
+            // A resumed run's first round is already semi-naive: the seed
+            // facts fired (and the naive round ran) when the materialization
+            // it resumes from was first computed.
+            let naive_round = iteration == 0 && !resumed;
             let (mut tasks, round_work) =
-                self.round_tasks(indexed, iteration, &relations, &before_prev, &prev);
+                self.round_tasks(indexed, naive_round, &relations, &before_prev, &prev);
             // Shard only rounds wide enough to amortize spawning the worker
             // pool; narrow rounds run on the calling thread with the exact
             // same results (the absorb order is the task order either way).
@@ -504,7 +730,7 @@ impl Evaluator {
                 let buffers = {
                     let ctx = RoundCtx {
                         relations: &relations,
-                        iteration,
+                        naive_round,
                         before_prev: &before_prev,
                         prev: &prev,
                     };
@@ -529,7 +755,7 @@ impl Evaluator {
                     let derived = {
                         let ctx = RoundCtx {
                             relations: &relations,
-                            iteration,
+                            naive_round,
                             before_prev: &before_prev,
                             prev: &prev,
                         };
@@ -583,7 +809,7 @@ impl Evaluator {
     fn round_tasks(
         &self,
         indexed: bool,
-        iteration: usize,
+        naive_round: bool,
         relations: &BTreeMap<Pred, Relation>,
         before_prev: &BTreeMap<Pred, usize>,
         prev: &BTreeMap<Pred, usize>,
@@ -596,8 +822,10 @@ impl Evaluator {
                 .clone()
                 .unwrap_or_else(|| format!("rule{}", rule_index + 1));
             if rule.body.is_empty() {
-                // Facts and constraint facts fire only in iteration 0.
-                if iteration == 0 {
+                // Facts and constraint facts fire only in the naive round
+                // (never in a resumed run, whose materialization already
+                // holds them).
+                if naive_round {
                     work += 1;
                     tasks.push(RoundTask {
                         rule,
@@ -628,16 +856,17 @@ impl Evaluator {
                     });
                 }
             } else {
-                // Iteration 0 is a naive round over the initial facts;
-                // later iterations are semi-naive over the previous delta.
-                let delta_positions: Vec<usize> = if iteration == 0 {
+                // The naive round covers the initial facts in one pass;
+                // later (and resumed) rounds are semi-naive over the
+                // previous delta.
+                let delta_positions: Vec<usize> = if naive_round {
                     vec![0]
                 } else {
                     (0..rule.body.len()).collect()
                 };
                 for delta_pos in delta_positions {
                     let pred = &rule.body[delta_pos].predicate;
-                    let (lo, hi) = if iteration == 0 {
+                    let (lo, hi) = if naive_round {
                         (0, prev.get(pred).copied().unwrap_or(0))
                     } else {
                         (
@@ -732,10 +961,19 @@ enum TaskKind {
     Legacy { delta_pos: usize },
 }
 
+/// How a fixpoint run begins.
+enum Start<'a> {
+    /// Seed the relations from a database and open with a naive round.
+    Scratch(&'a Database),
+    /// Continue from a materialization whose delta is the update facts
+    /// (prepared by [`Evaluator::resume`]); open with a semi-naive round.
+    Resume(BTreeMap<Pred, Relation>),
+}
+
 /// The read-only evaluation state a round task joins against.
 struct RoundCtx<'a> {
     relations: &'a BTreeMap<Pred, Relation>,
-    iteration: usize,
+    naive_round: bool,
     before_prev: &'a BTreeMap<Pred, usize>,
     prev: &'a BTreeMap<Pred, usize>,
 }
@@ -765,7 +1003,7 @@ fn run_task(task: &RoundTask<'_>, ctx: &RoundCtx<'_>, cap: usize) -> Vec<Fact> {
             rule,
             0,
             *delta_pos,
-            ctx.iteration,
+            ctx.naive_round,
             PartialMatch::start(rule),
             ctx.relations,
             ctx.before_prev,
@@ -1126,7 +1364,7 @@ fn join_legacy(
     rule: &Rule,
     index: usize,
     delta_pos: usize,
-    iteration: usize,
+    naive_round: bool,
     pm: PartialMatch,
     relations: &BTreeMap<Pred, Relation>,
     before_prev: &BTreeMap<Pred, usize>,
@@ -1149,11 +1387,11 @@ fn join_legacy(
     // Select the slice of facts visible to this literal under the semi-naive
     // discipline (old facts before the delta literal, delta at the delta
     // literal, everything known at the end of the previous iteration after).
-    // Iteration 0 is a naive round over the facts present at the iteration
-    // boundary — the snapshot the `prev` counts captured — so the join reads
-    // the same slice whether the round's tasks run sequentially interleaved
-    // with absorption or all in parallel before it.
-    let (lo, hi) = if iteration == 0 {
+    // The naive round covers the facts present at the iteration boundary —
+    // the snapshot the `prev` counts captured — so the join reads the same
+    // slice whether the round's tasks run sequentially interleaved with
+    // absorption or all in parallel before it.
+    let (lo, hi) = if naive_round {
         (0, prev.get(pred).copied().unwrap_or(0))
     } else {
         let before = before_prev.get(pred).copied().unwrap_or(0);
@@ -1170,7 +1408,7 @@ fn join_legacy(
                 rule,
                 index + 1,
                 delta_pos,
-                iteration,
+                naive_round,
                 next,
                 relations,
                 before_prev,
@@ -1360,6 +1598,23 @@ mod tests {
     fn eval_legacy(source: &str, db: &Database) -> EvalResult {
         let program = parse_program(source).unwrap();
         Evaluator::new(&program, EvalOptions::legacy()).evaluate(db)
+    }
+
+    #[test]
+    fn environment_settings_recognize_documented_spellings_only() {
+        for on in ["on", "1", "true", "indexed"] {
+            assert_eq!(parse_index_setting(on), Some(true));
+        }
+        for off in ["off", "0", "false", "legacy"] {
+            assert_eq!(parse_index_setting(off), Some(false));
+        }
+        assert_eq!(parse_index_setting("offf"), None);
+        assert_eq!(parse_index_setting(""), None);
+        assert_eq!(parse_threads_setting("4"), Some(4));
+        assert_eq!(parse_threads_setting("0"), None);
+        assert_eq!(parse_threads_setting("two"), None);
+        // The shared reader warns and falls back on unrecognized values.
+        assert!(env_setting("PCS_TEST_UNSET_VAR", "anything", || 7, |_| None) == 7);
     }
 
     #[test]
@@ -1684,6 +1939,195 @@ mod tests {
             let result = Evaluator::new(&program, options).evaluate(&db);
             assert_eq!(result.termination, Termination::DerivationLimit);
             assert_eq!(result.stats.total_derivations(), 13, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn answers_to_enforces_repeated_query_variables() {
+        let mut db = Database::new();
+        db.add_facts_str("r(1, 1).\nr(1, 2).\nr(a, a).\nr(a, b).")
+            .unwrap();
+        let result = eval("s(X, Y) :- r(X, Y).", &db);
+        let answers = |src: &str| {
+            let query = pcs_lang::parse_query(src).unwrap();
+            result
+                .answers_to_constrained(&query.literals[0], &query.constraint)
+                .len()
+        };
+        assert_eq!(answers("s(X, Y)"), 4);
+        // Only r(1, 1) and r(a, a) repeat their argument.
+        assert_eq!(answers("s(X, X)"), 2);
+        assert_eq!(answers("s(1, X)"), 2);
+        // Side constraints filter ground answers.
+        assert_eq!(answers("s(X, Y), Y >= 2"), 1);
+    }
+
+    #[test]
+    fn answers_to_repeated_variables_consult_constraint_facts() {
+        let db = Database::new();
+        let result = eval(
+            "disjoint(X, Y) :- X <= 3, Y >= 5.\n\
+             band(X, Y) :- X <= 3, Y <= 3.\n\
+             half(X, Y) :- Y <= 3.",
+            &db,
+        );
+        let answers = |src: &str| {
+            let query = pcs_lang::parse_query(src).unwrap();
+            result
+                .answers_to_constrained(&query.literals[0], &query.constraint)
+                .len()
+        };
+        // $1 <= 3 and $2 >= 5 cannot hold one common value.
+        assert_eq!(answers("disjoint(X, X)"), 0);
+        assert_eq!(answers("disjoint(X, Y)"), 1);
+        // $1 <= 3 and $2 <= 3 can (e.g. both 2).
+        assert_eq!(answers("band(X, X)"), 1);
+        // A constant mixed with a constrained position pins it.
+        assert_eq!(answers("band(2, X)"), 1);
+        assert_eq!(answers("band(5, X)"), 0);
+        // Side constraints conjoin with the fact's residual constraint.
+        assert_eq!(answers("band(2, X), X >= 1"), 1);
+        assert_eq!(answers("band(2, X), X >= 99"), 0);
+        assert_eq!(answers("disjoint(X, Y), X = Y"), 0);
+        // An unconstrained position can repeat into a constrained one...
+        assert_eq!(answers("half(X, X)"), 1);
+        // ...and can hold a symbol, while a constrained position cannot.
+        assert_eq!(answers("half(madison, X)"), 1);
+        assert_eq!(answers("half(X, madison)"), 0);
+    }
+
+    #[test]
+    fn answers_to_expression_arguments_pin_the_position() {
+        // Regression: `Term::Expr` query arguments used to be ignored
+        // entirely, so `?- s(X + 1), X >= 100.` returned every fact.
+        let mut db = Database::new();
+        db.add_facts_str("r(1).\nr(7).\nr(a).").unwrap();
+        let result = eval("s(X) :- r(X).\nt(X) :- X <= 5.", &db);
+        let answers = |src: &str| {
+            let query = pcs_lang::parse_query(src).unwrap();
+            result
+                .answers_to_constrained(&query.literals[0], &query.constraint)
+                .len()
+        };
+        // ∃X. X + 1 = v holds for every numeric fact; never for a symbol.
+        assert_eq!(answers("s(X + 1)"), 2);
+        // Side constraints link through X even though X covers no position.
+        assert_eq!(answers("s(X + 1), X >= 100"), 0);
+        assert_eq!(answers("s(Y + 1), Y = 0"), 1);
+        assert_eq!(answers("s(2 * Z), Z >= 3"), 1);
+        // Expressions against a constrained free position conjoin with the
+        // fact's residual constraint ($1 <= 5).
+        assert_eq!(answers("t(W + 10), W <= -5"), 1);
+        assert_eq!(answers("t(W + 10), W >= 0"), 0);
+    }
+
+    #[test]
+    fn answers_to_repeated_variables_with_symbols() {
+        let mut db = Database::new();
+        // free($1, $2) unconstrained; capped(a, $2 <= 3).
+        db.add_facts_str("free(X, Y).\ncapped(a, Y) :- Y <= 3.")
+            .unwrap();
+        let result = eval("f(X, Y) :- free(X, Y).\nc(X, Y) :- capped(X, Y).", &db);
+        let answers = |src: &str| {
+            let query = pcs_lang::parse_query(src).unwrap();
+            result
+                .answers_to_constrained(&query.literals[0], &query.constraint)
+                .len()
+        };
+        // Two unconstrained positions can share any value.
+        assert_eq!(answers("f(X, X)"), 1);
+        // The symbol `a` cannot repeat into the numeric position $2 <= 3.
+        assert_eq!(answers("c(X, X)"), 0);
+        assert_eq!(answers("c(a, X)"), 1);
+        // A symbol-valued query variable cannot enter arithmetic.
+        assert_eq!(answers("c(X, Y), X <= 3"), 0);
+    }
+
+    #[test]
+    fn resumed_updates_match_scratch_evaluation() {
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).\n\
+             short(X, Y) :- path(X, Y), X <= 2.",
+        )
+        .unwrap();
+        let mut base = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            base.add_ground("edge", vec![Value::num(a), Value::num(b)]);
+        }
+        let updates =
+            crate::database::parse_facts("edge(4, 5).\nedge(0, 1).\nedge(9, 10).").unwrap();
+        let mut full = base.clone();
+        for fact in &updates {
+            full.add(fact.clone());
+        }
+        for options in [EvalOptions::indexed(), EvalOptions::legacy()] {
+            let evaluator = Evaluator::new(&program, options);
+            let scratch = evaluator.evaluate(&full);
+            let materialized = evaluator.evaluate(&base);
+            let resumed = evaluator.resume(materialized.relations, updates.clone());
+            assert!(resumed.stats.resumed && !scratch.stats.resumed);
+            assert_eq!(resumed.termination, scratch.termination);
+            assert_eq!(rendered(&resumed), rendered(&scratch));
+            // The resumed run only re-derives what the updates reach.
+            assert!(resumed.stats.total_derivations() < scratch.stats.total_derivations());
+        }
+    }
+
+    #[test]
+    fn resuming_with_subsumed_updates_reaches_fixpoint_immediately() {
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let mut base = Database::new();
+        for (a, b) in [(1, 2), (2, 3)] {
+            base.add_ground("edge", vec![Value::num(a), Value::num(b)]);
+        }
+        let evaluator = Evaluator::new(&program, EvalOptions::indexed());
+        let materialized = evaluator.evaluate(&base);
+        let total = materialized.total_facts();
+        // Both updates are already in the materialization.
+        let updates = crate::database::parse_facts("edge(1, 2).\npath(1, 3).").unwrap();
+        let resumed = evaluator.resume(materialized.relations, updates);
+        assert_eq!(resumed.termination, Termination::Fixpoint);
+        assert_eq!(resumed.stats.total_new_facts(), 0);
+        assert_eq!(resumed.total_facts(), total);
+        assert_eq!(resumed.stats.iterations.len(), 1);
+    }
+
+    #[test]
+    fn resumed_parallel_rounds_match_sequential_resume() {
+        let mut base = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 2), (1, 4)] {
+            base.add_ground("edge", vec![Value::num(a), Value::num(b)]);
+        }
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let updates = crate::database::parse_facts("edge(4, 5).\nedge(5, 6).").unwrap();
+        for index in [true, false] {
+            let base_options = EvalOptions {
+                index,
+                ..EvalOptions::default()
+            };
+            let sequential = {
+                let evaluator = Evaluator::new(&program, base_options.clone().with_threads(1));
+                evaluator.resume(evaluator.evaluate(&base).relations, updates.clone())
+            };
+            for threads in [2, 4] {
+                let options = base_options
+                    .clone()
+                    .with_threads(threads)
+                    .with_min_parallel_work(0);
+                let evaluator = Evaluator::new(&program, options);
+                let parallel =
+                    evaluator.resume(evaluator.evaluate(&base).relations, updates.clone());
+                assert_identical_runs(&sequential, &parallel);
+            }
         }
     }
 

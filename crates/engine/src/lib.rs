@@ -35,7 +35,7 @@ pub mod relation;
 pub mod stats;
 pub mod value;
 
-pub use database::Database;
+pub use database::{parse_facts, Database, FactsError};
 pub use eval::{EvalOptions, EvalResult, Evaluator};
 pub use fact::{Binding, Fact};
 pub use limits::{EvalLimits, Termination};

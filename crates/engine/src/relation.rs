@@ -149,6 +149,15 @@ impl Relation {
         self.delta_end = self.facts.len();
     }
 
+    /// Quiesces the partition: every stored fact (delta and pending included)
+    /// becomes stable, leaving the delta empty.  This is the state a resumed
+    /// evaluation starts from — the next [`Self::insert`]s land in pending
+    /// and the next [`Self::advance`] makes exactly them the delta.
+    pub fn seal(&mut self) {
+        self.stable_end = self.facts.len();
+        self.delta_end = self.facts.len();
+    }
+
     /// Returns `true` if the delta segment is empty.
     pub fn delta_is_empty(&self) -> bool {
         self.stable_end == self.delta_end

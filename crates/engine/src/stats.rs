@@ -50,6 +50,9 @@ pub struct EvalStats {
     pub constraint_facts: usize,
     /// Whether the indexed join core produced these statistics.
     pub indexed: bool,
+    /// Whether the evaluation resumed from a previous materialization (its
+    /// iterations then cover only the update delta, not the base facts).
+    pub resumed: bool,
 }
 
 impl EvalStats {
@@ -108,6 +111,7 @@ mod tests {
             facts_per_predicate: [(Pred::new("p"), 7)].into_iter().collect(),
             constraint_facts: 0,
             indexed: true,
+            resumed: false,
         };
         assert_eq!(stats.total_derivations(), 8);
         assert_eq!(stats.total_new_facts(), 7);

@@ -35,7 +35,7 @@ pub mod rule;
 pub mod term;
 
 pub use literal::{Literal, Pred};
-pub use parser::{parse_literal, parse_program, parse_rule, ParseError};
+pub use parser::{parse_facts, parse_literal, parse_program, parse_query, parse_rule, ParseError};
 pub use program::{Program, Query};
 pub use rule::Rule;
 pub use term::{Symbol, Term};

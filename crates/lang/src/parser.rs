@@ -529,6 +529,80 @@ pub fn parse_program(source: &str) -> Result<Program, ParseError> {
     Parser::new(source)?.parse_program()
 }
 
+/// Parses fact-only source text: a sequence of ground facts (`p(a, 1).`) and
+/// constraint facts (`p(X) :- X <= 3.`), i.e. rules without ordinary body
+/// literals.
+///
+/// Anything else — a rule with body literals, a query, or an `edb`
+/// declaration — is rejected with a positioned [`ParseError`], so bulk fact
+/// loaders (and the interactive `+fact.` insertions of `pcs-service`) can
+/// report exactly which statement was not a fact.
+pub fn parse_facts(source: &str) -> Result<Vec<Rule>, ParseError> {
+    let mut parser = Parser::new(source)?;
+    let mut rules = Vec::new();
+    loop {
+        let (line, column) = (parser.peek().line, parser.peek().column);
+        match parser.peek().token.clone() {
+            Token::Eof => break,
+            Token::Punct("?-") => {
+                return Err(ParseError {
+                    message: "queries are not allowed in fact-only input".to_string(),
+                    line,
+                    column,
+                })
+            }
+            Token::LowerIdent(word)
+                if word == "edb" && parser.peek_ahead(2).token == Token::Punct("/") =>
+            {
+                return Err(ParseError {
+                    message: "`edb` declarations are not allowed in fact-only input".to_string(),
+                    line,
+                    column,
+                })
+            }
+            _ => {
+                let rule = parser.parse_rule()?;
+                if !rule.is_constraint_fact() {
+                    return Err(ParseError {
+                        message: format!(
+                            "`{}` is not a fact: rules with body literals are not allowed in fact-only input",
+                            rule.head
+                        ),
+                        line,
+                        column,
+                    });
+                }
+                rules.push(rule);
+            }
+        }
+    }
+    Ok(rules)
+}
+
+/// Parses an interactive query: an optional leading `?-`, one or more body
+/// items (literals and constraints), and an optional trailing `.`.
+///
+/// This is the entry point the `pcs-service` front-ends use for `?- q(...)`
+/// lines, where both the prompt prefix and the final period are a matter of
+/// taste.
+pub fn parse_query(source: &str) -> Result<Query, ParseError> {
+    let mut parser = Parser::new(source)?;
+    if parser.peek().token == Token::Punct("?-") {
+        parser.bump();
+    }
+    let (literals, constraint) = parser.parse_body()?;
+    if parser.peek().token == Token::Punct(".") {
+        parser.bump();
+    }
+    if parser.peek().token != Token::Eof {
+        return Err(parser.error_here("trailing input after query"));
+    }
+    if literals.is_empty() {
+        return Err(parser.error_here("a query needs at least one literal"));
+    }
+    Ok(Query::with_constraint(literals, constraint))
+}
+
 /// Parses a single rule.
 pub fn parse_rule(source: &str) -> Result<Rule, ParseError> {
     let mut parser = Parser::new(source)?;
@@ -685,6 +759,51 @@ mod tests {
                 .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
             assert_eq!(printed, reparsed.to_string(), "for source {source:?}");
         }
+    }
+
+    #[test]
+    fn parse_facts_accepts_ground_and_constraint_facts_only() {
+        let rules = parse_facts(
+            "flight(madison, chicago, 50, 100).\n\
+             bound(X) :- X >= 0, X <= 10.\n\
+             pair(X, X) :- X >= 1.",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 3);
+        assert!(rules.iter().all(Rule::is_constraint_fact));
+        assert_eq!(rules[0].head.args[0], Term::sym("madison"));
+        assert_eq!(rules[1].constraint.len(), 2);
+
+        // Rules with body literals, queries, and edb declarations are
+        // rejected, with positions.
+        let err = parse_facts("p(1).\nq(X) :- p(X).").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("not a fact"));
+        let err = parse_facts("p(1).\n?- p(X).").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("queries"));
+        let err = parse_facts("edb p/1.").unwrap_err();
+        assert!(err.message.contains("edb"));
+    }
+
+    #[test]
+    fn parse_query_accepts_prompt_prefix_and_trailing_period() {
+        for source in [
+            "?- cheaporshort(madison, seattle, T, C).",
+            "cheaporshort(madison, seattle, T, C)",
+            "?- cheaporshort(madison, seattle, T, C)",
+        ] {
+            let query = parse_query(source).unwrap();
+            assert_eq!(query.literals.len(), 1);
+            assert_eq!(query.literals[0].predicate, Pred::new("cheaporshort"));
+        }
+        // Constraints ride along, and repeated variables survive.
+        let query = parse_query("?- q(X, X), X <= 3.").unwrap();
+        assert_eq!(query.constraint.len(), 1);
+        assert_eq!(query.literals[0].args[0], query.literals[0].args[1]);
+        // No literal, or trailing junk, is an error.
+        assert!(parse_query("?- X <= 3.").is_err());
+        assert!(parse_query("?- q(X). extra").is_err());
     }
 
     #[test]

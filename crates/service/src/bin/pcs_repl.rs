@@ -1,0 +1,36 @@
+//! The interactive REPL front-end of `pcs-service`.
+//!
+//! Reads shell commands from stdin and writes responses to stdout, one
+//! command per line (see the `pcs_service::shell` docs for the command
+//! language).  When stdin is not a terminal — a piped script, a heredoc in
+//! CI — the banner and prompts are suppressed, so the output is exactly the
+//! response lines and can be asserted on.
+
+use std::io::{self, BufRead, IsTerminal, Write};
+
+use pcs_service::Shell;
+
+fn main() -> io::Result<()> {
+    let mut shell = Shell::new();
+    let interactive = io::stdin().is_terminal();
+    let mut stdout = io::stdout();
+    if interactive {
+        println!("pcs-service REPL; one command per line, .help for help, .quit to leave");
+        print!("pcs> ");
+        stdout.flush()?;
+    }
+    for line in io::stdin().lock().lines() {
+        let response = shell.execute(&line?);
+        for out in &response.lines {
+            println!("{out}");
+        }
+        if response.quit {
+            break;
+        }
+        if interactive {
+            print!("pcs> ");
+            stdout.flush()?;
+        }
+    }
+    Ok(())
+}

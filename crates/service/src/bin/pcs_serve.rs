@@ -1,0 +1,36 @@
+//! The line-protocol TCP front-end of `pcs-service`.
+//!
+//! Usage: `pcs-serve [ADDR]` (default `127.0.0.1:7474`; use port `0` for an
+//! ephemeral port).  All client connections share one session hub: a
+//! `.load` performed by any client installs the materialization every other
+//! client queries and updates.  Each response frame ends with a lone `.`
+//! line.
+
+use std::process::ExitCode;
+
+use pcs_service::Server;
+
+fn main() -> ExitCode {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7474".to_string());
+    let server = match Server::bind(&addr) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("pcs-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(local) => println!("pcs-serve: listening on {local}"),
+        Err(e) => {
+            eprintln!("pcs-serve: cannot read local address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = server.run() {
+        eprintln!("pcs-serve: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,51 @@
+//! # pcs-service
+//!
+//! The long-lived serving layer of the *Pushing Constraint Selections*
+//! reproduction.  Everything below `pcs-core` is batch-shaped — build a
+//! database, run one fixpoint, read the result; this crate keeps the
+//! materialization alive instead:
+//!
+//! * [`Session`] — optimizes a program once (any [`pcs_core::Strategy`]),
+//!   materializes its fixpoint, answers `?- q(...)` queries from immutable
+//!   [`Snapshot`]s without re-evaluating, and applies `+fact.` EDB updates
+//!   by *resuming* the semi-naive fixpoint from the inserted facts
+//!   ([`pcs_engine::Evaluator::resume`]) rather than recomputing from
+//!   scratch.
+//! * [`Shell`] — the line-oriented command language (load / query / insert /
+//!   stats) shared by the front-ends, with [`SessionHub`] as the slot that
+//!   lets many shells serve one session.
+//! * [`Server`] — a std-only TCP server speaking the shell language framed
+//!   with `.` terminator lines; one session shared across client threads.
+//!
+//! Two binaries ship with the crate: `pcs-repl` (stdin/stdout, scriptable
+//! via heredoc) and `pcs-serve` (the TCP server).
+//!
+//! ## Example
+//!
+//! ```
+//! use pcs_core::{programs, Optimizer, Strategy};
+//! use pcs_lang::parse_query;
+//! use pcs_service::Session;
+//!
+//! let optimizer = Optimizer::new(programs::flights()).strategy(Strategy::ConstraintRewrite);
+//! let session = Session::materialize(&optimizer, &programs::flights_database(6, 10)).unwrap();
+//!
+//! let query = parse_query("?- cheaporshort(madison, seattle, T, C).").unwrap();
+//! let (_, _, before) = session.query(&query).unwrap();
+//!
+//! // A new direct leg arrives; only the affected part of the fixpoint reruns.
+//! session.insert_str("singleleg(madison, seattle, 45, 30).").unwrap();
+//! let (_, _, after) = session.query(&query).unwrap();
+//! assert_eq!(after.len(), before.len() + 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod server;
+pub mod session;
+pub mod shell;
+
+pub use server::{Server, ServerHandle};
+pub use session::{Session, SessionError, SessionStats, Snapshot, UpdateOutcome};
+pub use shell::{parse_strategy, strategy_label, Response, SessionHub, Shell};

@@ -1,0 +1,235 @@
+//! A std-only, line-protocol TCP front-end over a shared [`SessionHub`].
+//!
+//! The wire protocol is the shell's command language, framed for machines:
+//! after the greeting, every request line produces the shell's response
+//! lines followed by a lone `.` terminator line.  All connections share one
+//! [`SessionHub`] — a `.load` performed by one client installs the session
+//! every other client queries — while each connection keeps its own
+//! [`Shell`] (strategy selection and `.load` blocks stay per-client).
+//!
+//! Queries from other connections proceed while one connection's insert
+//! materializes: the session publishes epochs via immutable snapshots, so
+//! the server needs no global lock around evaluation.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::shell::{SessionHub, Shell};
+
+/// The response terminator line of the wire protocol.
+pub const TERMINATOR: &str = ".";
+
+/// A bound-but-not-yet-serving TCP front-end.
+pub struct Server {
+    listener: TcpListener,
+    hub: Arc<SessionHub>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `127.0.0.1:7474`, or port `0` for an ephemeral
+    /// port) over a fresh hub.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Server::bind_with_hub(addr, Arc::new(SessionHub::new()))
+    }
+
+    /// Binds to `addr` serving an existing hub (so a program can
+    /// pre-materialize a session before accepting clients).
+    pub fn bind_with_hub(addr: impl ToSocketAddrs, hub: Arc<SessionHub>) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            hub,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The hub shared by every connection.
+    pub fn hub(&self) -> &Arc<SessionHub> {
+        &self.hub
+    }
+
+    /// Serves connections on the calling thread until accept fails.
+    pub fn run(self) -> io::Result<()> {
+        accept_loop(self.listener, self.hub, None)
+    }
+
+    /// Serves connections on a background thread; the returned handle stops
+    /// the accept loop on [`ServerHandle::shutdown`].
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let hub = self.hub.clone();
+        let listener = self.listener;
+        let thread = std::thread::spawn(move || {
+            let _ = accept_loop(listener, hub, Some(accept_stop));
+        });
+        Ok(ServerHandle { addr, stop, thread })
+    }
+}
+
+/// The shared connection-accept loop: one thread per client, all sharing
+/// `hub`.  With a `stop` flag the loop exits cleanly after the next accepted
+/// connection once the flag is set ([`ServerHandle::shutdown`] sets it and
+/// self-connects to unblock the accept).
+fn accept_loop(
+    listener: TcpListener,
+    hub: Arc<SessionHub>,
+    stop: Option<Arc<AtomicBool>>,
+) -> io::Result<()> {
+    loop {
+        let (stream, _) = listener.accept()?;
+        if stop
+            .as_ref()
+            .is_some_and(|stop| stop.load(Ordering::SeqCst))
+        {
+            return Ok(());
+        }
+        let hub = hub.clone();
+        std::thread::spawn(move || {
+            // Client I/O errors just end that connection.
+            let _ = serve_client(stream, hub);
+        });
+    }
+}
+
+/// Handle to a background server; dropping it leaves the server running
+/// detached, [`ServerHandle::shutdown`] stops it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.  Connections that
+    /// are already established keep their threads until the client
+    /// disconnects.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+/// Runs the shell loop over one client connection.
+fn serve_client(stream: TcpStream, hub: Arc<SessionHub>) -> io::Result<()> {
+    let mut shell = Shell::with_hub(hub);
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(
+        writer,
+        "pcs-service ready; one command per line, .help for help"
+    )?;
+    writeln!(writer, "{TERMINATOR}")?;
+    writer.flush()?;
+    for line in reader.lines() {
+        let response = shell.execute(&line?);
+        for out in &response.lines {
+            writeln!(writer, "{out}")?;
+        }
+        writeln!(writer, "{TERMINATOR}")?;
+        writer.flush()?;
+        if response.quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal line-protocol client for the tests.
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: BufWriter<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            let mut client = Client {
+                reader,
+                writer: BufWriter::new(stream),
+            };
+            // Consume the greeting frame.
+            client.read_frame();
+            client
+        }
+
+        fn read_frame(&mut self) -> Vec<String> {
+            let mut lines = Vec::new();
+            loop {
+                let mut line = String::new();
+                let n = self.reader.read_line(&mut line).expect("read line");
+                assert!(n > 0, "server closed mid-frame: {lines:?}");
+                let line = line.trim_end_matches('\n').to_string();
+                if line == TERMINATOR {
+                    return lines;
+                }
+                lines.push(line);
+            }
+        }
+
+        fn send(&mut self, line: &str) -> Vec<String> {
+            writeln!(self.writer, "{line}").expect("write");
+            self.writer.flush().expect("flush");
+            self.read_frame()
+        }
+    }
+
+    #[test]
+    fn two_clients_share_one_session() {
+        let server = Server::bind("127.0.0.1:0").expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let addr = handle.addr();
+
+        let mut loader = Client::connect(addr);
+        for line in [
+            ".strategy constraint",
+            ".load",
+            "r1: path(X, Y) :- edge(X, Y).",
+            "r2: path(X, Y) :- edge(X, Z), path(Z, Y).",
+            "+edge(1, 2).",
+            "+edge(2, 3).",
+            "?- path(1, Y).",
+        ] {
+            loader.send(line);
+        }
+        let out = loader.send(".end");
+        assert!(out[0].starts_with("ok: materialized"), "{out:?}");
+
+        // The second client sees the session the first one loaded.
+        let mut reader = Client::connect(addr);
+        let out = reader.send("?- path(1, Y).");
+        assert!(out[0].starts_with("answers: 2"), "{out:?}");
+
+        // An insert from one client is visible to the other.
+        let out = loader.send("+edge(3, 4).");
+        assert!(out[0].starts_with("ok: epoch 1"), "{out:?}");
+        let out = reader.send("?- path(1, Y).");
+        assert!(out[0].starts_with("answers: 3"), "{out:?}");
+        let out = reader.send(".stats");
+        assert!(out.iter().any(|l| l.starts_with("epoch: 1")), "{out:?}");
+
+        // Clean quits, then shutdown.
+        assert_eq!(loader.send(".quit"), vec!["bye".to_string()]);
+        assert_eq!(reader.send(".quit"), vec!["bye".to_string()]);
+        handle.shutdown();
+    }
+}

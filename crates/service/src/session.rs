@@ -1,0 +1,571 @@
+//! Long-lived materialized query sessions.
+//!
+//! A [`Session`] runs one of the optimizer's rewriting pipelines once,
+//! materializes the rewritten program's fixpoint against a base database,
+//! and then serves two kinds of requests for the rest of its life:
+//!
+//! * **queries** (`?- q(...)`) answered against an immutable snapshot of the
+//!   materialization — no evaluation happens on the query path at all; and
+//! * **EDB updates** (`+flight(a, b, 3).`) that re-enter the semi-naive
+//!   fixpoint with the inserted facts as the seed delta
+//!   ([`pcs_engine::Evaluator::resume`]), touching only the part of the
+//!   fixpoint the updates can reach.
+//!
+//! Readers and the writer never block each other for the duration of an
+//! evaluation: queries clone an [`Arc`] to the current [`Snapshot`] and keep
+//! using it while an update materializes the next epoch on the side; the
+//! swap at the end is a pointer store.  Updates are serialized among
+//! themselves.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use pcs_core::transform::TransformError;
+use pcs_core::{Optimized, Optimizer};
+use pcs_engine::{parse_facts, Database, EvalResult, Evaluator, Fact, FactsError, Termination};
+use pcs_lang::{Literal, Pred, Query, Term};
+
+/// Errors reported by a [`Session`].
+#[derive(Debug)]
+pub enum SessionError {
+    /// The optimizer's rewriting pipeline failed (e.g. a strategy that needs
+    /// a query was given a program without one).
+    Optimize(TransformError),
+    /// Fact text did not parse, or contained an unsatisfiable constraint
+    /// fact.
+    Facts(FactsError),
+    /// An update tried to insert into a predicate that is not an EDB
+    /// predicate of the materialized program.
+    NotAnEdbPredicate(Pred),
+    /// A query named a predicate the materialization does not hold.
+    UnknownPredicate(Pred),
+    /// A query shape the session does not answer from a materialization
+    /// (e.g. multi-literal joins, or bindings a magic-rewritten
+    /// materialization was not specialized to).
+    UnsupportedQuery(String),
+    /// An update arrived while the current materialization is partial (it
+    /// stopped on a resource limit, not a fixpoint); resuming from a
+    /// partial materialization would silently drop derivations the
+    /// interrupted run never attempted.
+    PartialMaterialization(Termination),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Optimize(e) => write!(f, "optimization failed: {e}"),
+            SessionError::Facts(e) => write!(f, "invalid facts: {e}"),
+            SessionError::NotAnEdbPredicate(p) => write!(
+                f,
+                "`{p}` is not an EDB predicate; only database facts can be inserted"
+            ),
+            SessionError::UnknownPredicate(p) => {
+                write!(f, "unknown predicate `{p}` in the materialization")
+            }
+            SessionError::UnsupportedQuery(msg) => write!(f, "unsupported query: {msg}"),
+            SessionError::PartialMaterialization(termination) => write!(
+                f,
+                "cannot apply updates: the current materialization is partial ({termination:?}); \
+                 resuming would silently drop derivations the interrupted run never attempted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Optimize(e) => Some(e),
+            SessionError::Facts(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FactsError> for SessionError {
+    fn from(e: FactsError) -> Self {
+        SessionError::Facts(e)
+    }
+}
+
+/// An immutable view of a session's materialization at one epoch.
+///
+/// Cloning a snapshot is an [`Arc`] bump; the relations behind it are never
+/// mutated (updates build the next epoch on the side), so any number of
+/// reader threads can answer queries from it while writers proceed.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    result: Arc<EvalResult>,
+}
+
+impl Snapshot {
+    /// The update epoch this snapshot belongs to (0 = the base
+    /// materialization, +1 per applied update batch).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The materialized evaluation result.
+    pub fn result(&self) -> &EvalResult {
+        &self.result
+    }
+
+    /// Answers a resolved single-literal query (with optional side
+    /// constraints) against this snapshot.
+    pub fn answers(&self, query: &Query) -> Vec<&Fact> {
+        self.result
+            .answers_to_constrained(&query.literals[0], &query.constraint)
+    }
+}
+
+/// The outcome of one update batch.
+#[derive(Debug, Clone)]
+pub struct UpdateOutcome {
+    /// The epoch the update produced.
+    pub epoch: u64,
+    /// Update facts that actually entered the delta (not subsumed by the
+    /// existing materialization).
+    pub inserted: usize,
+    /// New facts the resumed fixpoint derived (the inserted facts included).
+    pub new_facts: usize,
+    /// Derivations the resumed fixpoint attempted.
+    pub derivations: usize,
+    /// Iterations the resumed fixpoint ran.
+    pub iterations: usize,
+    /// Why the resumed fixpoint stopped.
+    pub termination: Termination,
+    /// Total facts stored after the update.
+    pub total_facts: usize,
+    /// Wall-clock time of the resumed evaluation (cloning the relations for
+    /// the new epoch included).
+    pub elapsed: Duration,
+}
+
+/// A point-in-time description of a session, for `.stats`-style displays.
+#[derive(Debug, Clone)]
+pub struct SessionStats {
+    /// Current epoch.
+    pub epoch: u64,
+    /// Total facts stored across all relations.
+    pub total_facts: usize,
+    /// Stored facts that are proper constraint facts.
+    pub constraint_facts: usize,
+    /// Fact count per predicate, sorted by predicate.
+    pub relations: Vec<(String, usize)>,
+    /// Why the most recent (base or resumed) evaluation stopped.
+    pub termination: Termination,
+    /// The predicate holding the program's own query answers.
+    pub query_pred: String,
+}
+
+/// A long-lived materialized query session over one optimized program.
+///
+/// Create one with [`Session::materialize`]; share it across threads behind
+/// an [`Arc`].  Queries ([`Session::query`]) read a snapshot and never
+/// evaluate; updates ([`Session::insert`]) resume the fixpoint and publish a
+/// new snapshot.
+pub struct Session {
+    optimized: Optimized,
+    evaluator: Evaluator,
+    /// EDB predicates of the rewritten program — the only legal insertion
+    /// targets.
+    edb: BTreeSet<Pred>,
+    /// The query predicate of the *source* program, so interactive queries
+    /// phrased against it can be rerouted to the rewritten query predicate.
+    original_query: Option<Literal>,
+    /// The rewritten program's own query literal (where the optimizer left
+    /// the program's answers).
+    rewritten_query: Option<Literal>,
+    current: RwLock<Snapshot>,
+    /// Serializes update batches; queries never take it.  The epoch lives
+    /// in the published [`Snapshot`] — updates derive the next epoch from
+    /// the snapshot they resumed, which the lock makes race-free.
+    update_lock: Mutex<()>,
+}
+
+impl Session {
+    /// Optimizes the configured program and materializes it against `db`.
+    ///
+    /// This is the `Optimizer` → `Session` handoff: any of the rewriting
+    /// strategies can back a session, and the evaluation options configured
+    /// on the optimizer (join core, threads, limits) carry over to both the
+    /// base materialization and every resumed update.
+    pub fn materialize(optimizer: &Optimizer, db: &Database) -> Result<Session, SessionError> {
+        let original_query = optimizer
+            .program()
+            .query()
+            .and_then(|q| q.literals.first())
+            .cloned();
+        let optimized = optimizer.optimize().map_err(SessionError::Optimize)?;
+        let rewritten_query = optimized
+            .program
+            .query()
+            .and_then(|q| q.literals.first())
+            .cloned();
+        let edb = optimized.program.edb_predicates();
+        let evaluator = optimized.evaluator();
+        let result = evaluator.evaluate(db);
+        Ok(Session {
+            optimized,
+            evaluator,
+            edb,
+            original_query,
+            rewritten_query,
+            current: RwLock::new(Snapshot {
+                epoch: 0,
+                result: Arc::new(result),
+            }),
+            update_lock: Mutex::new(()),
+        })
+    }
+
+    /// The rewritten program this session materialized.
+    pub fn optimized(&self) -> &Optimized {
+        &self.optimized
+    }
+
+    /// The current snapshot (cheap: one `Arc` clone under a read lock that
+    /// is held only for the clone itself).
+    pub fn snapshot(&self) -> Snapshot {
+        self.current.read().expect("session lock poisoned").clone()
+    }
+
+    /// Resolves an interactive query against this session's materialization:
+    /// single literal only, and queries phrased against the source program's
+    /// query predicate are rerouted to the rewritten query predicate.
+    pub fn resolve_query(&self, query: &Query) -> Result<Query, SessionError> {
+        if query.literals.len() != 1 {
+            return Err(SessionError::UnsupportedQuery(format!(
+                "sessions answer single-literal queries from the materialization, got {}",
+                query.literals.len()
+            )));
+        }
+        let literal = &query.literals[0];
+        let known = {
+            let snapshot = self.snapshot();
+            snapshot.result.relations.contains_key(&literal.predicate)
+        };
+        if known {
+            return Ok(query.clone());
+        }
+        // `?- cheaporshort(...)` against a magic-rewritten program: the
+        // answers live under the rewritten (adorned) query predicate — but
+        // the magic seed specialized the materialization to the program
+        // query's own bindings, so the reroute is complete only for
+        // instances of that pattern.  Where the program query has a
+        // constant, the interactive query must repeat it (a variable or a
+        // different constant there would silently under-answer); where the
+        // program query has a variable, anything goes.
+        if let (Some(original), Some(rewritten)) = (&self.original_query, &self.rewritten_query) {
+            if literal.predicate == original.predicate && literal.predicate != rewritten.predicate {
+                if literal.arity() != rewritten.arity() {
+                    return Err(SessionError::UnsupportedQuery(format!(
+                        "`{}` has arity {} but the rewritten query predicate `{}` has arity {}",
+                        literal.predicate,
+                        literal.arity(),
+                        rewritten.predicate,
+                        rewritten.arity()
+                    )));
+                }
+                for (position, (seed, asked)) in
+                    rewritten.args.iter().zip(&literal.args).enumerate()
+                {
+                    let compatible = match seed {
+                        Term::Var(_) => true,
+                        bound => bound == asked,
+                    };
+                    if !compatible {
+                        return Err(SessionError::UnsupportedQuery(format!(
+                            "the materialization was specialized to `{rewritten}` by the magic \
+                             rewriting; argument {} must be `{seed}` (got `{asked}`) — re-.load \
+                             with a broader query or a non-magic strategy for ad-hoc bindings",
+                            position + 1
+                        )));
+                    }
+                }
+                let mut resolved = query.clone();
+                resolved.literals[0] =
+                    Literal::new(rewritten.predicate.clone(), literal.args.clone());
+                return Ok(resolved);
+            }
+        }
+        Err(SessionError::UnknownPredicate(literal.predicate.clone()))
+    }
+
+    /// Answers a query against the current snapshot without evaluating.
+    ///
+    /// Returns the resolved query (after predicate rerouting), the snapshot
+    /// it was answered from, and the matching facts (cloned out so the
+    /// caller does not borrow the snapshot).
+    pub fn query(&self, query: &Query) -> Result<(Query, Snapshot, Vec<Fact>), SessionError> {
+        let resolved = self.resolve_query(query)?;
+        let snapshot = self.snapshot();
+        let answers = snapshot
+            .answers(&resolved)
+            .into_iter()
+            .cloned()
+            .collect::<Vec<Fact>>();
+        Ok((resolved, snapshot, answers))
+    }
+
+    /// Applies one batch of EDB update facts by resuming the fixpoint, and
+    /// publishes the resulting materialization as the next epoch.
+    ///
+    /// Every fact must target an EDB predicate of the materialized program;
+    /// queries keep reading the previous epoch until the resumed evaluation
+    /// completes.  Updates are refused while the current materialization is
+    /// partial (stopped on a resource limit rather than a fixpoint): a
+    /// resume cannot replay the derivations the interrupted run never
+    /// attempted, so applying one would publish silently incomplete epochs.
+    /// A resumed evaluation that itself hits a limit is still published
+    /// (its facts are sound, and `.stats`/[`Session::stats`] show the
+    /// termination), but further updates then error until re-materialized.
+    pub fn insert(&self, facts: Vec<Fact>) -> Result<UpdateOutcome, SessionError> {
+        for fact in &facts {
+            if !self.edb.contains(fact.predicate()) {
+                return Err(SessionError::NotAnEdbPredicate(fact.predicate().clone()));
+            }
+        }
+        let _guard = self.update_lock.lock().expect("update lock poisoned");
+        let base = self.snapshot();
+        // `Evaluator::resume` is only sound on a *completed* materialization:
+        // a run that stopped on a resource limit left derivations unattempted
+        // that no delta-driven resume will replay.
+        if !base.result.termination.is_fixpoint() {
+            return Err(SessionError::PartialMaterialization(
+                base.result.termination,
+            ));
+        }
+        let start = Instant::now();
+        // Copy-on-update: the new epoch is built aside so readers of `base`
+        // are undisturbed; the resumed fixpoint then only re-derives what
+        // the update facts reach.
+        let relations = base.result.relations.clone();
+        let result = self.evaluator.resume(relations, facts);
+        let elapsed = start.elapsed();
+        // Update facts enter the relations before the resumed fixpoint's
+        // iteration statistics start counting, so the facts that survived
+        // subsumption are the growth the derivations do not account for.
+        // (This holds for both join cores, unlike the iteration-0 delta
+        // width, which only the indexed core records.)
+        let inserted = result
+            .total_facts()
+            .saturating_sub(base.result.total_facts())
+            .saturating_sub(result.stats.total_new_facts());
+        let outcome = UpdateOutcome {
+            epoch: base.epoch + 1,
+            inserted,
+            new_facts: inserted + result.stats.total_new_facts(),
+            derivations: result.stats.total_derivations(),
+            iterations: result.stats.iterations.len(),
+            termination: result.termination,
+            total_facts: result.total_facts(),
+            elapsed,
+        };
+        *self.current.write().expect("session lock poisoned") = Snapshot {
+            epoch: outcome.epoch,
+            result: Arc::new(result),
+        };
+        Ok(outcome)
+    }
+
+    /// Parses fact-only text (`flight(a, b, 3).`, constraint facts included)
+    /// and applies it as one update batch.
+    pub fn insert_str(&self, text: &str) -> Result<UpdateOutcome, SessionError> {
+        let facts = parse_facts(text)?;
+        self.insert(facts)
+    }
+
+    /// Answers the program's own query (as rewritten) against the current
+    /// snapshot.
+    pub fn program_answers(&self) -> Result<(Query, Snapshot, Vec<Fact>), SessionError> {
+        let literal = self.rewritten_query.clone().ok_or_else(|| {
+            SessionError::UnsupportedQuery("the materialized program has no query".to_string())
+        })?;
+        self.query(&Query::new(literal))
+    }
+
+    /// A point-in-time description of the session.
+    pub fn stats(&self) -> SessionStats {
+        let snapshot = self.snapshot();
+        let result = snapshot.result();
+        SessionStats {
+            epoch: snapshot.epoch(),
+            total_facts: result.total_facts(),
+            constraint_facts: result.stats.constraint_facts,
+            relations: result
+                .relations
+                .iter()
+                .map(|(pred, relation)| (pred.to_string(), relation.len()))
+                .collect(),
+            termination: result.termination,
+            query_pred: self.optimized.query_pred.to_string(),
+        }
+    }
+}
+
+// Sessions are shared across REPL/server threads behind an `Arc`; keep the
+// whole type thread-shareable by construction.
+const _: () = {
+    const fn assert_shareable<T: Send + Sync>() {}
+    assert_shareable::<Session>();
+    assert_shareable::<Snapshot>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_core::{programs, Strategy};
+    use pcs_lang::parse_query;
+
+    fn flights_session(strategy: Strategy) -> Session {
+        let optimizer = Optimizer::new(programs::flights()).strategy(strategy);
+        Session::materialize(&optimizer, &programs::flights_database(6, 10)).unwrap()
+    }
+
+    #[test]
+    fn queries_are_answered_from_the_materialization() {
+        let session = flights_session(Strategy::ConstraintRewrite);
+        let query = parse_query("?- cheaporshort(madison, seattle, T, C).").unwrap();
+        let (_, snapshot, answers) = session.query(&query).unwrap();
+        assert_eq!(snapshot.epoch(), 0);
+        assert!(!answers.is_empty());
+        // Side constraints narrow the answers.
+        let narrowed = parse_query("?- cheaporshort(madison, seattle, T, C), T <= 200.").unwrap();
+        let (_, _, narrowed) = session.query(&narrowed).unwrap();
+        assert!(narrowed.len() <= answers.len());
+    }
+
+    #[test]
+    fn magic_sessions_reroute_the_original_query_predicate() {
+        let session = flights_session(Strategy::Optimal);
+        let query = parse_query("?- cheaporshort(madison, seattle, T, C).").unwrap();
+        let (resolved, _, answers) = session.query(&query).unwrap();
+        assert_ne!(resolved.literals[0].predicate, query.literals[0].predicate);
+        // Same answers as the baseline strategy computes.
+        let baseline = flights_session(Strategy::None);
+        let (_, _, expected) = baseline.query(&query).unwrap();
+        assert_eq!(answers.len(), expected.len());
+    }
+
+    #[test]
+    fn inserts_resume_and_match_a_fresh_materialization() {
+        let session = flights_session(Strategy::ConstraintRewrite);
+        let before = session.query(&parse_query("?- flight(madison, X, T, C).").unwrap());
+        let before = before.unwrap().2.len();
+        let outcome = session
+            .insert_str("singleleg(madison, newhub, 10, 10).\nsingleleg(newhub, seattle, 10, 10).")
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert!(outcome.termination.is_fixpoint());
+        assert!(outcome.new_facts >= 2);
+        let after = session.query(&parse_query("?- flight(madison, X, T, C).").unwrap());
+        let after = after.unwrap().2.len();
+        assert!(after > before);
+
+        // A fresh session over base + updates answers identically.
+        let mut db = programs::flights_database(6, 10);
+        db.add_facts_str(
+            "singleleg(madison, newhub, 10, 10).\nsingleleg(newhub, seattle, 10, 10).",
+        )
+        .unwrap();
+        let optimizer = Optimizer::new(programs::flights()).strategy(Strategy::ConstraintRewrite);
+        let fresh = Session::materialize(&optimizer, &db).unwrap();
+        assert_eq!(fresh.stats().total_facts, session.stats().total_facts);
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_updates() {
+        let session = flights_session(Strategy::ConstraintRewrite);
+        let old = session.snapshot();
+        let old_total = old.result().total_facts();
+        session
+            .insert_str("singleleg(madison, elsewhere, 5, 5).")
+            .unwrap();
+        // The old snapshot still sees the old epoch; the session moved on.
+        assert_eq!(old.epoch(), 0);
+        assert_eq!(old.result().total_facts(), old_total);
+        assert_eq!(session.snapshot().epoch(), 1);
+        assert!(session.snapshot().result().total_facts() > old_total);
+    }
+
+    #[test]
+    fn subsumed_updates_keep_the_session_stable() {
+        let session = flights_session(Strategy::None);
+        let total = session.stats().total_facts;
+        // This exact leg is already in flights_database(6, 10).
+        let outcome = session
+            .insert_str("singleleg(madison, seattle, 200, 90).")
+            .unwrap();
+        assert_eq!(outcome.inserted, 0);
+        assert_eq!(outcome.new_facts, 0);
+        assert_eq!(outcome.total_facts, total);
+    }
+
+    #[test]
+    fn magic_sessions_refuse_bindings_outside_the_seed() {
+        let session = flights_session(Strategy::Optimal);
+        // The magic seed specialized the materialization to
+        // (madison, seattle, _, _): other sources must be refused loudly,
+        // not silently under-answered.
+        for text in [
+            "?- cheaporshort(chicago, seattle, T, C).",
+            "?- cheaporshort(S, seattle, T, C).",
+        ] {
+            let err = session.query(&parse_query(text).unwrap()).unwrap_err();
+            assert!(matches!(err, SessionError::UnsupportedQuery(_)), "{text}");
+            assert!(err.to_string().contains("specialized"), "{text}");
+        }
+        // Narrowing a free seed position is fine.
+        let query = parse_query("?- cheaporshort(madison, seattle, T, C), T <= 10000.").unwrap();
+        assert!(session.query(&query).is_ok());
+    }
+
+    #[test]
+    fn updates_are_refused_on_partial_materializations() {
+        // A diverging counter program capped at a few iterations: the base
+        // materialization is partial, so resuming from it would silently
+        // drop derivations.
+        let program =
+            pcs_lang::parse_program("nat(0).\nnat(Y) :- seed(X), nat(X), Y = X + 1.\n?- nat(5).")
+                .unwrap();
+        let mut db = Database::new();
+        db.add_facts_str("seed(0).\nseed(1).\nseed(2).\nseed(3).")
+            .unwrap();
+        let optimizer = Optimizer::new(program)
+            .strategy(Strategy::None)
+            .eval_options(pcs_engine::EvalOptions {
+                limits: pcs_engine::EvalLimits::capped(2),
+                ..pcs_engine::EvalOptions::default()
+            });
+        let session = Session::materialize(&optimizer, &db).unwrap();
+        assert!(!session.stats().termination.is_fixpoint());
+        let err = session.insert_str("seed(4).").unwrap_err();
+        assert!(matches!(err, SessionError::PartialMaterialization(_)));
+        assert!(err.to_string().contains("partial"));
+        // Nothing was published.
+        assert_eq!(session.snapshot().epoch(), 0);
+    }
+
+    #[test]
+    fn bad_inserts_and_queries_are_rejected() {
+        let session = flights_session(Strategy::ConstraintRewrite);
+        // `flight` is an IDB predicate of the program.
+        let err = session.insert_str("flight(a, b, 1, 2).").unwrap_err();
+        assert!(matches!(err, SessionError::NotAnEdbPredicate(_)));
+        // Unknown predicates and multi-literal queries are reported.
+        let err = session
+            .query(&parse_query("?- nosuch(X).").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, SessionError::UnknownPredicate(_)));
+        let err = session
+            .query(&parse_query("?- flight(X, Y, T, C), flight(Y, Z, T2, C2).").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, SessionError::UnsupportedQuery(_)));
+        // Errors leave the epoch untouched.
+        assert_eq!(session.snapshot().epoch(), 0);
+    }
+}

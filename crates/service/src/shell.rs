@@ -1,0 +1,515 @@
+//! The interactive command language shared by the REPL and the TCP server.
+//!
+//! One command per line.  Program loading is the only multi-line construct:
+//! `.load` opens a block that `.end` closes, with `+`-prefixed lines inside
+//! the block feeding the base database and everything else feeding the
+//! program source (rules, `edb` declarations, and the `?- ...` query).
+//!
+//! ```text
+//! .strategy optimal
+//! .load
+//! r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+//! ...
+//! +singleleg(madison, chicago, 50, 100).
+//! ?- cheaporshort(madison, seattle, Time, Cost).
+//! .end
+//! ?- cheaporshort(madison, seattle, T, C).
+//! +singleleg(chicago, seattle, 60, 40).
+//! .stats
+//! .quit
+//! ```
+//!
+//! Every command produces zero or more response lines; the TCP server
+//! additionally terminates each response with a lone `.` so clients can
+//! frame it.  Shells created from one [`SessionHub`] share the hub's
+//! session: a `.load` in one client is visible to all of them, which is how
+//! the TCP server exposes one materialization to many connections.
+
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use pcs_core::{Optimizer, Strategy};
+use pcs_engine::Database;
+use pcs_lang::{parse_program, parse_query};
+
+use crate::session::Session;
+
+/// The shared slot holding the session all shells of one front-end operate
+/// on.  The TCP server hands one hub to every connection; the REPL owns a
+/// private one.
+#[derive(Default)]
+pub struct SessionHub {
+    current: RwLock<Option<Arc<Session>>>,
+}
+
+impl SessionHub {
+    /// Creates an empty hub (no session loaded yet).
+    pub fn new() -> SessionHub {
+        SessionHub::default()
+    }
+
+    /// Installs a freshly materialized session, replacing any previous one
+    /// for every shell sharing this hub.
+    pub fn install(&self, session: Session) -> Arc<Session> {
+        let session = Arc::new(session);
+        *self.current.write().expect("hub lock poisoned") = Some(session.clone());
+        session
+    }
+
+    /// The currently installed session, if any.
+    pub fn session(&self) -> Option<Arc<Session>> {
+        self.current.read().expect("hub lock poisoned").clone()
+    }
+}
+
+/// The response to one command line.
+#[derive(Debug, Clone, Default)]
+pub struct Response {
+    /// Lines to print, in order.
+    pub lines: Vec<String>,
+    /// Whether the front-end should close this input stream (`.quit`).
+    pub quit: bool,
+}
+
+impl Response {
+    fn say(text: impl Into<String>) -> Response {
+        Response {
+            lines: vec![text.into()],
+            quit: false,
+        }
+    }
+
+    fn error(text: impl std::fmt::Display) -> Response {
+        Response::say(format!("error: {text}"))
+    }
+
+    fn empty() -> Response {
+        Response::default()
+    }
+}
+
+/// A program being accumulated between `.load` and `.end`.
+#[derive(Default)]
+struct LoadBuffer {
+    program: String,
+    facts: String,
+}
+
+/// The stateful command interpreter: one per input stream (REPL process or
+/// TCP connection), sharing a [`SessionHub`] with its siblings.
+pub struct Shell {
+    hub: Arc<SessionHub>,
+    strategy: Strategy,
+    loading: Option<LoadBuffer>,
+}
+
+impl Default for Shell {
+    fn default() -> Self {
+        Shell::new()
+    }
+}
+
+impl Shell {
+    /// A shell with a private hub (the REPL case).
+    pub fn new() -> Shell {
+        Shell::with_hub(Arc::new(SessionHub::new()))
+    }
+
+    /// A shell sharing an existing hub (the TCP server case).
+    pub fn with_hub(hub: Arc<SessionHub>) -> Shell {
+        Shell {
+            hub,
+            strategy: Strategy::Optimal,
+            loading: None,
+        }
+    }
+
+    /// The hub this shell operates on.
+    pub fn hub(&self) -> &Arc<SessionHub> {
+        &self.hub
+    }
+
+    /// Executes one command line and returns its response.
+    pub fn execute(&mut self, line: &str) -> Response {
+        if self.loading.is_some() {
+            return self.execute_loading(line);
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            return Response::empty();
+        }
+        if let Some(rest) = trimmed.strip_prefix('+') {
+            return self.insert(rest);
+        }
+        if trimmed.starts_with("?-") || trimmed.starts_with('?') {
+            return self.query(trimmed);
+        }
+        let (command, arg) = match trimmed.split_once(char::is_whitespace) {
+            Some((command, arg)) => (command, arg.trim()),
+            None => (trimmed, ""),
+        };
+        match command {
+            ".help" => Response {
+                lines: HELP.lines().map(str::to_string).collect(),
+                quit: false,
+            },
+            ".strategy" => self.set_strategy(arg),
+            ".load" => {
+                self.loading = Some(LoadBuffer::default());
+                Response::say(
+                    "loading program; finish with .end (`+fact.` lines feed the base database)",
+                )
+            }
+            ".end" => Response::error("no .load in progress"),
+            ".stats" => self.stats(),
+            ".facts" => self.facts(arg),
+            ".answers" => self.program_answers(),
+            ".quit" | ".exit" => Response {
+                lines: vec!["bye".to_string()],
+                quit: true,
+            },
+            other => Response::error(format!("unknown command `{other}`; try .help")),
+        }
+    }
+
+    fn execute_loading(&mut self, line: &str) -> Response {
+        let trimmed = line.trim();
+        if trimmed == ".end" {
+            let buffer = self.loading.take().expect("loading mode has a buffer");
+            return self.finish_load(buffer);
+        }
+        let buffer = self.loading.as_mut().expect("loading mode has a buffer");
+        if let Some(fact) = trimmed.strip_prefix('+') {
+            buffer.facts.push_str(fact);
+            buffer.facts.push('\n');
+        } else {
+            buffer.program.push_str(line);
+            buffer.program.push('\n');
+        }
+        Response::empty()
+    }
+
+    fn finish_load(&mut self, buffer: LoadBuffer) -> Response {
+        let program = match parse_program(&buffer.program) {
+            Ok(program) => program,
+            Err(e) => return Response::error(format!("program: {e}")),
+        };
+        let mut db = Database::new();
+        if let Err(e) = db.add_facts_str(&buffer.facts) {
+            return Response::error(format!("facts: {e}"));
+        }
+        let optimizer = Optimizer::new(program).strategy(self.strategy.clone());
+        let start = Instant::now();
+        let session = match Session::materialize(&optimizer, &db) {
+            Ok(session) => session,
+            Err(e) => return Response::error(e),
+        };
+        let session = self.hub.install(session);
+        let stats = session.stats();
+        Response::say(format!(
+            "ok: materialized {} facts ({} constraint facts) across {} relations in {:?}; strategy {}; answers in `{}`",
+            stats.total_facts,
+            stats.constraint_facts,
+            stats.relations.len(),
+            start.elapsed(),
+            strategy_label(&self.strategy),
+            stats.query_pred,
+        ))
+    }
+
+    fn set_strategy(&mut self, arg: &str) -> Response {
+        if arg.is_empty() {
+            return Response::say(format!("strategy: {}", strategy_label(&self.strategy)));
+        }
+        match parse_strategy(arg) {
+            Some(strategy) => {
+                self.strategy = strategy;
+                Response::say(format!(
+                    "strategy set to {} (takes effect at the next .load)",
+                    strategy_label(&self.strategy)
+                ))
+            }
+            None => Response::error(format!(
+                "unknown strategy `{arg}`; expected none, constraint, magic, optimal, or a comma list of pred/qrp/mg"
+            )),
+        }
+    }
+
+    fn session(&self) -> Result<Arc<Session>, Response> {
+        self.hub
+            .session()
+            .ok_or_else(|| Response::error("no session loaded; use .load first"))
+    }
+
+    fn query(&mut self, text: &str) -> Response {
+        let session = match self.session() {
+            Ok(session) => session,
+            Err(response) => return response,
+        };
+        let query = match parse_query(text) {
+            Ok(query) => query,
+            Err(e) => return Response::error(e),
+        };
+        match session.query(&query) {
+            Ok(answered) => answers_response(answered),
+            Err(e) => Response::error(e),
+        }
+    }
+
+    fn insert(&mut self, text: &str) -> Response {
+        let session = match self.session() {
+            Ok(session) => session,
+            Err(response) => return response,
+        };
+        match session.insert_str(text) {
+            Ok(outcome) => Response::say(format!(
+                "ok: epoch {}; +{} inserted, +{} new facts ({} derivations over {} iterations, {:?}, {:?})",
+                outcome.epoch,
+                outcome.inserted,
+                outcome.new_facts,
+                outcome.derivations,
+                outcome.iterations,
+                outcome.termination,
+                outcome.elapsed,
+            )),
+            Err(e) => Response::error(e),
+        }
+    }
+
+    fn stats(&mut self) -> Response {
+        let session = match self.session() {
+            Ok(session) => session,
+            Err(response) => return response,
+        };
+        let stats = session.stats();
+        let mut lines = vec![
+            format!("strategy: {}", strategy_label(&self.strategy)),
+            format!("epoch: {}", stats.epoch),
+            format!(
+                "facts: {} total, {} constraint facts, {} relations",
+                stats.total_facts,
+                stats.constraint_facts,
+                stats.relations.len()
+            ),
+            format!("termination: {:?}", stats.termination),
+            format!("query predicate: {}", stats.query_pred),
+        ];
+        for (pred, count) in &stats.relations {
+            lines.push(format!("  {pred}: {count}"));
+        }
+        Response { lines, quit: false }
+    }
+
+    fn facts(&mut self, arg: &str) -> Response {
+        if arg.is_empty() {
+            return Response::error(".facts needs a predicate name");
+        }
+        let session = match self.session() {
+            Ok(session) => session,
+            Err(response) => return response,
+        };
+        let snapshot = session.snapshot();
+        let pred = pcs_lang::Pred::new(arg);
+        let mut rendered: Vec<String> = snapshot
+            .result()
+            .facts_for(&pred)
+            .iter()
+            .map(|fact| format!("  {fact}"))
+            .collect();
+        rendered.sort();
+        let mut lines = vec![format!("{}: {} facts", pred, rendered.len())];
+        lines.extend(rendered);
+        Response { lines, quit: false }
+    }
+
+    fn program_answers(&mut self) -> Response {
+        let session = match self.session() {
+            Ok(session) => session,
+            Err(response) => return response,
+        };
+        match session.program_answers() {
+            Ok(answered) => answers_response(answered),
+            Err(e) => Response::error(e),
+        }
+    }
+}
+
+/// Renders an answered query: a `answers: N (predicate P, epoch E)` header
+/// followed by the matching facts, sorted for stable output.
+fn answers_response(
+    (resolved, snapshot, answers): (
+        pcs_lang::Query,
+        crate::session::Snapshot,
+        Vec<pcs_engine::Fact>,
+    ),
+) -> Response {
+    let mut lines = vec![format!(
+        "answers: {} (predicate {}, epoch {})",
+        answers.len(),
+        resolved.literals[0].predicate,
+        snapshot.epoch()
+    )];
+    let mut rendered: Vec<String> = answers.iter().map(|fact| format!("  {fact}")).collect();
+    rendered.sort();
+    lines.extend(rendered);
+    Response { lines, quit: false }
+}
+
+/// Parses a strategy name: `none`, `constraint`, `magic`, `optimal`, or a
+/// comma-separated sequence of `pred`/`qrp`/`mg` steps (Section 7 orderings).
+pub fn parse_strategy(name: &str) -> Option<Strategy> {
+    use pcs_core::transform::Step;
+    match name {
+        "none" | "original" => Some(Strategy::None),
+        "constraint" | "constraint-rewrite" | "rewrite" => Some(Strategy::ConstraintRewrite),
+        "magic" => Some(Strategy::MagicOnly),
+        "optimal" => Some(Strategy::Optimal),
+        sequence => {
+            let steps: Option<Vec<Step>> = sequence
+                .split(',')
+                .map(|step| match step.trim() {
+                    "pred" => Some(Step::Pred),
+                    "qrp" => Some(Step::Qrp),
+                    "mg" => Some(Step::Magic),
+                    _ => None,
+                })
+                .collect();
+            steps.filter(|s| !s.is_empty()).map(Strategy::Sequence)
+        }
+    }
+}
+
+/// A short, stable label for a strategy (shown by `.strategy` and `.stats`).
+pub fn strategy_label(strategy: &Strategy) -> String {
+    use pcs_core::transform::Step;
+    match strategy {
+        Strategy::None => "none".to_string(),
+        Strategy::ConstraintRewrite => "constraint-rewrite (pred,qrp)".to_string(),
+        Strategy::MagicOnly => "magic".to_string(),
+        Strategy::Optimal => "optimal (pred,qrp,mg)".to_string(),
+        Strategy::Sequence(steps) => steps
+            .iter()
+            .map(|step| match step {
+                Step::Pred => "pred",
+                Step::Qrp => "qrp",
+                Step::Magic => "mg",
+            })
+            .collect::<Vec<_>>()
+            .join(","),
+    }
+}
+
+const HELP: &str = "commands:
+  .load              start a program block; finish with .end
+                     (inside the block, `+fact.` lines feed the base database)
+  .strategy [name]   show or set the rewriting strategy for the next .load:
+                     none, constraint, magic, optimal, or pred/qrp/mg lists
+  ?- q(a, X).        answer a query from the materialization (no evaluation)
+  +p(a, 1).          insert EDB facts; resumes the fixpoint incrementally
+  .answers           answer the loaded program's own query
+  .facts <pred>      list the stored facts of one predicate
+  .stats             materialization statistics
+  .help              this text
+  .quit              close this session";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(shell: &mut Shell, script: &str) -> Vec<String> {
+        let mut lines = Vec::new();
+        for line in script.lines() {
+            let response = shell.execute(line);
+            lines.extend(response.lines);
+        }
+        lines
+    }
+
+    const FLIGHTS: &str = "\
+.strategy constraint
+.load
+r1: cheaporshort(S, D, T, C) :- flight(S, D, T, C), T <= 240.
+r2: cheaporshort(S, D, T, C) :- flight(S, D, T, C), C <= 150.
+r3: flight(S, D, T, C) :- singleleg(S, D, T, C), T > 0, C > 0.
+r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2), T = T1 + T2 + 30, C = C1 + C2.
++singleleg(madison, chicago, 50, 100).
++singleleg(chicago, seattle, 60, 40).
+?- cheaporshort(madison, seattle, Time, Cost).
+.end
+";
+
+    #[test]
+    fn scripted_load_query_insert_requery() {
+        let mut shell = Shell::new();
+        let out = run(&mut shell, FLIGHTS);
+        assert!(
+            out.iter().any(|l| l.starts_with("ok: materialized")),
+            "{out:?}"
+        );
+
+        // One composed madison→seattle flight (140, 140) qualifies.
+        let out = run(&mut shell, "?- cheaporshort(madison, seattle, T, C).");
+        assert!(out[0].starts_with("answers: 1"), "{out:?}");
+
+        // A new direct leg is cheap AND short: one more answer.
+        let out = run(&mut shell, "+singleleg(madison, seattle, 45, 30).");
+        assert!(out[0].starts_with("ok: epoch 1"), "{out:?}");
+        let out = run(&mut shell, "?- cheaporshort(madison, seattle, T, C).");
+        assert!(out[0].starts_with("answers: 2"), "{out:?}");
+        assert!(out[0].contains("epoch 1"), "{out:?}");
+
+        let out = run(&mut shell, ".stats");
+        assert!(out.iter().any(|l| l.starts_with("epoch: 1")), "{out:?}");
+
+        let out = run(&mut shell, ".facts singleleg");
+        assert!(out[0].starts_with("singleleg: 3 facts"), "{out:?}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut shell = Shell::new();
+        assert!(run(&mut shell, "?- q(X).")[0].contains("no session loaded"));
+        assert!(run(&mut shell, ".strategy bogus")[0].contains("unknown strategy"));
+        assert!(run(&mut shell, ".end")[0].contains("no .load"));
+        assert!(run(&mut shell, ".nonsense")[0].contains("unknown command"));
+        let mut shell = Shell::new();
+        run(&mut shell, FLIGHTS);
+        assert!(run(&mut shell, "+flight(a, b, 1, 1).")[0].contains("not an EDB"));
+        assert!(run(&mut shell, "?- nosuch(X).")[0].contains("unknown predicate"));
+        assert!(run(&mut shell, "+nonsense((")[0].starts_with("error:"));
+    }
+
+    #[test]
+    fn strategies_parse_and_label() {
+        for name in [
+            "none",
+            "constraint",
+            "magic",
+            "optimal",
+            "pred,qrp,mg",
+            "mg,qrp",
+        ] {
+            let strategy = parse_strategy(name).unwrap();
+            assert!(!strategy_label(&strategy).is_empty());
+        }
+        assert!(parse_strategy("definitely-not").is_none());
+        assert!(parse_strategy("").is_none());
+    }
+
+    #[test]
+    fn hubs_share_sessions_across_shells() {
+        let hub = Arc::new(SessionHub::new());
+        let mut loader = Shell::with_hub(hub.clone());
+        run(&mut loader, FLIGHTS);
+        let mut reader = Shell::with_hub(hub);
+        let out = run(&mut reader, "?- cheaporshort(madison, seattle, T, C).");
+        assert!(out[0].starts_with("answers: 1"), "{out:?}");
+    }
+
+    #[test]
+    fn quit_sets_the_flag() {
+        let mut shell = Shell::new();
+        assert!(shell.execute(".quit").quit);
+        assert!(!shell.execute(".help").quit);
+    }
+}

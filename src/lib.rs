@@ -16,7 +16,10 @@
 //! * [`transform`] — the rewritings (predicate/QRP constraints, fold/unfold,
 //!   Magic Templates, Balbin's C transformation, the decidable class),
 //! * [`core`] — the high-level [`Optimizer`] API and the paper's example
-//!   programs.
+//!   programs,
+//! * [`service`] — long-lived incremental materialized query sessions
+//!   ([`Session`]), the interactive shell, and the REPL/TCP front-ends
+//!   (`pcs-repl`, `pcs-serve`).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduction of every table and figure.
@@ -37,11 +40,17 @@ pub use pcs_constraints as constraints;
 pub use pcs_core as core;
 pub use pcs_engine as engine;
 pub use pcs_lang as lang;
+pub use pcs_service as service;
 pub use pcs_transform as transform;
 
 pub use pcs_core::{Optimized, Optimizer, Strategy};
+pub use pcs_service::{Session, SessionHub, Shell, Snapshot};
 
 /// Commonly used items from every layer.
 pub mod prelude {
     pub use pcs_core::prelude::*;
+    pub use pcs_lang::{parse_facts as parse_fact_rules, parse_query};
+    pub use pcs_service::{
+        Server, Session, SessionError, SessionHub, SessionStats, Shell, Snapshot, UpdateOutcome,
+    };
 }

@@ -1,0 +1,264 @@
+//! Differential tests for the resumable fixpoint.
+//!
+//! The contract behind `pcs-service` sessions: for every rewriting strategy
+//! and both join cores, *(materialize base; insert update batch; resume)*
+//! stores exactly the relations a from-scratch evaluation of base + updates
+//! stores, with the same per-predicate fact counts and the same
+//! termination.  Randomized EDBs and update batches (seeded, reproducible)
+//! probe the property beyond the deterministic paper workloads, and a
+//! 4-thread resume must be bit-for-bit identical to the sequential one.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use pushing_constraint_selections::engine::EvalResult;
+use pushing_constraint_selections::prelude::*;
+// proptest's prelude also exports a `Strategy` trait; disambiguate the
+// optimizer's enum.
+use pushing_constraint_selections::Strategy as OptStrategy;
+
+fn all_strategies() -> Vec<OptStrategy> {
+    vec![
+        OptStrategy::None,
+        OptStrategy::ConstraintRewrite,
+        OptStrategy::MagicOnly,
+        OptStrategy::Optimal,
+        OptStrategy::Sequence(vec![Step::Qrp, Step::Magic]),
+        OptStrategy::Sequence(vec![Step::Magic, Step::Qrp]),
+        OptStrategy::Sequence(vec![Step::Magic, Step::Pred, Step::Qrp]),
+    ]
+}
+
+/// Renders every relation as a sorted list of fact strings, keyed by
+/// predicate, so stored fact sets can be compared independently of
+/// derivation order.
+fn rendered_relations(result: &EvalResult) -> BTreeMap<String, Vec<String>> {
+    result
+        .relations
+        .iter()
+        .map(|(pred, relation)| {
+            let mut facts: Vec<String> = relation.iter().map(|f| f.to_string()).collect();
+            facts.sort();
+            (pred.to_string(), facts)
+        })
+        .collect()
+}
+
+/// For every strategy and both join cores: materialize `base`, resume with
+/// `updates`, and require relations, fact counts, and termination identical
+/// to evaluating base + updates from scratch.  Also requires the resumed
+/// evaluation to be bit-for-bit deterministic under a 4-thread worker pool.
+fn assert_resume_matches_scratch(program: &Program, base: &Database, updates: &[Fact]) {
+    let mut full = base.clone();
+    for fact in updates {
+        full.add(fact.clone());
+    }
+    for strategy in all_strategies() {
+        let optimized = Optimizer::new(program.clone())
+            .strategy(strategy.clone())
+            .optimize()
+            .expect("optimization succeeds");
+        for options in [
+            EvalOptions::indexed().with_threads(1),
+            EvalOptions::legacy().with_threads(1),
+        ] {
+            let evaluator = Evaluator::new(&optimized.program, options.clone());
+            let scratch = evaluator.evaluate(&full);
+            let materialized = evaluator.evaluate(base);
+            let resumed = evaluator.resume(materialized.relations, updates.to_vec());
+            let context = format!(
+                "under {strategy:?} with {} core",
+                if options.index { "indexed" } else { "legacy" }
+            );
+            assert_eq!(
+                resumed.termination, scratch.termination,
+                "termination diverged {context}"
+            );
+            assert_eq!(
+                rendered_relations(&resumed),
+                rendered_relations(&scratch),
+                "stored relations diverged {context}"
+            );
+            assert_eq!(
+                resumed.stats.facts_per_predicate, scratch.stats.facts_per_predicate,
+                "fact counts diverged {context}"
+            );
+            assert_eq!(
+                resumed.stats.constraint_facts, scratch.stats.constraint_facts,
+                "constraint fact counts diverged {context}"
+            );
+
+            // Parallel resume is bit-for-bit identical to sequential resume.
+            let parallel_evaluator = Evaluator::new(
+                &optimized.program,
+                options.clone().with_threads(4).with_min_parallel_work(0),
+            );
+            let parallel = parallel_evaluator.resume(
+                parallel_evaluator.evaluate(base).relations,
+                updates.to_vec(),
+            );
+            assert_eq!(
+                resumed.termination, parallel.termination,
+                "parallel resume termination diverged {context}"
+            );
+            assert_eq!(
+                rendered_relations(&resumed),
+                rendered_relations(&parallel),
+                "parallel resume relations diverged {context}"
+            );
+            assert_eq!(
+                resumed.stats.iterations.len(),
+                parallel.stats.iterations.len(),
+                "parallel resume iteration counts diverged {context}"
+            );
+            for (i, (a, b)) in resumed
+                .stats
+                .iterations
+                .iter()
+                .zip(&parallel.stats.iterations)
+                .enumerate()
+            {
+                assert_eq!(
+                    (a.derivations, a.new_facts, a.subsumed, a.delta_facts),
+                    (b.derivations, b.new_facts, b.subsumed, b.delta_facts),
+                    "parallel resume iteration {i} statistics diverged {context}"
+                );
+            }
+        }
+    }
+}
+
+/// New flight legs as update facts.
+fn leg_updates(legs: &[(&str, &str, i64, i64)]) -> Vec<Fact> {
+    legs.iter()
+        .map(|(src, dst, time, cost)| {
+            Fact::ground(
+                "singleleg",
+                vec![
+                    Value::sym(*src),
+                    Value::sym(*dst),
+                    Value::num(*time),
+                    Value::num(*cost),
+                ],
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn resume_matches_scratch_on_the_flights_workload() {
+    let program = programs::flights();
+    let base = programs::flights_database(6, 10);
+    let updates = leg_updates(&[
+        ("madison", "seattle", 45, 30),
+        ("city2", "newhub", 40, 35),
+        ("newhub", "seattle", 55, 60),
+        // Already present in the base database: must be subsumed.
+        ("madison", "seattle", 200, 90),
+    ]);
+    assert_resume_matches_scratch(&program, &base, &updates);
+}
+
+#[test]
+fn resume_matches_scratch_on_the_7x_workloads() {
+    let base = programs::example_7x_database(12, 10);
+    let updates = vec![
+        Fact::ground("b1", vec![Value::num(3), Value::num(10_001)]),
+        Fact::ground("b1", vec![Value::num(50), Value::num(10_004)]),
+        Fact::ground("b2", vec![Value::num(10_010), Value::num(10_011)]),
+    ];
+    assert_resume_matches_scratch(&programs::example_71(), &base, &updates);
+    assert_resume_matches_scratch(&programs::example_72(), &base, &updates);
+}
+
+#[test]
+fn resume_matches_scratch_with_constraint_fact_updates() {
+    // Constraint facts can arrive as updates too (e.g. "every leg out of a
+    // hub costs at least 70"): the resumed subsumption and projection paths
+    // must agree with the from-scratch ones.
+    let program = programs::example_71();
+    let base = programs::example_7x_database(8, 6);
+    let updates = parse_facts(
+        "b1(X, 10001) :- X >= 100, X <= 102.\n\
+         b2(10006, 10007).",
+    )
+    .unwrap();
+    assert_resume_matches_scratch(&program, &base, &updates);
+}
+
+#[test]
+fn repeated_resumes_converge_like_one_scratch_run() {
+    // Apply three update batches one after another (resume-of-resume) and
+    // compare against one evaluation of everything.
+    let program = programs::flights();
+    let base = programs::flights_database(5, 5);
+    let batches = [
+        leg_updates(&[("madison", "hubx", 30, 30)]),
+        leg_updates(&[("hubx", "seattle", 40, 40)]),
+        leg_updates(&[("city1", "hubx", 25, 45), ("madison", "hubx", 30, 30)]),
+    ];
+    let mut full = base.clone();
+    for batch in &batches {
+        for fact in batch {
+            full.add(fact.clone());
+        }
+    }
+    for strategy in all_strategies() {
+        let optimized = Optimizer::new(program.clone())
+            .strategy(strategy.clone())
+            .optimize()
+            .expect("optimization succeeds");
+        let evaluator = optimized.evaluator();
+        let scratch = evaluator.evaluate(&full);
+        let mut rolling = evaluator.evaluate(&base);
+        for batch in &batches {
+            rolling = evaluator.resume(rolling.relations, batch.clone());
+        }
+        assert_eq!(rolling.termination, scratch.termination);
+        assert_eq!(
+            rendered_relations(&rolling),
+            rendered_relations(&scratch),
+            "rolling resume diverged under {strategy:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn resume_matches_scratch_on_random_splits(
+        legs in proptest::collection::vec(
+            (0u8..6, 0u8..6, 30i64..240, 20i64..200),
+            2..10
+        ),
+        split in 1usize..9
+    ) {
+        // A random acyclic leg set, split at a random point into base facts
+        // and an update batch.
+        let mut base = programs::flights_database(4, 0);
+        let mut updates = Vec::new();
+        for (i, (a, b, time, cost)) in legs.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            let (lo, hi) = (a.min(b), a.max(b));
+            let fact = Fact::ground(
+                "singleleg",
+                vec![
+                    Value::sym(format!("c{lo}")),
+                    Value::sym(format!("c{hi}")),
+                    Value::num(*time),
+                    Value::num(*cost),
+                ],
+            );
+            if i < split % legs.len() {
+                base.add(fact);
+            } else {
+                updates.push(fact);
+            }
+        }
+        assert_resume_matches_scratch(&programs::flights(), &base, &updates);
+    }
+}
