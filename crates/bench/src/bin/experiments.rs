@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Available experiment names: `table1`, `table2`, `flights`, `ex41`, `ex42`,
-//! `balbin`, `orderings`, `overlap`, `parallel`, `incremental`, `all`.
+//! `balbin`, `orderings`, `overlap`, `parallel`, `incremental`, `deletion`,
+//! `all`.
 
 use pcs_bench::experiments;
 
@@ -25,10 +26,11 @@ fn main() {
         "overlap" => experiments::overlap(),
         "parallel" | "threads" => experiments::parallel_scaling(&[1, 2, 4, 8]),
         "incremental" | "resume" => experiments::incremental(&[(60, 120, 4), (100, 200, 8)]),
+        "deletion" | "retract" => experiments::deletion(&[(60, 120, 4), (100, 200, 8)]),
         "all" => experiments::all(),
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, incremental, all"
+                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, incremental, deletion, all"
             );
             std::process::exit(2);
         }

@@ -452,6 +452,92 @@ pub fn incremental(scales: &[(usize, usize, usize)]) -> String {
     out
 }
 
+/// E15 (PR 5): incremental deletion latency — DRed-style retraction
+/// (`Evaluator::retract`: over-delete through the indexes, pinned
+/// re-derivation, resumed fixpoint) versus re-evaluating the surviving EDB
+/// from scratch, on random flights workloads across strategies.  The
+/// retract timing includes cloning the materialized relations, i.e. the
+/// full copy-on-update path a live `pcs-service` session pays per batch.
+/// The fact totals double as a live check that both paths computed the same
+/// result.
+pub fn deletion(scales: &[(usize, usize, usize)]) -> String {
+    use std::time::{Duration, Instant};
+
+    let program = programs::flights();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Incremental deletion (DRed retract from materialization vs from-scratch re-evaluation; best of 3)"
+    );
+    for &(cities, legs, batch) in scales {
+        let base = crate::workload::random_flights_database(cities, legs, 0xC0FFEE);
+        let deletions = crate::workload::flights_remove_legs(&base, batch, 0xD00D);
+        let mut surviving = base.clone();
+        let removed = surviving.remove_facts(&deletions);
+        let _ = writeln!(
+            out,
+            "workload: {cities} cities / {legs} legs - {removed} retracted legs ({} surviving EDB facts)",
+            surviving.len()
+        );
+        let _ = writeln!(
+            out,
+            "   {:<30} {:>12} {:>12} {:>9} {:>9} {:>12}",
+            "strategy", "scratch", "retract", "speedup", "removed", "total facts"
+        );
+        for (name, strategy) in [
+            ("original", Strategy::None),
+            ("pred,qrp (Constraint_rewrite)", Strategy::ConstraintRewrite),
+            ("pred,qrp,mg (optimal)", Strategy::Optimal),
+        ] {
+            let optimized = Optimizer::new(program.clone())
+                .strategy(strategy)
+                .optimize()
+                .expect("optimization succeeds");
+            let evaluator = optimized.evaluator();
+            let materialized = evaluator.evaluate(&base);
+            let mut scratch_best = Duration::MAX;
+            let mut scratch_facts = 0;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let result = evaluator.evaluate(&surviving);
+                scratch_best = scratch_best.min(start.elapsed());
+                scratch_facts = result.total_facts();
+            }
+            let mut retract_best = Duration::MAX;
+            let mut retract_facts = 0;
+            let mut over_deleted = 0;
+            for _ in 0..3 {
+                let start = Instant::now();
+                // Clone inside the timed section: a live session clones the
+                // current epoch's relations for every update batch.
+                let result = evaluator.retract(
+                    materialized.relations.clone(),
+                    deletions.clone(),
+                    &surviving,
+                );
+                retract_best = retract_best.min(start.elapsed());
+                retract_facts = result.total_facts();
+                over_deleted = result.stats.removed_facts;
+            }
+            assert_eq!(
+                scratch_facts, retract_facts,
+                "retract diverged from scratch in the deletion experiment"
+            );
+            let _ = writeln!(
+                out,
+                "   {:<30} {:>10.2}ms {:>10.2}ms {:>8.1}x {:>9} {:>12}",
+                name,
+                scratch_best.as_secs_f64() * 1e3,
+                retract_best.as_secs_f64() * 1e3,
+                scratch_best.as_secs_f64() / retract_best.as_secs_f64(),
+                over_deleted,
+                retract_facts
+            );
+        }
+    }
+    out
+}
+
 /// Runs every experiment and concatenates the reports.
 pub fn all() -> String {
     let mut out = String::new();
@@ -466,6 +552,7 @@ pub fn all() -> String {
         overlap(),
         parallel_scaling(&[1, 2, 4, 8]),
         incremental(&[(60, 120, 4), (100, 200, 8)]),
+        deletion(&[(60, 120, 4), (100, 200, 8)]),
     ] {
         out.push_str(&section);
         out.push('\n');
@@ -498,6 +585,15 @@ mod tests {
         let report = incremental(&[(12, 20, 3)]);
         assert!(report.contains("scratch"));
         assert!(report.contains("resume"));
+        assert!(report.contains("pred,qrp,mg (optimal)"));
+    }
+
+    #[test]
+    fn deletion_report_compares_retract_to_scratch() {
+        let report = deletion(&[(12, 20, 3)]);
+        assert!(report.contains("scratch"));
+        assert!(report.contains("retract"));
+        assert!(report.contains("retracted legs"));
         assert!(report.contains("pred,qrp,mg (optimal)"));
     }
 

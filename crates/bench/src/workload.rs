@@ -112,6 +112,32 @@ pub fn flights_update_legs(num_cities: usize, num_legs: usize, seed: u64) -> Vec
     legs
 }
 
+/// A batch of *existing* legs sampled from a flight database, for the
+/// deletion experiments: `num_legs` distinct `singleleg` facts drawn
+/// uniformly (seeded, reproducible), ready for `Evaluator::retract` or
+/// `Session::remove`.  Panics if the database has fewer legs than asked
+/// for.
+pub fn flights_remove_legs(db: &Database, num_legs: usize, seed: u64) -> Vec<Fact> {
+    let legs = db.facts_for(&pcs_lang::Pred::new("singleleg"));
+    assert!(
+        legs.len() >= num_legs,
+        "cannot sample {num_legs} legs from a database with {}",
+        legs.len()
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut picked: Vec<usize> = Vec::with_capacity(num_legs);
+    while picked.len() < num_legs {
+        let index = rng.random_range(0..legs.len());
+        if !picked.contains(&index) {
+            picked.push(index);
+        }
+    }
+    picked
+        .into_iter()
+        .map(|index| legs[index].clone())
+        .collect()
+}
+
 /// A random EDB for the Example 7.1/7.2 programs: `b1` edges with sources in
 /// `[0, max_source)` and a `b2` chain of the given length.
 pub fn random_7x_database(b1_edges: usize, max_source: i64, chain: usize, seed: u64) -> Database {
@@ -160,6 +186,26 @@ mod tests {
             let number = |s: &str| s[1..].parse::<usize>().unwrap();
             assert!(number(&src) < number(&dst), "{src} -> {dst}");
         }
+    }
+
+    #[test]
+    fn remove_legs_samples_distinct_existing_legs() {
+        let db = random_flights_database(12, 30, 7);
+        let a = flights_remove_legs(&db, 5, 11);
+        let b = flights_remove_legs(&db, 5, 11);
+        assert_eq!(
+            a.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            b.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+        assert_eq!(a.len(), 5);
+        let legs = db.facts_for(&pcs_lang::Pred::new("singleleg"));
+        for fact in &a {
+            assert!(legs.contains(fact), "{fact} is not an existing leg");
+        }
+        // Distinct indices — removing the batch removes exactly 5 facts.
+        let mut survivors = db.clone();
+        assert_eq!(survivors.remove_facts(&a), 5);
+        assert_eq!(survivors.len(), db.len() - 5);
     }
 
     #[test]

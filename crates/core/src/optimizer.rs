@@ -187,6 +187,23 @@ impl Optimized {
         self.evaluator().resume(relations, updates)
     }
 
+    /// Incrementally retracts facts from a completed materialization of
+    /// this program (DRed-style delete/re-derive): `relations` is the
+    /// `relations` map of a previous [`EvalResult`], `deletions` are the
+    /// facts to retract, and `surviving_edb` is the extensional database
+    /// *after* the deletions (needed to resurrect facts a retracted
+    /// subsuming fact swallowed at seed time).  See [`Evaluator::retract`]
+    /// for the exact contract.
+    pub fn retract(
+        &self,
+        relations: std::collections::BTreeMap<Pred, pcs_engine::Relation>,
+        deletions: Vec<pcs_engine::Fact>,
+        surviving_edb: &Database,
+    ) -> EvalResult {
+        self.evaluator()
+            .retract(relations, deletions, surviving_edb)
+    }
+
     /// Evaluates with explicit options (limits, tracing).
     pub fn evaluate_with(&self, db: &Database, options: EvalOptions) -> EvalResult {
         Evaluator::new(&self.program, options).evaluate(db)

@@ -172,6 +172,53 @@ impl Database {
         Ok(count)
     }
 
+    /// Removes one stored fact equivalent to `fact` (see
+    /// [`Fact::equivalent`]); returns `true` if one was found.
+    ///
+    /// Databases are multisets — the same fact can have been added twice —
+    /// and each call removes exactly one occurrence, so retracting a
+    /// duplicated fact leaves the other copy in place.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        let Some(facts) = self.facts.get_mut(fact.predicate()) else {
+            return false;
+        };
+        let Some(position) = facts.iter().position(|stored| stored.equivalent(fact)) else {
+            return false;
+        };
+        facts.remove(position);
+        if facts.is_empty() {
+            self.facts.remove(fact.predicate());
+        }
+        true
+    }
+
+    /// Removes one occurrence of each given fact; returns how many were
+    /// found and removed.
+    pub fn remove_facts(&mut self, deletions: &[Fact]) -> usize {
+        deletions.iter().filter(|fact| self.remove(fact)).count()
+    }
+
+    /// Parses fact-only text (see [`parse_facts`]) and removes one
+    /// occurrence of each parsed fact; returns how many were found and
+    /// removed.
+    ///
+    /// This is the text front-end behind the `-fact.` retractions of the
+    /// `pcs-service` session, mirroring [`Database::add_facts_str`]:
+    ///
+    /// ```
+    /// use pcs_engine::Database;
+    ///
+    /// let mut db = Database::new();
+    /// db.add_facts_str("singleleg(madison, chicago, 50, 100).\nsingleleg(a, b, 1, 1).")
+    ///     .unwrap();
+    /// let removed = db.remove_facts_str("singleleg(a, b, 1, 1).").unwrap();
+    /// assert_eq!((removed, db.len()), (1, 1));
+    /// ```
+    pub fn remove_facts_str(&mut self, source: &str) -> Result<usize, FactsError> {
+        let deletions = parse_facts(source)?;
+        Ok(self.remove_facts(&deletions))
+    }
+
     /// Declares the minimum predicate constraint for an EDB predicate.
     pub fn declare_constraint(&mut self, pred: impl Into<Pred>, constraint: ConstraintSet) {
         self.constraints.insert(pred.into(), constraint);

@@ -525,7 +525,7 @@ impl Evaluator {
 
     /// Runs the evaluation against a database.
     pub fn evaluate(&self, db: &Database) -> EvalResult {
-        self.run_fixpoint(Start::Scratch(db), self.options.index)
+        self.run_fixpoint(Start::Scratch(db), self.options.index, 0)
     }
 
     /// Re-enters the semi-naive fixpoint on an already-materialized set of
@@ -569,7 +569,298 @@ impl Evaluator {
         for relation in relations.values_mut() {
             relation.advance();
         }
-        self.run_fixpoint(Start::Resume(relations), self.options.index)
+        self.run_fixpoint(Start::Resume(relations), self.options.index, 0)
+    }
+
+    /// Incrementally retracts facts from an already-materialized set of
+    /// relations (DRed-style delete/re-derive), re-entering the shared
+    /// semi-naive fixpoint for the propagation phase.
+    ///
+    /// `relations` is the `relations` map of a *completed* evaluation of the
+    /// same program; `deletions` are the facts to retract (matched against
+    /// the stored facts by [`Fact::equivalent`], so a re-phrased constraint
+    /// fact still names the stored fact it denotes); `surviving_edb` is the
+    /// extensional database *after* the deletions — the caller's source of
+    /// truth for the base facts, needed to resurrect EDB facts that a
+    /// retracted constraint fact subsumed at seed time and that were
+    /// therefore never stored.
+    ///
+    /// Three phases:
+    ///
+    /// 1. **Over-deletion** — the transitive closure of support: starting
+    ///    from the stored facts equivalent to the deletions, every stored
+    ///    fact with a one-step derivation consuming an already-deleted fact
+    ///    (joined through the per-position indexes against the full original
+    ///    materialization, so derivations touching several deleted facts are
+    ///    found) is removed as well.
+    /// 2. **Re-derivation round** — for every rule whose head predicate lost
+    ///    facts: empty-body rules re-fire, and body rules re-join over the
+    ///    survivors with the head pinned to each removed ground fact (the
+    ///    unpinned full join is the fallback when a removed fact is a proper
+    ///    constraint fact).  Alternative derivations re-insert exactly the
+    ///    over-deleted facts that are still derivable; surviving EDB facts
+    ///    of the affected predicates are re-inserted first, resurrecting
+    ///    anything a retracted subsuming fact had swallowed.
+    /// 3. **Propagation** — the re-inserted facts become the delta of a
+    ///    resumed run of the shared semi-naive fixpoint, which re-derives
+    ///    the downstream cone exactly as an insertion batch would, for both
+    ///    join cores.
+    ///
+    /// The result stores the same facts as evaluating the surviving EDB from
+    /// scratch — the property `tests/resume_differential.rs` pins down for
+    /// arbitrary interleavings of inserts and retracts.  Like
+    /// [`Self::resume`], retracting from a *partial* materialization (one
+    /// that stopped on a resource limit) is not supported.
+    ///
+    /// Limits: the re-derivation round and the resumed fixpoint enforce
+    /// [`EvalLimits`] per fact, exactly like a regular evaluation, against
+    /// *one shared* derivation budget (the resumed fixpoint is pre-charged
+    /// with the re-derivation round's spending, so a retraction cannot
+    /// overshoot `max_derivations`).  The over-deletion joins are
+    /// deliberately *exempt* from
+    /// `max_derivations` and do not appear in the statistics: an
+    /// over-deletion stopped halfway would leave facts whose support is
+    /// gone still stored — an unsound state — and its work is already
+    /// bounded by the support structure of the completed materialization
+    /// being retracted from.
+    pub fn retract(
+        &self,
+        mut relations: BTreeMap<Pred, Relation>,
+        deletions: Vec<Fact>,
+        surviving_edb: &Database,
+    ) -> EvalResult {
+        let limits = self.options.limits;
+        for pred in self.program.all_predicates() {
+            relations.entry(pred).or_default();
+        }
+        for relation in relations.values_mut() {
+            relation.seal();
+        }
+
+        // Phase 1: transitive over-deletion.  `removed` collects the stored
+        // fact indices to drop; the frontier of each round holds the facts
+        // newly marked in the previous round.  Joins read the full original
+        // materialization (removal is deferred), so a derivation consuming
+        // several deleted facts still propagates.
+        let mut removed: BTreeMap<Pred, BTreeSet<usize>> = BTreeMap::new();
+        let mut frontier: Vec<Fact> = Vec::new();
+        for deletion in &deletions {
+            if let Some(relation) = relations.get(deletion.predicate()) {
+                if let Some(index) = relation.find_equivalent(deletion) {
+                    if removed
+                        .entry(deletion.predicate().clone())
+                        .or_default()
+                        .insert(index)
+                    {
+                        frontier.push(relation.facts()[index].clone());
+                    }
+                }
+            }
+        }
+        while !frontier.is_empty() {
+            let mut by_pred: BTreeMap<&Pred, Vec<&Fact>> = BTreeMap::new();
+            for fact in &frontier {
+                by_pred.entry(fact.predicate()).or_default().push(fact);
+            }
+            let mut next: Vec<Fact> = Vec::new();
+            for rule in self.program.rules() {
+                for delta_pos in 0..rule.body.len() {
+                    let Some(deleted_here) = by_pred.get(&rule.body[delta_pos].predicate) else {
+                        continue;
+                    };
+                    for deleted in deleted_here {
+                        for head in overdelete_derivations(rule, delta_pos, deleted, &relations) {
+                            let Some(relation) = relations.get(head.predicate()) else {
+                                continue;
+                            };
+                            let Some(index) = relation.find_equivalent(&head) else {
+                                continue;
+                            };
+                            if removed
+                                .entry(head.predicate().clone())
+                                .or_default()
+                                .insert(index)
+                            {
+                                next.push(relation.facts()[index].clone());
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        // The removed facts themselves (in stored order) drive the pinned
+        // re-derivation targets below; collect them before the indices go
+        // stale.
+        let mut removed_facts: BTreeMap<Pred, Vec<Fact>> = BTreeMap::new();
+        for (pred, indices) in &removed {
+            let relation = &relations[pred];
+            removed_facts
+                .entry(pred.clone())
+                .or_default()
+                .extend(indices.iter().map(|&index| relation.facts()[index].clone()));
+        }
+        let mut removed_total = 0;
+        for (pred, indices) in &removed {
+            removed_total += relations
+                .get_mut(pred)
+                .expect("marked relations exist")
+                .remove_indices(indices);
+        }
+
+        // Phase 2: resurrection and the re-derivation round.  Everything
+        // inserted here lands in the pending segment and becomes the delta
+        // of the resumed fixpoint.
+        let mut rederive_stats = IterationStats::default();
+        let mut totals = EvalTotals {
+            derivations: 0,
+            facts: relations.values().map(Relation::len).sum(),
+        };
+        let mut hit_limit = None;
+        if removed_total > 0 {
+            for pred in removed_facts.keys() {
+                for fact in surviving_edb.facts_for(pred) {
+                    relations
+                        .get_mut(pred)
+                        .expect("affected relations exist")
+                        .insert(fact.clone());
+                }
+            }
+            let mut tasks: Vec<RoundTask<'_>> = Vec::new();
+            for (rule_index, rule) in self.program.rules().iter().enumerate() {
+                let Some(targets) = removed_facts.get(&rule.head.predicate) else {
+                    continue;
+                };
+                let label = rule
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| format!("rule{}", rule_index + 1));
+                if rule.body.is_empty() {
+                    tasks.push(RoundTask {
+                        rule,
+                        label,
+                        kind: TaskKind::Seed,
+                    });
+                } else if targets.iter().any(|target| !target.is_ground()) {
+                    // A removed proper constraint fact could cover facts a
+                    // pinned join would miss: fall back to the full join.
+                    let order = order_known(rule, None, &BTreeSet::new(), &relations);
+                    tasks.push(RoundTask {
+                        rule,
+                        label,
+                        kind: TaskKind::Pinned {
+                            order,
+                            start: PartialMatch::start(rule),
+                        },
+                    });
+                } else {
+                    for target in targets {
+                        let Some(start) =
+                            match_literal(&PartialMatch::start(rule), &rule.head, target)
+                        else {
+                            continue;
+                        };
+                        let order = order_known(rule, None, &bound_vars(&start), &relations);
+                        tasks.push(RoundTask {
+                            rule,
+                            label: label.clone(),
+                            kind: TaskKind::Pinned { order, start },
+                        });
+                    }
+                }
+            }
+            let work: usize = tasks
+                .iter()
+                .map(|task| match &task.kind {
+                    TaskKind::Pinned { order, .. } => relations
+                        .get(&task.rule.body[order[0].0].predicate)
+                        .map(|r| r.window_range(Window::Known).len())
+                        .unwrap_or(0),
+                    _ => 1,
+                })
+                .sum();
+            let threads = self.options.threads.max(1);
+            let parallel = threads > 1 && work >= self.options.min_parallel_work;
+            let empty = BTreeMap::new();
+            let budget = limits.max_derivations;
+            if parallel && tasks.len() > 1 {
+                let buffers = {
+                    let ctx = RoundCtx {
+                        relations: &relations,
+                        naive_round: false,
+                        before_prev: &empty,
+                        prev: &empty,
+                    };
+                    run_tasks_parallel(&tasks, &ctx, budget, threads)
+                };
+                for (task, derived) in tasks.iter().zip(buffers) {
+                    hit_limit = absorb_derived(
+                        derived,
+                        &task.label,
+                        self.options.trace,
+                        &limits,
+                        &mut relations,
+                        &mut rederive_stats,
+                        &mut totals,
+                    );
+                    if hit_limit.is_some() {
+                        break;
+                    }
+                }
+            } else {
+                for task in &tasks {
+                    let derived = {
+                        let ctx = RoundCtx {
+                            relations: &relations,
+                            naive_round: false,
+                            before_prev: &empty,
+                            prev: &empty,
+                        };
+                        run_task(task, &ctx, budget)
+                    };
+                    hit_limit = absorb_derived(
+                        derived,
+                        &task.label,
+                        self.options.trace,
+                        &limits,
+                        &mut relations,
+                        &mut rederive_stats,
+                        &mut totals,
+                    );
+                    if hit_limit.is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Phase 3: the resurrected and re-derived facts become the delta of
+        // the resumed semi-naive fixpoint (empty delta = one quiescent
+        // iteration confirming the fixpoint).
+        for relation in relations.values_mut() {
+            relation.advance();
+        }
+        if let Some(limit) = hit_limit {
+            let stats = EvalStats {
+                iterations: vec![rederive_stats],
+                indexed: self.options.index,
+                resumed: true,
+                retracted: true,
+                removed_facts: removed_total,
+                ..EvalStats::default()
+            };
+            return Evaluator::finalize(relations, stats, limit);
+        }
+        let mut result = self.run_fixpoint(
+            Start::Resume(relations),
+            self.options.index,
+            rederive_stats.derivations,
+        );
+        result.stats.iterations.insert(0, rederive_stats);
+        result.stats.retracted = true;
+        result.stats.removed_facts = removed_total;
+        result
     }
 
     /// Seeds one relation per program/EDB predicate with the database facts.
@@ -626,7 +917,18 @@ impl Evaluator {
     /// stable segment is a completed materialization and whose delta is the
     /// freshly inserted update facts; it opens directly with a semi-naive
     /// round over that delta.
-    fn run_fixpoint(&self, start: Start<'_>, indexed: bool) -> EvalResult {
+    ///
+    /// `spent_derivations` pre-charges the derivation budget: a retraction's
+    /// re-derivation round has already spent that many derivations against
+    /// `max_derivations`, and the resumed fixpoint must not grant the cap a
+    /// second time (the count is *not* reflected in the returned iteration
+    /// statistics — the caller owns that round's stats).
+    fn run_fixpoint(
+        &self,
+        start: Start<'_>,
+        indexed: bool,
+        spent_derivations: usize,
+    ) -> EvalResult {
         let limits = self.options.limits;
         let threads = self.options.threads.max(1);
         let resumed = matches!(start, Start::Resume(_));
@@ -681,7 +983,7 @@ impl Evaluator {
             ..EvalStats::default()
         };
         let mut totals = EvalTotals {
-            derivations: 0,
+            derivations: spent_derivations,
             facts: relations.values().map(Relation::len).sum(),
         };
         let termination;
@@ -959,6 +1261,14 @@ enum TaskKind {
     /// A legacy nested-loop join over the count slices for one delta
     /// position.
     Legacy { delta_pos: usize },
+    /// A retraction re-derivation join: every literal reads [`Window::Known`]
+    /// of the sealed survivor relations, starting from a partial match whose
+    /// head bindings were pinned to an over-deleted target fact (or from an
+    /// empty match for the unpinned full-rule fallback).
+    Pinned {
+        order: Vec<(usize, Window)>,
+        start: PartialMatch,
+    },
 }
 
 /// How a fixpoint run begins.
@@ -999,6 +1309,15 @@ fn run_task(task: &RoundTask<'_>, ctx: &RoundCtx<'_>, cap: usize) -> Vec<Fact> {
                 }
             }
         }
+        TaskKind::Pinned { order, start } => join_indexed(
+            rule,
+            order,
+            0,
+            start.clone(),
+            ctx.relations,
+            &mut derived,
+            cap,
+        ),
         TaskKind::Legacy { delta_pos } => join_legacy(
             rule,
             0,
@@ -1207,24 +1526,51 @@ fn order_body(
         std::cmp::Ordering::Equal => Window::Delta,
         std::cmp::Ordering::Greater => Window::Known,
     };
+    greedy_order(
+        rule,
+        Some(delta_pos),
+        None,
+        &BTreeSet::new(),
+        &window_of,
+        relations,
+    )
+}
+
+/// The greedy join-ordering core shared by [`order_body`] and
+/// [`order_known`]: optionally place `first` up front (the delta literal),
+/// optionally exclude `skip` (a literal already consumed by an over-deletion
+/// frontier fact), then repeatedly pick the literal with the most bound
+/// arguments given the variables bound so far (`seed_bound` plus the
+/// variables the rule's own constraints pin to a constant), breaking ties by
+/// smaller visible fact window and then by original position.
+fn greedy_order(
+    rule: &Rule,
+    first: Option<usize>,
+    skip: Option<usize>,
+    seed_bound: &BTreeSet<Var>,
+    window_of: &dyn Fn(usize) -> Window,
+    relations: &BTreeMap<Pred, Relation>,
+) -> Vec<(usize, Window)> {
     let visible = |i: usize| {
         relations
             .get(&rule.body[i].predicate)
             .map(|r| r.window_range(window_of(i)).len())
             .unwrap_or(0)
     };
-    // Variables the rule's own constraints pin to a constant are bound too.
-    let mut bound: BTreeSet<Var> = BTreeSet::new();
+    let mut bound = seed_bound.clone();
     for atom in rule.constraint.atoms() {
         if let Some((v, _)) = atom.as_ground_binding() {
             bound.insert(v);
         }
     }
-
     let mut order = Vec::with_capacity(rule.body.len());
-    order.push((delta_pos, Window::Delta));
-    bound.extend(rule.body[delta_pos].vars());
-    let mut remaining: Vec<usize> = (0..rule.body.len()).filter(|&i| i != delta_pos).collect();
+    if let Some(first) = first {
+        order.push((first, window_of(first)));
+        bound.extend(rule.body[first].vars());
+    }
+    let mut remaining: Vec<usize> = (0..rule.body.len())
+        .filter(|&i| Some(i) != first && Some(i) != skip)
+        .collect();
     while !remaining.is_empty() {
         let (slot, &pick) = remaining
             .iter()
@@ -1243,6 +1589,50 @@ fn order_body(
         order.push((pick, window_of(pick)));
     }
     order
+}
+
+/// Orders the body literals of `rule` for a join over the sealed survivor
+/// relations of a retraction, where every literal reads [`Window::Known`]:
+/// the same greedy most-bound/most-selective discipline as [`order_body`],
+/// seeded with `bound` (the variables a pinned head target already binds)
+/// and optionally excluding `skip` (a body position already consumed by an
+/// over-deletion frontier fact).
+fn order_known(
+    rule: &Rule,
+    skip: Option<usize>,
+    bound: &BTreeSet<Var>,
+    relations: &BTreeMap<Pred, Relation>,
+) -> Vec<(usize, Window)> {
+    greedy_order(rule, None, skip, bound, &|_| Window::Known, relations)
+}
+
+/// The variables a partial match has already bound to a value (symbolic or
+/// numeric), used to seed the greedy body ordering of pinned joins.
+fn bound_vars(pm: &PartialMatch) -> BTreeSet<Var> {
+    pm.sym
+        .keys()
+        .cloned()
+        .chain(pm.num.keys().cloned())
+        .collect()
+}
+
+/// The head facts of every derivation of `rule` that consumes `deleted` at
+/// body position `delta_pos` and arbitrary stored facts (the full sealed
+/// materialization, removed facts included) at the other positions — the
+/// one-step support propagation of the DRed over-deletion phase.
+fn overdelete_derivations(
+    rule: &Rule,
+    delta_pos: usize,
+    deleted: &Fact,
+    relations: &BTreeMap<Pred, Relation>,
+) -> Vec<Fact> {
+    let mut derived = Vec::new();
+    let Some(pm) = match_literal(&PartialMatch::start(rule), &rule.body[delta_pos], deleted) else {
+        return derived;
+    };
+    let order = order_known(rule, Some(delta_pos), &bound_vars(&pm), relations);
+    join_indexed(rule, &order, 0, pm, relations, &mut derived, usize::MAX);
+    derived
 }
 
 /// The argument positions of `literal` whose value is already determined by
@@ -2126,6 +2516,207 @@ mod tests {
                 let evaluator = Evaluator::new(&program, options);
                 let parallel =
                     evaluator.resume(evaluator.evaluate(&base).relations, updates.clone());
+                assert_identical_runs(&sequential, &parallel);
+            }
+        }
+    }
+
+    #[test]
+    fn retracting_an_edge_matches_scratch_evaluation_of_the_surviving_edb() {
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let mut full = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (1, 4)] {
+            full.add_ground("edge", vec![Value::num(a), Value::num(b)]);
+        }
+        let deletions = crate::database::parse_facts("edge(2, 3).").unwrap();
+        let mut surviving = full.clone();
+        assert_eq!(surviving.remove_facts(&deletions), 1);
+        for options in [EvalOptions::indexed(), EvalOptions::legacy()] {
+            let evaluator = Evaluator::new(&program, options);
+            let materialized = evaluator.evaluate(&full);
+            let retracted =
+                evaluator.retract(materialized.relations, deletions.clone(), &surviving);
+            let scratch = evaluator.evaluate(&surviving);
+            assert!(retracted.stats.retracted && !scratch.stats.retracted);
+            // edge(2, 3) plus the paths that only it supported are gone.
+            assert!(retracted.stats.removed_facts >= 4);
+            assert_eq!(retracted.termination, scratch.termination);
+            assert_eq!(rendered(&retracted), rendered(&scratch));
+        }
+    }
+
+    #[test]
+    fn facts_with_alternative_derivations_survive_retraction() {
+        // path(1, 3) is derivable both directly from edge(1, 3) and through
+        // edge(1, 2), edge(2, 3): DRed over-deletes it, re-derivation must
+        // bring it back.
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let mut full = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (1, 3)] {
+            full.add_ground("edge", vec![Value::num(a), Value::num(b)]);
+        }
+        let deletions = crate::database::parse_facts("edge(1, 3).").unwrap();
+        let mut surviving = full.clone();
+        surviving.remove_facts(&deletions);
+        for options in [EvalOptions::indexed(), EvalOptions::legacy()] {
+            let evaluator = Evaluator::new(&program, options);
+            let retracted = evaluator.retract(
+                evaluator.evaluate(&full).relations,
+                deletions.clone(),
+                &surviving,
+            );
+            let path = Literal::new("path", vec![Term::num(1), Term::num(3)]);
+            assert_eq!(retracted.answers_to(&path).len(), 1);
+            assert_eq!(
+                rendered(&retracted),
+                rendered(&evaluator.evaluate(&surviving))
+            );
+        }
+    }
+
+    #[test]
+    fn retracting_a_subsuming_fact_resurrects_subsumed_facts() {
+        // The ground EDB fact b(5) is swallowed by the constraint fact at
+        // seed time and never stored; retracting the constraint fact must
+        // resurrect it (and its consequences).
+        let program = parse_program("p(X) :- b(X).").unwrap();
+        let mut full = Database::new();
+        full.add_facts_str("b(X) :- X >= 0, X <= 10.\nb(5).\nb(99).")
+            .unwrap();
+        let deletions = crate::database::parse_facts("b(X) :- X >= 0, X <= 10.").unwrap();
+        let mut surviving = full.clone();
+        assert_eq!(surviving.remove_facts(&deletions), 1);
+        for options in [EvalOptions::indexed(), EvalOptions::legacy()] {
+            let evaluator = Evaluator::new(&program, options);
+            let materialized = evaluator.evaluate(&full);
+            // The subsumed ground fact is genuinely absent beforehand.
+            assert_eq!(materialized.count_for(&Pred::new("b")), 2);
+            let retracted =
+                evaluator.retract(materialized.relations, deletions.clone(), &surviving);
+            let scratch = evaluator.evaluate(&surviving);
+            assert_eq!(rendered(&retracted), rendered(&scratch));
+            assert_eq!(retracted.count_for(&Pred::new("b")), 2);
+            assert_eq!(
+                retracted
+                    .answers_to(&Literal::new("p", vec![Term::num(5)]))
+                    .len(),
+                1
+            );
+            assert!(retracted.termination.is_fixpoint());
+        }
+    }
+
+    #[test]
+    fn retraction_shares_one_derivation_budget_across_its_phases() {
+        // The re-derivation round pre-charges the resumed fixpoint's
+        // budget: capping max_derivations one below a full retraction's
+        // spending must stop at exactly the cap, not grant each phase the
+        // cap separately.
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        // edge(0, 1) feeds the resumed phase: path(0, 3) is over-deleted
+        // (its derivation passes through the removed path(1, 3)) and only
+        // comes back once the re-derived path(1, 3) enters the delta.
+        let mut full = Database::new();
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (1, 3), (3, 4)] {
+            full.add_ground("edge", vec![Value::num(a), Value::num(b)]);
+        }
+        let deletions = crate::database::parse_facts("edge(1, 3).").unwrap();
+        let mut surviving = full.clone();
+        surviving.remove_facts(&deletions);
+        let evaluator = Evaluator::new(&program, EvalOptions::indexed().with_threads(1));
+        let unlimited = evaluator.retract(
+            evaluator.evaluate(&full).relations,
+            deletions.clone(),
+            &surviving,
+        );
+        let spent = unlimited.stats.total_derivations();
+        assert!(unlimited.termination.is_fixpoint() && spent >= 2, "{spent}");
+        // Both the re-derivation round and the resumed fixpoint derive
+        // something in this workload, so the cap spans the phase boundary.
+        assert!(unlimited.stats.iterations[0].derivations >= 1);
+        assert!(spent > unlimited.stats.iterations[0].derivations);
+        // Materialize the base with the *unlimited* evaluator (retraction
+        // from a partial materialization is out of contract); only the
+        // retraction itself runs capped.
+        let materialized = evaluator.evaluate(&full);
+        let capped = EvalOptions {
+            limits: EvalLimits {
+                max_derivations: spent - 1,
+                ..EvalLimits::default()
+            },
+            ..EvalOptions::indexed().with_threads(1)
+        };
+        let limited = Evaluator::new(&program, capped).retract(
+            materialized.relations,
+            deletions.clone(),
+            &surviving,
+        );
+        assert_eq!(limited.termination, Termination::DerivationLimit);
+        assert_eq!(limited.stats.total_derivations(), spent - 1);
+    }
+
+    #[test]
+    fn retracting_an_absent_fact_changes_nothing() {
+        let program = parse_program("p(X) :- b(X).").unwrap();
+        let mut db = Database::new();
+        db.add_ground("b", vec![Value::num(1)]);
+        let evaluator = Evaluator::new(&program, EvalOptions::indexed());
+        let before = evaluator.evaluate(&db);
+        let total = before.total_facts();
+        let deletions = crate::database::parse_facts("b(9).").unwrap();
+        let retracted = evaluator.retract(before.relations, deletions, &db);
+        assert_eq!(retracted.stats.removed_facts, 0);
+        assert_eq!(retracted.total_facts(), total);
+        assert!(retracted.termination.is_fixpoint());
+    }
+
+    #[test]
+    fn parallel_retraction_matches_the_sequential_retraction_exactly() {
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Y) :- edge(X, Z), path(Z, Y).",
+        )
+        .unwrap();
+        let mut full = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4), (4, 5), (1, 4), (2, 5)] {
+            full.add_ground("edge", vec![Value::num(a), Value::num(b)]);
+        }
+        let deletions = crate::database::parse_facts("edge(2, 3).\nedge(1, 4).").unwrap();
+        let mut surviving = full.clone();
+        surviving.remove_facts(&deletions);
+        for index in [true, false] {
+            let base = EvalOptions {
+                index,
+                ..EvalOptions::default()
+            };
+            let sequential = {
+                let evaluator = Evaluator::new(&program, base.clone().with_threads(1));
+                evaluator.retract(
+                    evaluator.evaluate(&full).relations,
+                    deletions.clone(),
+                    &surviving,
+                )
+            };
+            for threads in [2, 4] {
+                let options = base.clone().with_threads(threads).with_min_parallel_work(0);
+                let evaluator = Evaluator::new(&program, options);
+                let parallel = evaluator.retract(
+                    evaluator.evaluate(&full).relations,
+                    deletions.clone(),
+                    &surviving,
+                );
                 assert_identical_runs(&sequential, &parallel);
             }
         }

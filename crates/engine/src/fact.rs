@@ -199,6 +199,18 @@ impl Fact {
         other_conj.implies(&self_conj)
     }
 
+    /// Decides whether this fact and `other` denote exactly the same set of
+    /// ground facts (mutual subsumption).
+    ///
+    /// Normalization makes structurally equal facts the common case; the
+    /// mutual-subsumption fallback also identifies facts whose residual
+    /// constraints are written differently but are logically equivalent.
+    /// Retraction matches the facts to delete with this relation, so a
+    /// re-phrased constraint fact still names the stored fact it denotes.
+    pub fn equivalent(&self, other: &Fact) -> bool {
+        self == other || (self.subsumes(other) && other.subsumes(self))
+    }
+
     /// Converts the fact into a body-less rule (constraint fact) with the
     /// given variable names for the free positions, for display and
     /// re-injection into programs.

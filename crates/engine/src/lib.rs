@@ -31,6 +31,7 @@ pub mod database;
 pub mod eval;
 pub mod fact;
 pub mod limits;
+pub mod naive;
 pub mod relation;
 pub mod stats;
 pub mod value;

@@ -118,6 +118,17 @@ impl Relation {
         if self.covers(&fact) {
             return InsertOutcome::Subsumed;
         }
+        self.store(fact);
+        InsertOutcome::Added
+    }
+
+    /// Appends a fact and maintains every index, without the subsumption
+    /// check of [`Self::insert`].  Used when rebuilding a relation from a
+    /// list of facts that must be stored verbatim (see
+    /// [`Self::remove_indices`]): survivors of a retraction may legitimately
+    /// be subsumed by other survivors (the narrower fact was stored first),
+    /// and re-checking would silently drop them.
+    fn store(&mut self, fact: Fact) {
         let index = self.facts.len();
         if let Some(values) = fact.ground_values() {
             self.ground_index.insert(values);
@@ -139,7 +150,58 @@ impl Relation {
             }
         }
         self.facts.push(fact);
-        InsertOutcome::Added
+    }
+
+    /// The index of the stored fact denoting exactly the same ground facts
+    /// as `fact` (see [`Fact::equivalent`]), if any.
+    ///
+    /// At most one stored fact can be equivalent to any given fact: a second
+    /// equivalent insertion is always subsumed by the first.  Ground facts
+    /// are answered through the per-position hash indexes; beyond that only
+    /// the constraint-fact tail needs a scan.
+    pub fn find_equivalent(&self, fact: &Fact) -> Option<usize> {
+        if let Some(values) = fact.ground_values() {
+            if self.ground_index.contains(&values) {
+                let found =
+                    match values.first() {
+                        Some(value) => self.exact_entries(0, value).iter().copied().find(|&i| {
+                            self.facts[i].ground_values().as_deref() == Some(&values[..])
+                        }),
+                        // A zero-ary relation holds at most one ground fact.
+                        None => self.facts.iter().position(|f| f.is_ground()),
+                    };
+                if found.is_some() {
+                    return found;
+                }
+            }
+        }
+        self.constraint_fact_indices
+            .iter()
+            .copied()
+            .find(|&i| self.facts[i].equivalent(fact))
+    }
+
+    /// Removes the facts at the given indices, rebuilding every index and
+    /// preserving the relative order of the survivors, then seals the
+    /// partition (every survivor becomes stable).  Survivors are stored
+    /// verbatim — no subsumption re-check — so a narrower fact that was
+    /// legitimately stored before a broader one is not silently dropped by
+    /// the rebuild.  Returns how many facts were removed.
+    pub fn remove_indices(&mut self, removed: &std::collections::BTreeSet<usize>) -> usize {
+        if removed.is_empty() {
+            self.seal();
+            return 0;
+        }
+        let facts = std::mem::take(&mut self.facts);
+        let before = facts.len();
+        *self = Relation::new();
+        for (index, fact) in facts.into_iter().enumerate() {
+            if !removed.contains(&index) {
+                self.store(fact);
+            }
+        }
+        self.seal();
+        before - self.facts.len()
     }
 
     /// Rotates the partition at an iteration boundary: the delta becomes

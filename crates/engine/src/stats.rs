@@ -53,6 +53,14 @@ pub struct EvalStats {
     /// Whether the evaluation resumed from a previous materialization (its
     /// iterations then cover only the update delta, not the base facts).
     pub resumed: bool,
+    /// Whether the evaluation was a retraction (`Evaluator::retract`).  The
+    /// first entry of `iterations` is then the re-derivation round over the
+    /// surviving facts, followed by the resumed fixpoint's iterations.
+    pub retracted: bool,
+    /// Facts the DRed over-deletion phase removed from the materialization
+    /// (zero for non-retraction evaluations).  Facts the re-derivation pass
+    /// put back are counted as new facts by the iteration statistics.
+    pub removed_facts: usize,
 }
 
 impl EvalStats {
@@ -111,7 +119,7 @@ mod tests {
             facts_per_predicate: [(Pred::new("p"), 7)].into_iter().collect(),
             constraint_facts: 0,
             indexed: true,
-            resumed: false,
+            ..EvalStats::default()
         };
         assert_eq!(stats.total_derivations(), 8);
         assert_eq!(stats.total_new_facts(), 7);

@@ -7,9 +7,11 @@
 //!
 //! * [`Session`] — optimizes a program once (any [`pcs_core::Strategy`]),
 //!   materializes its fixpoint, answers `?- q(...)` queries from immutable
-//!   [`Snapshot`]s without re-evaluating, and applies `+fact.` EDB updates
+//!   [`Snapshot`]s without re-evaluating, applies `+fact.` EDB updates
 //!   by *resuming* the semi-naive fixpoint from the inserted facts
-//!   ([`pcs_engine::Evaluator::resume`]) rather than recomputing from
+//!   ([`pcs_engine::Evaluator::resume`]), and applies `-fact.` retractions
+//!   by DRed-style incremental deletion
+//!   ([`pcs_engine::Evaluator::retract`]) — neither recomputes from
 //!   scratch.
 //! * [`Shell`] — the line-oriented command language (load / query / insert /
 //!   stats) shared by the front-ends, with [`SessionHub`] as the slot that
@@ -37,6 +39,11 @@
 //! session.insert_str("singleleg(madison, seattle, 45, 30).").unwrap();
 //! let (_, _, after) = session.query(&query).unwrap();
 //! assert_eq!(after.len(), before.len() + 1);
+//!
+//! // Retracting it deletes the leg and everything only it supported.
+//! session.remove_str("singleleg(madison, seattle, 45, 30).").unwrap();
+//! let (_, _, reverted) = session.query(&query).unwrap();
+//! assert_eq!(reverted.len(), before.len());
 //! ```
 
 #![warn(missing_docs)]

@@ -227,6 +227,18 @@ mod tests {
         let out = reader.send(".stats");
         assert!(out.iter().any(|l| l.starts_with("epoch: 1")), "{out:?}");
 
+        // So is a retraction: deleting edge(2, 3) takes path(1, 3),
+        // path(1, 4), path(2, *) with it, DRed-style.
+        let out = reader.send("-edge(2, 3).");
+        assert!(out[0].starts_with("ok: epoch 2; -"), "{out:?}");
+        let out = loader.send("?- path(1, Y).");
+        assert!(out[0].starts_with("answers: 1"), "{out:?}");
+        let out = loader.send("-edge(9, 9).");
+        assert!(
+            out[0].contains("not in the extensional database"),
+            "{out:?}"
+        );
+
         // Clean quits, then shutdown.
         assert_eq!(loader.send(".quit"), vec!["bye".to_string()]);
         assert_eq!(reader.send(".quit"), vec!["bye".to_string()]);

@@ -36,9 +36,13 @@ pub enum SessionError {
     /// Fact text did not parse, or contained an unsatisfiable constraint
     /// fact.
     Facts(FactsError),
-    /// An update tried to insert into a predicate that is not an EDB
-    /// predicate of the materialized program.
+    /// An update tried to insert into (or retract from) a predicate that is
+    /// not an EDB predicate of the materialized program.
     NotAnEdbPredicate(Pred),
+    /// A retraction named a fact that is not in the extensional database
+    /// (rendered); the whole batch is refused so a typo cannot silently
+    /// retract only part of it.
+    NoSuchFact(String),
     /// A query named a predicate the materialization does not hold.
     UnknownPredicate(Pred),
     /// A query shape the session does not answer from a materialization
@@ -59,7 +63,11 @@ impl fmt::Display for SessionError {
             SessionError::Facts(e) => write!(f, "invalid facts: {e}"),
             SessionError::NotAnEdbPredicate(p) => write!(
                 f,
-                "`{p}` is not an EDB predicate; only database facts can be inserted"
+                "`{p}` is not an EDB predicate; only database facts can be inserted or retracted"
+            ),
+            SessionError::NoSuchFact(fact) => write!(
+                f,
+                "`{fact}` is not in the extensional database; nothing was retracted"
             ),
             SessionError::UnknownPredicate(p) => {
                 write!(f, "unknown predicate `{p}` in the materialization")
@@ -121,15 +129,24 @@ impl Snapshot {
     }
 }
 
-/// The outcome of one update batch.
+/// The outcome of one update batch (an insertion or a retraction).
 #[derive(Debug, Clone)]
 pub struct UpdateOutcome {
     /// The epoch the update produced.
     pub epoch: u64,
     /// Update facts that actually entered the delta (not subsumed by the
-    /// existing materialization).
+    /// existing materialization); zero for retractions.
     pub inserted: usize,
-    /// New facts the resumed fixpoint derived (the inserted facts included).
+    /// Facts the DRed over-deletion phase removed from the materialization
+    /// (the retracted facts plus everything that lost its last derivation);
+    /// zero for insertions.
+    pub removed: usize,
+    /// Facts the update added to the materialization: for insertions, the
+    /// inserted facts plus everything the resumed fixpoint derived; for
+    /// retractions, everything put back after the over-deletion —
+    /// resurrected EDB facts, re-derived facts, and their consequences —
+    /// so `total_facts` before − `removed` + `new_facts` = `total_facts`
+    /// after.
     pub new_facts: usize,
     /// Derivations the resumed fixpoint attempted.
     pub derivations: usize,
@@ -184,6 +201,13 @@ pub struct Session {
     /// in the published [`Snapshot`] — updates derive the next epoch from
     /// the snapshot they resumed, which the lock makes race-free.
     update_lock: Mutex<()>,
+    /// The extensional database as currently updated — the multiset of base
+    /// facts, *before* materialization-time subsumption.  Retractions need
+    /// it twice: to refuse retracting a fact that was never inserted, and to
+    /// resurrect facts a retracted subsuming fact swallowed at seed time
+    /// (such facts are not stored anywhere in the materialization).
+    /// Mutated only under `update_lock`.
+    base: Mutex<Database>,
 }
 
 impl Session {
@@ -219,6 +243,7 @@ impl Session {
                 result: Arc::new(result),
             }),
             update_lock: Mutex::new(()),
+            base: Mutex::new(db.clone()),
         })
     }
 
@@ -344,7 +369,7 @@ impl Session {
         // are undisturbed; the resumed fixpoint then only re-derives what
         // the update facts reach.
         let relations = base.result.relations.clone();
-        let result = self.evaluator.resume(relations, facts);
+        let result = self.evaluator.resume(relations, facts.clone());
         let elapsed = start.elapsed();
         // Update facts enter the relations before the resumed fixpoint's
         // iteration statistics start counting, so the facts that survived
@@ -358,6 +383,7 @@ impl Session {
         let outcome = UpdateOutcome {
             epoch: base.epoch + 1,
             inserted,
+            removed: 0,
             new_facts: inserted + result.stats.total_new_facts(),
             derivations: result.stats.total_derivations(),
             iterations: result.stats.iterations.len(),
@@ -365,6 +391,15 @@ impl Session {
             total_facts: result.total_facts(),
             elapsed,
         };
+        {
+            // Keep the EDB mirror in step with the published epoch: every
+            // inserted fact is a base fact, whether or not subsumption
+            // stored it.
+            let mut edb = self.base.lock().expect("base database poisoned");
+            for fact in facts {
+                edb.add(fact);
+            }
+        }
         *self.current.write().expect("session lock poisoned") = Snapshot {
             epoch: outcome.epoch,
             result: Arc::new(result),
@@ -377,6 +412,81 @@ impl Session {
     pub fn insert_str(&self, text: &str) -> Result<UpdateOutcome, SessionError> {
         let facts = parse_facts(text)?;
         self.insert(facts)
+    }
+
+    /// Retracts one batch of EDB facts by DRed-style incremental deletion
+    /// ([`pcs_engine::Evaluator::retract`]), and publishes the resulting
+    /// materialization as the next epoch.
+    ///
+    /// The refusal rules mirror [`Session::insert`]: every fact must target
+    /// an EDB predicate of the materialized program, and retraction is
+    /// refused while the current materialization is partial.  Additionally,
+    /// every fact must actually be in the extensional database (matched by
+    /// [`Fact::equivalent`], one occurrence per retraction) — the whole
+    /// batch is refused otherwise, so a typo cannot silently retract only
+    /// part of it.  Queries keep reading the previous epoch until the
+    /// retraction completes.
+    pub fn remove(&self, facts: Vec<Fact>) -> Result<UpdateOutcome, SessionError> {
+        for fact in &facts {
+            if !self.edb.contains(fact.predicate()) {
+                return Err(SessionError::NotAnEdbPredicate(fact.predicate().clone()));
+            }
+        }
+        let _guard = self.update_lock.lock().expect("update lock poisoned");
+        let base = self.snapshot();
+        if !base.result.termination.is_fixpoint() {
+            return Err(SessionError::PartialMaterialization(
+                base.result.termination,
+            ));
+        }
+        // Build the surviving EDB aside; the mirror is committed only after
+        // the retraction succeeds, so a refused or panicking batch changes
+        // nothing.  The clone is O(|EDB|), but the copy-on-update clone of
+        // the (strictly larger) materialized relations below already
+        // dominates the per-batch cost.
+        let surviving = {
+            let edb = self.base.lock().expect("base database poisoned");
+            let mut surviving = edb.clone();
+            for fact in &facts {
+                if !surviving.remove(fact) {
+                    return Err(SessionError::NoSuchFact(fact.to_string()));
+                }
+            }
+            surviving
+        };
+        let start = Instant::now();
+        let relations = base.result.relations.clone();
+        let result = self.evaluator.retract(relations, facts, &surviving);
+        let elapsed = start.elapsed();
+        let removed = result.stats.removed_facts;
+        // Resurrected EDB facts re-enter the relations outside the
+        // iteration statistics (like resume's update insertions), so the
+        // facts put back are recovered from the totals: what the
+        // materialization holds now, minus what survived the over-deletion.
+        let outcome = UpdateOutcome {
+            epoch: base.epoch + 1,
+            inserted: 0,
+            removed,
+            new_facts: (result.total_facts() + removed).saturating_sub(base.result.total_facts()),
+            derivations: result.stats.total_derivations(),
+            iterations: result.stats.iterations.len(),
+            termination: result.termination,
+            total_facts: result.total_facts(),
+            elapsed,
+        };
+        *self.base.lock().expect("base database poisoned") = surviving;
+        *self.current.write().expect("session lock poisoned") = Snapshot {
+            epoch: outcome.epoch,
+            result: Arc::new(result),
+        };
+        Ok(outcome)
+    }
+
+    /// Parses fact-only text and retracts it as one batch (the `-fact.` /
+    /// `.retract` commands of the shell front-ends).
+    pub fn remove_str(&self, text: &str) -> Result<UpdateOutcome, SessionError> {
+        let facts = parse_facts(text)?;
+        self.remove(facts)
     }
 
     /// Answers the program's own query (as rewritten) against the current
@@ -475,6 +585,100 @@ mod tests {
         let optimizer = Optimizer::new(programs::flights()).strategy(Strategy::ConstraintRewrite);
         let fresh = Session::materialize(&optimizer, &db).unwrap();
         assert_eq!(fresh.stats().total_facts, session.stats().total_facts);
+    }
+
+    #[test]
+    fn retractions_match_a_fresh_materialization_of_the_surviving_edb() {
+        for strategy in [
+            Strategy::None,
+            Strategy::ConstraintRewrite,
+            Strategy::Optimal,
+        ] {
+            let session = flights_session(strategy.clone());
+            session
+                .insert_str(
+                    "singleleg(madison, newhub, 10, 10).\nsingleleg(newhub, seattle, 10, 10).",
+                )
+                .unwrap();
+            let outcome = session
+                .remove_str("singleleg(madison, newhub, 10, 10).")
+                .unwrap();
+            assert_eq!(outcome.epoch, 2);
+            assert_eq!(outcome.inserted, 0);
+            assert!(outcome.removed >= 1, "{outcome:?}");
+            assert!(outcome.termination.is_fixpoint());
+
+            // A fresh session over the surviving EDB answers identically.
+            let mut db = programs::flights_database(6, 10);
+            db.add_facts_str("singleleg(newhub, seattle, 10, 10).")
+                .unwrap();
+            let optimizer = Optimizer::new(programs::flights()).strategy(strategy);
+            let fresh = Session::materialize(&optimizer, &db).unwrap();
+            assert_eq!(fresh.stats().total_facts, session.stats().total_facts);
+            assert_eq!(fresh.stats().relations, session.stats().relations);
+        }
+    }
+
+    #[test]
+    fn retracting_a_subsuming_fact_resurrects_subsumed_answers() {
+        // The ground fact sits inside the constraint fact and is swallowed
+        // at seed time; retracting the constraint fact must bring it back.
+        let program = pcs_lang::parse_program("p(X) :- b(X), X >= 0.\n?- p(X).").unwrap();
+        let mut db = Database::new();
+        db.add_facts_str("b(X) :- X >= 0, X <= 10.\nb(5).").unwrap();
+        let optimizer = Optimizer::new(program).strategy(Strategy::None);
+        let session = Session::materialize(&optimizer, &db).unwrap();
+        let query = parse_query("?- p(5).").unwrap();
+        assert_eq!(session.query(&query).unwrap().2.len(), 1);
+        let outcome = session.remove_str("b(X) :- X >= 0, X <= 10.").unwrap();
+        assert!(outcome.removed >= 1);
+        // p(5) survives, now supported by the resurrected ground b(5).
+        assert_eq!(session.query(&query).unwrap().2.len(), 1);
+        // Retracting b(5) as well empties the answers.
+        session.remove_str("b(5).").unwrap();
+        assert_eq!(session.query(&query).unwrap().2.len(), 0);
+        assert_eq!(session.snapshot().epoch(), 2);
+    }
+
+    #[test]
+    fn retraction_refusals_leave_the_session_untouched() {
+        let session = flights_session(Strategy::ConstraintRewrite);
+        let total = session.stats().total_facts;
+        // Not an EDB predicate.
+        let err = session.remove_str("flight(a, b, 1, 2).").unwrap_err();
+        assert!(matches!(err, SessionError::NotAnEdbPredicate(_)));
+        // Absent fact: the whole batch is refused, even though the first
+        // fact of the batch exists.
+        let err = session
+            .remove_str("singleleg(madison, seattle, 200, 90).\nsingleleg(no, where, 1, 1).")
+            .unwrap_err();
+        assert!(matches!(err, SessionError::NoSuchFact(_)));
+        assert!(err.to_string().contains("nothing was retracted"));
+        assert_eq!(session.snapshot().epoch(), 0);
+        assert_eq!(session.stats().total_facts, total);
+        // The fact that existed is still retractable afterwards.
+        assert!(session
+            .remove_str("singleleg(madison, seattle, 200, 90).")
+            .is_ok());
+    }
+
+    #[test]
+    fn retractions_are_refused_on_partial_materializations() {
+        let program =
+            pcs_lang::parse_program("nat(0).\nnat(Y) :- seed(X), nat(X), Y = X + 1.\n?- nat(5).")
+                .unwrap();
+        let mut db = Database::new();
+        db.add_facts_str("seed(0).\nseed(1).").unwrap();
+        let optimizer = Optimizer::new(program)
+            .strategy(Strategy::None)
+            .eval_options(pcs_engine::EvalOptions {
+                limits: pcs_engine::EvalLimits::capped(2),
+                ..pcs_engine::EvalOptions::default()
+            });
+        let session = Session::materialize(&optimizer, &db).unwrap();
+        let err = session.remove_str("seed(0).").unwrap_err();
+        assert!(matches!(err, SessionError::PartialMaterialization(_)));
+        assert_eq!(session.snapshot().epoch(), 0);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! .end
 //! ?- cheaporshort(madison, seattle, T, C).
 //! +singleleg(chicago, seattle, 60, 40).
+//! -singleleg(madison, chicago, 50, 100).
 //! .stats
 //! .quit
 //! ```
@@ -141,6 +142,9 @@ impl Shell {
         if let Some(rest) = trimmed.strip_prefix('+') {
             return self.insert(rest);
         }
+        if let Some(rest) = trimmed.strip_prefix('-') {
+            return self.remove(rest);
+        }
         if trimmed.starts_with("?-") || trimmed.starts_with('?') {
             return self.query(trimmed);
         }
@@ -161,6 +165,13 @@ impl Shell {
                 )
             }
             ".end" => Response::error("no .load in progress"),
+            ".retract" => {
+                if arg.is_empty() {
+                    Response::error("usage: .retract p(a, 1). (equivalent to a leading `-` line)")
+                } else {
+                    self.remove(arg)
+                }
+            }
             ".stats" => self.stats(),
             ".facts" => self.facts(arg),
             ".answers" => self.program_answers(),
@@ -266,6 +277,26 @@ impl Shell {
                 "ok: epoch {}; +{} inserted, +{} new facts ({} derivations over {} iterations, {:?}, {:?})",
                 outcome.epoch,
                 outcome.inserted,
+                outcome.new_facts,
+                outcome.derivations,
+                outcome.iterations,
+                outcome.termination,
+                outcome.elapsed,
+            )),
+            Err(e) => Response::error(e),
+        }
+    }
+
+    fn remove(&mut self, text: &str) -> Response {
+        let session = match self.session() {
+            Ok(session) => session,
+            Err(response) => return response,
+        };
+        match session.remove_str(text) {
+            Ok(outcome) => Response::say(format!(
+                "ok: epoch {}; -{} removed, +{} re-derived ({} derivations over {} iterations, {:?}, {:?})",
+                outcome.epoch,
+                outcome.removed,
                 outcome.new_facts,
                 outcome.derivations,
                 outcome.iterations,
@@ -406,6 +437,8 @@ const HELP: &str = "commands:
                      none, constraint, magic, optimal, or pred/qrp/mg lists
   ?- q(a, X).        answer a query from the materialization (no evaluation)
   +p(a, 1).          insert EDB facts; resumes the fixpoint incrementally
+  -p(a, 1).          retract EDB facts; DRed delete/re-derive incrementally
+  .retract p(a, 1).  same as a leading `-` line
   .answers           answer the loaded program's own query
   .facts <pred>      list the stored facts of one predicate
   .stats             materialization statistics
