@@ -9,9 +9,25 @@
 //!
 //! Available experiment names: `table1`, `table2`, `flights`, `ex41`, `ex42`,
 //! `balbin`, `orderings`, `overlap`, `parallel`, `incremental`, `deletion`,
-//! `all`.
+//! `memory`, `all`.
+//!
+//! The `memory` experiment (and `all`, which includes it) additionally
+//! writes the machine-readable `BENCH_6.json` artifact to the current
+//! directory (override the path with `PCS_BENCH_JSON`).
 
 use pcs_bench::experiments;
+
+/// Measures the memory experiment, writes `BENCH_6.json`, and returns the
+/// printable table.
+fn memory_with_artifact() -> String {
+    let rows = experiments::memory_rows(experiments::MEMORY_SCALES);
+    let path = std::env::var("PCS_BENCH_JSON").unwrap_or_else(|_| "BENCH_6.json".to_string());
+    match std::fs::write(&path, experiments::bench6_json(&rows)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    experiments::render_memory(&rows)
+}
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -27,10 +43,11 @@ fn main() {
         "parallel" | "threads" => experiments::parallel_scaling(&[1, 2, 4, 8]),
         "incremental" | "resume" => experiments::incremental(&[(60, 120, 4), (100, 200, 8)]),
         "deletion" | "retract" => experiments::deletion(&[(60, 120, 4), (100, 200, 8)]),
-        "all" => experiments::all(),
+        "memory" | "columnar" => memory_with_artifact(),
+        "all" => format!("{}\n{}", experiments::all(), memory_with_artifact()),
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, incremental, deletion, all"
+                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, incremental, deletion, memory, all"
             );
             std::process::exit(2);
         }

@@ -54,7 +54,7 @@ fn fib_trace_report(title: &str, program: &Program, iterations: usize) -> String
         }
         let _ = writeln!(out, "{i:<10} {{{}}}", cells.join(", "));
     }
-    let answers = result.answers_to(&magic.program.query().unwrap().literals[0]);
+    let answers = result.answers(magic.program.query().unwrap());
     let _ = writeln!(
         out,
         "termination: {:?}; stored constraint facts: {}; answers: {}",
@@ -301,7 +301,7 @@ pub fn overlap() -> String {
         };
         let result = constraint_rewrite(&program, &rewrite_options).unwrap();
         let eval = Evaluator::new(&result.program, EvalOptions::default()).evaluate(&db);
-        let answers = eval.answers_to(&program.query().unwrap().literals[0]).len();
+        let answers = eval.answers(program.query().unwrap()).len();
         let _ = writeln!(
             out,
             "{:<22} {:>13} {:>12} {:>9}",
@@ -535,6 +535,154 @@ pub fn deletion(scales: &[(usize, usize, usize)]) -> String {
             );
         }
     }
+    out
+}
+
+/// Default scales of the E16 memory experiment: the paper-scale flights
+/// sweep tops out at 120 extra legs, so 1200 and 2400 random legs are the
+/// 10× and 20× workloads the columnar payoff is measured on.
+pub const MEMORY_SCALES: &[(usize, usize)] = &[(10, 120), (100, 1200), (140, 2400)];
+
+/// One measured configuration of the memory-footprint experiment (also the
+/// row shape serialized into `BENCH_6.json`).
+pub struct MemoryRow {
+    /// Workload label, e.g. `flights 100c/1200l`.
+    pub workload: String,
+    /// Rewriting strategy evaluated: `optimal` (magic, scan-dominated) or
+    /// `pred,qrp` (full constrained closure, join-dominated).
+    pub strategy: &'static str,
+    /// Storage layout under measurement: `columnar` or `row-wise`.
+    pub layout: &'static str,
+    /// Median wall-clock evaluation time over the timed runs, milliseconds.
+    pub median_ms: f64,
+    /// Stored fact bytes at fixpoint (`EvalResult::approx_fact_bytes`) —
+    /// the peak, since a from-scratch evaluation only accumulates facts.
+    pub peak_fact_bytes: usize,
+    /// Stored facts at fixpoint.
+    pub total_facts: usize,
+    /// `peak_fact_bytes / total_facts`.
+    pub bytes_per_fact: f64,
+    /// Total derivations performed (throughput denominator).
+    pub derivations: usize,
+}
+
+/// E16 (PR 6): memory footprint and join throughput of the interned
+/// columnar ground store versus the row-wise fact tail, on random flights
+/// workloads 10–20× the paper-scale sweep.  Both layouts evaluate the same
+/// optimal-strategy program over the same EDB; the fact totals double as a
+/// live check that the layout changes no answers.
+pub fn memory_rows(scales: &[(usize, usize)]) -> Vec<MemoryRow> {
+    use std::time::Instant;
+
+    let program = programs::flights();
+    let mut rows = Vec::new();
+    for (strategy_name, strategy) in [
+        ("optimal", Strategy::Optimal),
+        ("pred,qrp", Strategy::ConstraintRewrite),
+    ] {
+        let optimized = Optimizer::new(program.clone())
+            .strategy(strategy)
+            .optimize()
+            .expect("optimization succeeds");
+        for &(cities, legs) in scales {
+            let db = crate::workload::random_flights_database(cities, legs, 0xFACADE);
+            let workload = format!("flights {cities}c/{legs}l");
+            let mut layout_facts = Vec::new();
+            for (layout, columnar) in [("columnar", true), ("row-wise", false)] {
+                let evaluator = Evaluator::new(
+                    &optimized.program,
+                    EvalOptions::default().with_columnar(columnar),
+                );
+                let mut times = Vec::new();
+                let (mut peak, mut facts, mut derivations) = (0, 0, 0);
+                for _ in 0..5 {
+                    let start = Instant::now();
+                    let result = evaluator.evaluate(&db);
+                    times.push(start.elapsed());
+                    peak = result.approx_fact_bytes();
+                    facts = result.total_facts();
+                    derivations = result.stats.total_derivations();
+                }
+                times.sort();
+                layout_facts.push(facts);
+                rows.push(MemoryRow {
+                    workload: workload.clone(),
+                    strategy: strategy_name,
+                    layout,
+                    median_ms: times[times.len() / 2].as_secs_f64() * 1e3,
+                    peak_fact_bytes: peak,
+                    total_facts: facts,
+                    bytes_per_fact: peak as f64 / facts.max(1) as f64,
+                    derivations,
+                });
+            }
+            assert_eq!(
+                layout_facts[0], layout_facts[1],
+                "columnar and row-wise layouts stored different fact counts"
+            );
+        }
+    }
+    rows
+}
+
+/// Renders [`memory_rows`] as a printable table.
+pub fn memory(scales: &[(usize, usize)]) -> String {
+    render_memory(&memory_rows(scales))
+}
+
+/// Renders already-measured memory rows as a printable table.
+pub fn render_memory(rows: &[MemoryRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Memory footprint: interned columnar ground store vs row-wise fact tail (median of 5)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:<10} {:<10} {:>10} {:>14} {:>9} {:>12} {:>10}",
+        "workload", "strategy", "layout", "median", "fact bytes", "bytes/f", "facts", "derivs"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<22} {:<10} {:<10} {:>8.2}ms {:>14} {:>9.1} {:>12} {:>10}",
+            row.workload,
+            row.strategy,
+            row.layout,
+            row.median_ms,
+            row.peak_fact_bytes,
+            row.bytes_per_fact,
+            row.total_facts,
+            row.derivations
+        );
+    }
+    out
+}
+
+/// Serializes memory rows as the `BENCH_6.json` artifact: one object per
+/// measured configuration, machine-readable for CI trend tracking.
+pub fn bench6_json(rows: &[MemoryRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"experiment\": \"memory_footprint_vs_throughput\",\n  \"issue\": 6,\n  \"rows\": [\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"strategy\": \"{}\", \"layout\": \"{}\", \
+             \"median_ms\": {:.3}, \"peak_fact_bytes\": {}, \"bytes_per_fact\": {:.2}, \
+             \"total_facts\": {}, \"derivations\": {}}}",
+            row.workload,
+            row.strategy,
+            row.layout,
+            row.median_ms,
+            row.peak_fact_bytes,
+            row.bytes_per_fact,
+            row.total_facts,
+            row.derivations
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 

@@ -43,10 +43,12 @@ pub mod prelude {
     pub use crate::programs;
     pub use pcs_constraints::{Atom, CmpOp, Conjunction, ConstraintSet, LinearExpr, Rational, Var};
     pub use pcs_engine::{
-        parse_facts, Database, EvalLimits, EvalOptions, Evaluator, Fact, FactsError, Termination,
-        Value,
+        parse_facts, Database, EvalLimits, EvalOptions, Evaluator, Fact, FactRef, FactsError,
+        Relation, Termination, UpdateBatch, Value,
     };
-    pub use pcs_lang::{parse_program, Literal, Pred, Program, Query, Rule, Term};
+    pub use pcs_lang::{
+        parse_program, Literal, Pred, Program, Query, Rule, Symbol, SymbolTable, Term,
+    };
     pub use pcs_transform::{
         apply_sequence, check_decidable_class, constraint_rewrite, gen_predicate_constraints,
         gen_prop_predicate_constraints, gen_prop_qrp_constraints, gen_qrp_constraints,

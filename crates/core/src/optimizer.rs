@@ -213,7 +213,7 @@ impl Optimized {
     pub fn count_answers(&self, db: &Database) -> usize {
         let result = self.evaluate(db);
         match self.program.query() {
-            Some(query) => result.answers_to(&query.literals[0]).len(),
+            Some(query) => result.answers(query).len(),
             None => 0,
         }
     }

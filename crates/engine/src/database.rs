@@ -78,8 +78,8 @@ fn fact_from_rule(rule: &Rule) -> Result<Fact, FactsError> {
     for (i, term) in rule.head.args.iter().enumerate() {
         let position = LinearExpr::var(Var::position(i + 1));
         match term {
-            Term::Num(n) => bindings.push(Binding::Bound(Value::Num(*n))),
-            Term::Sym(s) => bindings.push(Binding::Bound(Value::Sym(s.clone()))),
+            Term::Num(n) => bindings.push(Binding::Bound(Value::num(*n))),
+            Term::Sym(s) => bindings.push(Binding::Bound(Value::Sym(*s))),
             Term::Var(v) => {
                 bindings.push(Binding::Free);
                 constraint.push(Atom::compare(
@@ -96,6 +96,88 @@ fn fact_from_rule(rule: &Rule) -> Result<Fact, FactsError> {
     }
     Fact::new(rule.head.predicate.clone(), bindings, constraint)
         .ok_or_else(|| FactsError::Unsatisfiable(rule.to_string()))
+}
+
+/// An atomic batch of extensional updates: retractions applied first, then
+/// insertions.
+///
+/// This is the single update value behind every mutation entry point:
+/// [`Database::apply`] edits the stored facts transactionally,
+/// [`crate::Evaluator::apply`] folds the whole batch into *one* incremental
+/// delete/re-derive + resume pass over a materialization, and
+/// `pcs_service::Session::apply` does both under one epoch.  The
+/// fact-at-a-time helpers ([`Database::add_facts_str`],
+/// [`Database::remove_facts_str`], `Session::insert`/`remove`) remain as
+/// thin conveniences over a single-sided batch.
+///
+/// Semantics are *retracts-then-inserts*: a fact named in both lists is
+/// removed (with its derivation cone) and then re-inserted.  Retractions
+/// match stored facts by [`Fact::equivalent`].
+#[derive(Debug, Clone, Default)]
+pub struct UpdateBatch {
+    /// Facts to insert (after the retractions).
+    pub inserts: Vec<Fact>,
+    /// Facts to retract, matched by [`Fact::equivalent`].
+    pub retracts: Vec<Fact>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        UpdateBatch::default()
+    }
+
+    /// A batch that only inserts.
+    pub fn inserting(facts: Vec<Fact>) -> Self {
+        UpdateBatch {
+            inserts: facts,
+            retracts: Vec::new(),
+        }
+    }
+
+    /// A batch that only retracts.
+    pub fn retracting(facts: Vec<Fact>) -> Self {
+        UpdateBatch {
+            inserts: Vec::new(),
+            retracts: facts,
+        }
+    }
+
+    /// Adds an insertion (builder-style).
+    pub fn insert(mut self, fact: Fact) -> Self {
+        self.inserts.push(fact);
+        self
+    }
+
+    /// Adds a retraction (builder-style).
+    pub fn retract(mut self, fact: Fact) -> Self {
+        self.retracts.push(fact);
+        self
+    }
+
+    /// Parses fact-only text (see [`parse_facts`]) and appends the facts to
+    /// the insertions.
+    pub fn insert_str(mut self, source: &str) -> Result<Self, FactsError> {
+        self.inserts.extend(parse_facts(source)?);
+        Ok(self)
+    }
+
+    /// Parses fact-only text (see [`parse_facts`]) and appends the facts to
+    /// the retractions.
+    pub fn retract_str(mut self, source: &str) -> Result<Self, FactsError> {
+        self.retracts.extend(parse_facts(source)?);
+        Ok(self)
+    }
+
+    /// Total number of updates in the batch.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.retracts.len()
+    }
+
+    /// Returns `true` if the batch contains no updates.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.retracts.is_empty()
+    }
 }
 
 /// An extensional database: finite relations for the EDB predicates, plus
@@ -217,6 +299,40 @@ impl Database {
     pub fn remove_facts_str(&mut self, source: &str) -> Result<usize, FactsError> {
         let deletions = parse_facts(source)?;
         Ok(self.remove_facts(&deletions))
+    }
+
+    /// Applies an update batch atomically: removes one occurrence of each
+    /// retraction, then adds every insertion.
+    ///
+    /// All-or-nothing: if any retraction has no stored match (see
+    /// [`Database::remove`]), the database is left untouched and the first
+    /// unmatched fact is returned as the error.
+    ///
+    /// ```
+    /// use pcs_engine::{Database, UpdateBatch};
+    ///
+    /// let mut db = Database::new();
+    /// db.add_facts_str("leg(a, b). leg(b, c).").unwrap();
+    /// let batch = UpdateBatch::new()
+    ///     .retract_str("leg(a, b).")
+    ///     .unwrap()
+    ///     .insert_str("leg(a, c).")
+    ///     .unwrap();
+    /// db.apply(&batch).unwrap();
+    /// assert_eq!(db.len(), 2);
+    /// ```
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<(), Fact> {
+        let mut staged = self.clone();
+        for fact in &batch.retracts {
+            if !staged.remove(fact) {
+                return Err(fact.clone());
+            }
+        }
+        for fact in &batch.inserts {
+            staged.add(fact.clone());
+        }
+        *self = staged;
+        Ok(())
     }
 
     /// Declares the minimum predicate constraint for an EDB predicate.

@@ -29,12 +29,12 @@ use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
 
 use pcs_constraints::{Atom, CmpOp, Conjunction, LinearExpr, Rational, Var};
-use pcs_lang::{Literal, Pred, Program, Rule, Symbol, Term};
+use pcs_lang::{Literal, Pred, Program, Query, Rule, Symbol, Term};
 
-use crate::database::Database;
+use crate::database::{Database, UpdateBatch};
 use crate::fact::{Binding, Fact};
 use crate::limits::{EvalLimits, Termination};
-use crate::relation::{InsertOutcome, Relation, Window};
+use crate::relation::{FactRef, InsertOutcome, Relation, Window};
 use crate::stats::{DerivationRecord, EvalStats, IterationStats};
 use crate::value::Value;
 
@@ -70,6 +70,13 @@ pub struct EvalOptions {
     /// identical either way.  Defaults to [`MIN_PARALLEL_ROUND_WORK`]; set
     /// to `0` to shard every round.
     pub min_parallel_work: usize,
+    /// Storage layout for the relations this evaluator creates: `Some(true)`
+    /// forces the columnar ground store, `Some(false)` the row-wise
+    /// full-fact tail, `None` (the default) follows the process-wide
+    /// `PCS_COLUMNAR` setting.  Purely a representation knob — the computed
+    /// relations, statistics, and termination are identical either way
+    /// (the property the conformance suites check under both values).
+    pub columnar: Option<bool>,
 }
 
 impl Default for EvalOptions {
@@ -80,6 +87,7 @@ impl Default for EvalOptions {
             index: index_enabled_by_default(),
             threads: threads_from_env(),
             min_parallel_work: MIN_PARALLEL_ROUND_WORK,
+            columnar: None,
         }
     }
 }
@@ -202,6 +210,16 @@ impl EvalOptions {
             ..self
         }
     }
+
+    /// Returns these options with the relation storage layout forced to
+    /// columnar (`true`) or row-wise (`false`) regardless of the
+    /// process-wide `PCS_COLUMNAR` setting (see [`EvalOptions::columnar`]).
+    pub fn with_columnar(self, columnar: bool) -> Self {
+        EvalOptions {
+            columnar: Some(columnar),
+            ..self
+        }
+    }
 }
 
 /// The result of a bottom-up evaluation.
@@ -216,14 +234,17 @@ pub struct EvalResult {
 }
 
 impl EvalResult {
-    /// The facts computed for a predicate.
-    pub fn facts_for(&self, pred: &Pred) -> &[Fact] {
-        self.relations.get(pred).map(Relation::facts).unwrap_or(&[])
+    /// The facts computed for a predicate, materialized in insertion order.
+    pub fn facts_for(&self, pred: &Pred) -> Vec<Fact> {
+        self.relations
+            .get(pred)
+            .map(Relation::to_facts)
+            .unwrap_or_default()
     }
 
     /// Number of facts computed for a predicate.
     pub fn count_for(&self, pred: &Pred) -> usize {
-        self.facts_for(pred).len()
+        self.relations.get(pred).map(Relation::len).unwrap_or(0)
     }
 
     /// Total number of facts across all predicates.
@@ -231,21 +252,52 @@ impl EvalResult {
         self.relations.values().map(Relation::len).sum()
     }
 
-    /// Facts for the predicate of `query` that are compatible with its ground
-    /// arguments (the "answers" to the query).
-    pub fn answers_to(&self, query: &Literal) -> Vec<&Fact> {
-        self.answers_to_constrained(query, &Conjunction::truth())
+    /// Deterministic estimate of the bytes held by the fact storage across
+    /// all relations (see `Relation::approx_fact_bytes`).
+    pub fn approx_fact_bytes(&self) -> usize {
+        self.relations
+            .values()
+            .map(Relation::approx_fact_bytes)
+            .sum()
     }
 
-    /// Like [`Self::answers_to`], but additionally requires the side
-    /// constraints `side` (over the query literal's variables) to be
-    /// satisfiable together with the fact — the engine half of interactive
-    /// queries such as `?- q(X, Y), X <= 3.`.
-    pub fn answers_to_constrained(&self, query: &Literal, side: &Conjunction) -> Vec<&Fact> {
-        self.facts_for(&query.predicate)
-            .iter()
-            .filter(|fact| fact_matches_pattern(fact, query, side))
+    /// The answers to a query: facts for the query literal's predicate that
+    /// are compatible with its ground arguments and variable-repetition
+    /// pattern, and satisfiable together with the query's side constraints.
+    ///
+    /// This is the single query entry point — ground-argument filtering,
+    /// repeated variables (`?- q(X, X)`), and side constraints
+    /// (`?- q(X, Y), X <= 3`) are all handled here.  The query is expected
+    /// to have exactly one literal (the shape [`pcs_lang::parse_query`]
+    /// produces for interactive queries; multi-literal queries are rewritten
+    /// to a single query predicate before evaluation); extra literals are
+    /// ignored, and a query with no literals has no answers.
+    pub fn answers(&self, query: &Query) -> Vec<Fact> {
+        let Some(literal) = query.literals.first() else {
+            return Vec::new();
+        };
+        self.facts_for(&literal.predicate)
+            .into_iter()
+            .filter(|fact| fact_matches_pattern(fact, literal, &query.constraint))
             .collect()
+    }
+
+    /// Facts for the predicate of `query` that are compatible with its ground
+    /// arguments (the "answers" to the query).
+    #[deprecated(since = "0.1.0", note = "use `answers(&Query::new(literal))` instead")]
+    pub fn answers_to(&self, query: &Literal) -> Vec<Fact> {
+        self.answers(&Query::new(query.clone()))
+    }
+
+    /// Like `answers_to`, but additionally requires the side constraints
+    /// `side` (over the query literal's variables) to be satisfiable
+    /// together with the fact.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `answers(&Query::with_constraint(vec![literal], side))` instead"
+    )]
+    pub fn answers_to_constrained(&self, query: &Literal, side: &Conjunction) -> Vec<Fact> {
+        self.answers(&Query::with_constraint(vec![query.clone()], side.clone()))
     }
 
     /// Returns `true` if every computed fact is ground.
@@ -300,7 +352,7 @@ fn fact_matches_pattern(fact: &Fact, query: &Literal, side: &Conjunction) -> boo
                 _ => return false,
             },
             Term::Num(n) => match binding {
-                Binding::Bound(Value::Num(fn_)) if fn_ == n => {}
+                Binding::Bound(v) if v.as_num() == Some(*n) => {}
                 Binding::Free => constraint.push(Atom::var_eq(Var::position(slot), *n)),
                 _ => return false,
             },
@@ -317,12 +369,14 @@ fn fact_matches_pattern(fact: &Fact, query: &Literal, side: &Conjunction) -> boo
             // An arithmetic expression argument must equal the fact's value
             // at this position; a symbol can never satisfy arithmetic.
             Term::Expr(e) => match binding {
-                Binding::Bound(Value::Num(n)) => expr_atoms.push(Atom::compare(
-                    e.clone(),
-                    CmpOp::Eq,
-                    LinearExpr::constant(*n),
-                )),
-                Binding::Bound(Value::Sym(_)) => return false,
+                Binding::Bound(v) => match v.as_num() {
+                    Some(n) => expr_atoms.push(Atom::compare(
+                        e.clone(),
+                        CmpOp::Eq,
+                        LinearExpr::constant(n),
+                    )),
+                    None => return false,
+                },
                 Binding::Free => expr_atoms.push(Atom::compare(
                     e.clone(),
                     CmpOp::Eq,
@@ -333,18 +387,21 @@ fn fact_matches_pattern(fact: &Fact, query: &Literal, side: &Conjunction) -> boo
     }
     for group in groups.values() {
         match &group.value {
-            // Every free slot of the group must be able to hold the symbol.
-            Some(Value::Sym(_)) => {
-                if !group.slots.iter().all(|&slot| free_accepts_sym(slot)) {
-                    return false;
+            Some(v) => match v.as_num() {
+                // Pin every free slot of the group to the number.
+                Some(n) => {
+                    for &slot in &group.slots {
+                        constraint.push(Atom::var_eq(Var::position(slot), n));
+                    }
                 }
-            }
-            // Pin every free slot of the group to the number.
-            Some(Value::Num(n)) => {
-                for &slot in &group.slots {
-                    constraint.push(Atom::var_eq(Var::position(slot), *n));
+                // Every free slot of the group must be able to hold the
+                // symbol.
+                None => {
+                    if !group.slots.iter().all(|&slot| free_accepts_sym(slot)) {
+                        return false;
+                    }
                 }
-            }
+            },
             // No ground occurrence: the free slots must agree pairwise.
             None => {
                 for pair in group.slots.windows(2) {
@@ -371,10 +428,10 @@ fn fact_matches_pattern(fact: &Fact, query: &Literal, side: &Conjunction) -> boo
         for var in atom.vars() {
             if let Some(group) = groups.get(var) {
                 match (&group.value, group.slots.first()) {
-                    (Some(Value::Num(n)), _) => {
-                        current = current.substitute(var, &LinearExpr::constant(*n));
-                    }
-                    (Some(Value::Sym(_)), _) => return false,
+                    (Some(v), _) => match v.as_num() {
+                        Some(n) => current = current.substitute(var, &LinearExpr::constant(n)),
+                        None => return false,
+                    },
                     (None, Some(&slot)) => {
                         current = current.substitute(var, &LinearExpr::var(Var::position(slot)));
                     }
@@ -427,7 +484,7 @@ impl PartialMatch {
         match self.sym.get(var) {
             Some(existing) => existing == sym,
             None => {
-                self.sym.insert(var.clone(), sym.clone());
+                self.sym.insert(var.clone(), *sym);
                 true
             }
         }
@@ -546,30 +603,41 @@ impl Evaluator {
     /// Resuming from a partial materialization (one that stopped on a
     /// resource limit rather than a fixpoint) is not supported: derivations
     /// the interrupted run never attempted are not replayed.
-    pub fn resume(
+    pub fn resume(&self, relations: BTreeMap<Pred, Relation>, updates: Vec<Fact>) -> EvalResult {
+        self.apply_impl(relations, Vec::new(), updates, &Database::new(), false)
+    }
+
+    /// Applies a mixed [`UpdateBatch`] to an already-materialized set of
+    /// relations in a *single* incremental pass: the retractions run the
+    /// DRed-style delete/re-derive phases of [`Self::retract`], the
+    /// insertions join the re-derivation delta, and one resumed semi-naive
+    /// fixpoint propagates both together — instead of the separate retract
+    /// and resume passes (each with its own fixpoint) the batch would
+    /// otherwise cost.
+    ///
+    /// Semantics are retracts-then-inserts, matching [`UpdateBatch`]:
+    /// `surviving_edb` must be the extensional database after the
+    /// retractions but *without* the insertions (they are seeded as delta
+    /// facts directly).  The result stores the same facts as evaluating
+    /// `surviving_edb` + inserts from scratch — the property
+    /// `tests/resume_differential.rs` pins down for mixed batches.
+    ///
+    /// A batch with no retracts degenerates to [`Self::resume`]; one with no
+    /// inserts degenerates to [`Self::retract`] (including its stats shape).
+    pub fn apply(
         &self,
-        mut relations: BTreeMap<Pred, Relation>,
-        updates: Vec<Fact>,
+        relations: BTreeMap<Pred, Relation>,
+        batch: UpdateBatch,
+        surviving_edb: &Database,
     ) -> EvalResult {
-        // Quiesce whatever partition the previous run left behind: every
-        // stored fact becomes stable, so the only delta is the updates.
-        for relation in relations.values_mut() {
-            relation.seal();
-        }
-        for pred in self.program.all_predicates() {
-            relations.entry(pred).or_default();
-        }
-        for fact in updates {
-            relations
-                .entry(fact.predicate().clone())
-                .or_default()
-                .insert(fact);
-        }
-        // The surviving (non-subsumed) updates become the first delta.
-        for relation in relations.values_mut() {
-            relation.advance();
-        }
-        self.run_fixpoint(Start::Resume(relations), self.options.index, 0)
+        let retracted = !batch.retracts.is_empty();
+        self.apply_impl(
+            relations,
+            batch.retracts,
+            batch.inserts,
+            surviving_edb,
+            retracted,
+        )
     }
 
     /// Incrementally retracts facts from an already-materialized set of
@@ -625,13 +693,31 @@ impl Evaluator {
     /// being retracted from.
     pub fn retract(
         &self,
-        mut relations: BTreeMap<Pred, Relation>,
+        relations: BTreeMap<Pred, Relation>,
         deletions: Vec<Fact>,
         surviving_edb: &Database,
     ) -> EvalResult {
+        self.apply_impl(relations, deletions, Vec::new(), surviving_edb, true)
+    }
+
+    /// The shared incremental-update engine behind [`Self::resume`],
+    /// [`Self::retract`], and [`Self::apply`]: DRed phases 1–2 for the
+    /// deletions, insertions seeded into the pending segment alongside the
+    /// re-derived facts, then one resumed fixpoint propagating the combined
+    /// delta.  `mark_retracted` controls whether the result carries the
+    /// retraction stats shape (the leading re-derivation iteration and the
+    /// `retracted`/`removed_facts` fields).
+    fn apply_impl(
+        &self,
+        mut relations: BTreeMap<Pred, Relation>,
+        deletions: Vec<Fact>,
+        inserts: Vec<Fact>,
+        surviving_edb: &Database,
+        mark_retracted: bool,
+    ) -> EvalResult {
         let limits = self.options.limits;
         for pred in self.program.all_predicates() {
-            relations.entry(pred).or_default();
+            relations.entry(pred).or_insert_with(|| self.new_relation());
         }
         for relation in relations.values_mut() {
             relation.seal();
@@ -652,7 +738,7 @@ impl Evaluator {
                         .or_default()
                         .insert(index)
                     {
-                        frontier.push(relation.facts()[index].clone());
+                        frontier.push(relation.fact_at(index));
                     }
                 }
             }
@@ -681,7 +767,7 @@ impl Evaluator {
                                 .or_default()
                                 .insert(index)
                             {
-                                next.push(relation.facts()[index].clone());
+                                next.push(relation.fact_at(index));
                             }
                         }
                     }
@@ -699,7 +785,7 @@ impl Evaluator {
             removed_facts
                 .entry(pred.clone())
                 .or_default()
-                .extend(indices.iter().map(|&index| relation.facts()[index].clone()));
+                .extend(indices.iter().map(|&index| relation.fact_at(index)));
         }
         let mut removed_total = 0;
         for (pred, indices) in &removed {
@@ -707,6 +793,18 @@ impl Evaluator {
                 .get_mut(pred)
                 .expect("marked relations exist")
                 .remove_indices(indices);
+        }
+
+        // The batch insertions land in the pending segment next to whatever
+        // phase 2 re-derives: invisible to the re-derivation joins (which
+        // read the sealed windows), they join the combined delta at the
+        // phase-3 advance, so retracts and inserts share one resumed
+        // fixpoint.
+        for fact in inserts {
+            relations
+                .entry(fact.predicate().clone())
+                .or_insert_with(|| self.new_relation())
+                .insert(fact);
         }
 
         // Phase 2: resurrection and the re-derivation round.  Everything
@@ -756,9 +854,11 @@ impl Evaluator {
                     });
                 } else {
                     for target in targets {
-                        let Some(start) =
-                            match_literal(&PartialMatch::start(rule), &rule.head, target)
-                        else {
+                        let Some(start) = match_literal(
+                            &PartialMatch::start(rule),
+                            &rule.head,
+                            FactRef::Stored(target),
+                        ) else {
                             continue;
                         };
                         let order = order_known(rule, None, &bound_vars(&start), &relations);
@@ -846,7 +946,7 @@ impl Evaluator {
                 iterations: vec![rederive_stats],
                 indexed: self.options.index,
                 resumed: true,
-                retracted: true,
+                retracted: mark_retracted,
                 removed_facts: removed_total,
                 ..EvalStats::default()
             };
@@ -857,22 +957,33 @@ impl Evaluator {
             self.options.index,
             rederive_stats.derivations,
         );
-        result.stats.iterations.insert(0, rederive_stats);
-        result.stats.retracted = true;
-        result.stats.removed_facts = removed_total;
+        if mark_retracted {
+            result.stats.iterations.insert(0, rederive_stats);
+            result.stats.retracted = true;
+            result.stats.removed_facts = removed_total;
+        }
         result
+    }
+
+    /// An empty relation with this evaluator's configured storage layout
+    /// (see [`EvalOptions::columnar`]).
+    fn new_relation(&self) -> Relation {
+        match self.options.columnar {
+            Some(columnar) => Relation::with_columnar(columnar),
+            None => Relation::new(),
+        }
     }
 
     /// Seeds one relation per program/EDB predicate with the database facts.
     fn seed_relations(&self, db: &Database) -> BTreeMap<Pred, Relation> {
         let mut relations: BTreeMap<Pred, Relation> = BTreeMap::new();
         for pred in self.program.all_predicates() {
-            relations.entry(pred).or_default();
+            relations.entry(pred).or_insert_with(|| self.new_relation());
         }
         for fact in db.all_facts() {
             relations
                 .entry(fact.predicate().clone())
-                .or_default()
+                .or_insert_with(|| self.new_relation())
                 .insert(fact.clone());
         }
         relations
@@ -1304,7 +1415,7 @@ fn run_task(task: &RoundTask<'_>, ctx: &RoundCtx<'_>, cap: usize) -> Vec<Fact> {
                 if derived.len() >= cap {
                     break;
                 }
-                if let Some(next) = match_literal(&start, literal, &relation.facts()[index]) {
+                if let Some(next) = match_literal(&start, literal, relation.fact_ref(index)) {
                     join_indexed(rule, order, 1, next, ctx.relations, &mut derived, cap);
                 }
             }
@@ -1627,7 +1738,11 @@ fn overdelete_derivations(
     relations: &BTreeMap<Pred, Relation>,
 ) -> Vec<Fact> {
     let mut derived = Vec::new();
-    let Some(pm) = match_literal(&PartialMatch::start(rule), &rule.body[delta_pos], deleted) else {
+    let Some(pm) = match_literal(
+        &PartialMatch::start(rule),
+        &rule.body[delta_pos],
+        FactRef::Stored(deleted),
+    ) else {
         return derived;
     };
     let order = order_known(rule, Some(delta_pos), &bound_vars(&pm), relations);
@@ -1641,13 +1756,13 @@ fn bound_probes(pm: &PartialMatch, literal: &Literal) -> Vec<(usize, Value)> {
     let mut probes = Vec::new();
     for (i, term) in literal.args.iter().enumerate() {
         let value = match term {
-            Term::Sym(s) => Some(Value::Sym(s.clone())),
-            Term::Num(n) => Some(Value::Num(*n)),
+            Term::Sym(s) => Some(Value::Sym(*s)),
+            Term::Num(n) => Some(Value::num(*n)),
             Term::Var(x) => pm
                 .sym
                 .get(x)
-                .map(|s| Value::Sym(s.clone()))
-                .or_else(|| pm.num.get(x).map(|n| Value::Num(*n))),
+                .map(|s| Value::Sym(*s))
+                .or_else(|| pm.num.get(x).map(|n| Value::num(*n))),
             Term::Expr(e) => {
                 let mut expr = e.clone();
                 for v in e.vars() {
@@ -1655,7 +1770,7 @@ fn bound_probes(pm: &PartialMatch, literal: &Literal) -> Vec<(usize, Value)> {
                         expr = expr.substitute(v, &LinearExpr::constant(*value));
                     }
                 }
-                expr.is_constant().then(|| Value::Num(expr.constant_part()))
+                expr.is_constant().then(|| Value::num(expr.constant_part()))
             }
         };
         if let Some(value) = value {
@@ -1737,7 +1852,7 @@ fn join_indexed(
             }
         }
         None => {
-            for fact in relation.window_facts(window) {
+            for fact in relation.window_refs(window) {
                 if let Some(next) = match_literal(&pm, literal, fact) {
                     join_indexed(rule, order, step + 1, next, relations, derived, cap);
                 }
@@ -1773,7 +1888,6 @@ fn join_legacy(
     let pred = &literal.predicate;
     let empty = Relation::new();
     let relation = relations.get(pred).unwrap_or(&empty);
-    let all_facts = relation.facts();
     // Select the slice of facts visible to this literal under the semi-naive
     // discipline (old facts before the delta literal, delta at the delta
     // literal, everything known at the end of the previous iteration after).
@@ -1792,8 +1906,8 @@ fn join_legacy(
             std::cmp::Ordering::Greater => (0, end),
         }
     };
-    for fact in &all_facts[lo..hi.min(all_facts.len())] {
-        if let Some(next) = match_literal(&pm, literal, fact) {
+    for fact_index in lo..hi.min(relation.len()) {
+        if let Some(next) = match_literal(&pm, literal, relation.fact_ref(fact_index)) {
             join_legacy(
                 rule,
                 index + 1,
@@ -1822,7 +1936,73 @@ fn finish_derivation(rule: &Rule, mut pm: PartialMatch, derived: &mut Vec<Fact>)
 }
 
 /// Attempts to extend a partial match with one fact for `literal`.
-fn match_literal(pm: &PartialMatch, literal: &Literal, fact: &Fact) -> Option<PartialMatch> {
+///
+/// Columnar ground rows take a dedicated fast path: no free positions means
+/// no fresh-variable allocation and no constraint renaming, just value
+/// matching against the literal's arguments.
+fn match_literal(pm: &PartialMatch, literal: &Literal, fact: FactRef<'_>) -> Option<PartialMatch> {
+    match fact {
+        FactRef::Ground { row, .. } => match_ground_row(pm, literal, row),
+        FactRef::Stored(fact) => match_stored_fact(pm, literal, fact),
+    }
+}
+
+/// The ground fast path of [`match_literal`]: every position holds a value.
+fn match_ground_row(pm: &PartialMatch, literal: &Literal, row: &[Value]) -> Option<PartialMatch> {
+    if row.len() != literal.arity() {
+        return None;
+    }
+    let mut pm = pm.clone();
+    for (term, value) in literal.args.iter().zip(row) {
+        match value.as_num() {
+            None => {
+                let sym = value.as_sym().expect("non-numeric value is a symbol");
+                match term {
+                    Term::Sym(s) => {
+                        if s != sym {
+                            return None;
+                        }
+                    }
+                    Term::Var(x) => {
+                        if !pm.bind_sym(x, sym) {
+                            return None;
+                        }
+                    }
+                    Term::Num(_) | Term::Expr(_) => return None,
+                }
+            }
+            Some(n) => match term {
+                Term::Sym(_) => return None,
+                Term::Num(k) => {
+                    if *k != n {
+                        return None;
+                    }
+                }
+                Term::Var(x) => {
+                    if !pm.bind_num(x, n) {
+                        return None;
+                    }
+                }
+                Term::Expr(e) => {
+                    if !pm.add_atom(Atom::compare(e.clone(), CmpOp::Eq, LinearExpr::constant(n))) {
+                        return None;
+                    }
+                }
+            },
+        }
+    }
+    // Propagate the new bindings into the residual constraint right away,
+    // exactly as the stored-fact path does: an atom that just became
+    // trivially false prunes the partial match *before* the join enumerates
+    // candidates for the next body literal.
+    if !pm.resolve() {
+        return None;
+    }
+    Some(pm)
+}
+
+/// The general path of [`match_literal`] for facts stored in full.
+fn match_stored_fact(pm: &PartialMatch, literal: &Literal, fact: &Fact) -> Option<PartialMatch> {
     if fact.arity() != literal.arity() {
         return None;
     }
@@ -1855,40 +2035,45 @@ fn match_literal(pm: &PartialMatch, literal: &Literal, fact: &Fact) -> Option<Pa
 
     for (i, (term, binding)) in literal.args.iter().zip(fact.bindings()).enumerate() {
         match binding {
-            Binding::Bound(Value::Sym(sym)) => match term {
-                Term::Sym(s) => {
-                    if s != sym {
-                        return None;
+            Binding::Bound(bound) => match bound.as_num() {
+                None => {
+                    let sym = bound.as_sym().expect("non-numeric value is a symbol");
+                    match term {
+                        Term::Sym(s) => {
+                            if s != sym {
+                                return None;
+                            }
+                        }
+                        Term::Var(x) => {
+                            if !pm.bind_sym(x, sym) {
+                                return None;
+                            }
+                        }
+                        Term::Num(_) | Term::Expr(_) => return None,
                     }
                 }
-                Term::Var(x) => {
-                    if !pm.bind_sym(x, sym) {
-                        return None;
+                Some(value) => match term {
+                    Term::Sym(_) => return None,
+                    Term::Num(n) => {
+                        if *n != value {
+                            return None;
+                        }
                     }
-                }
-                Term::Num(_) | Term::Expr(_) => return None,
-            },
-            Binding::Bound(Value::Num(value)) => match term {
-                Term::Sym(_) => return None,
-                Term::Num(n) => {
-                    if n != value {
-                        return None;
+                    Term::Var(x) => {
+                        if !pm.bind_num(x, value) {
+                            return None;
+                        }
                     }
-                }
-                Term::Var(x) => {
-                    if !pm.bind_num(x, *value) {
-                        return None;
+                    Term::Expr(e) => {
+                        if !pm.add_atom(Atom::compare(
+                            e.clone(),
+                            CmpOp::Eq,
+                            LinearExpr::constant(value),
+                        )) {
+                            return None;
+                        }
                     }
-                }
-                Term::Expr(e) => {
-                    if !pm.add_atom(Atom::compare(
-                        e.clone(),
-                        CmpOp::Eq,
-                        LinearExpr::constant(*value),
-                    )) {
-                        return None;
-                    }
-                }
+                },
             },
             Binding::Free => {
                 let fresh = position_vars[i]
@@ -1936,13 +2121,13 @@ fn build_head_fact(head: &Literal, pm: &PartialMatch) -> Option<Fact> {
     for (i, term) in head.args.iter().enumerate() {
         let position = Var::position(i + 1);
         match term {
-            Term::Sym(s) => bindings.push(Binding::Bound(Value::Sym(s.clone()))),
-            Term::Num(n) => bindings.push(Binding::Bound(Value::Num(*n))),
+            Term::Sym(s) => bindings.push(Binding::Bound(Value::Sym(*s))),
+            Term::Num(n) => bindings.push(Binding::Bound(Value::num(*n))),
             Term::Var(x) => {
                 if let Some(sym) = pm.sym.get(x) {
-                    bindings.push(Binding::Bound(Value::Sym(sym.clone())));
+                    bindings.push(Binding::Bound(Value::Sym(*sym)));
                 } else if let Some(value) = pm.num.get(x) {
-                    bindings.push(Binding::Bound(Value::Num(*value)));
+                    bindings.push(Binding::Bound(Value::num(*value)));
                 } else {
                     bindings.push(Binding::Free);
                     constraint.push(Atom::compare(
@@ -1962,7 +2147,7 @@ fn build_head_fact(head: &Literal, pm: &PartialMatch) -> Option<Fact> {
                     }
                 }
                 if expr.is_constant() {
-                    bindings.push(Binding::Bound(Value::Num(expr.constant_part())));
+                    bindings.push(Binding::Bound(Value::num(expr.constant_part())));
                 } else {
                     bindings.push(Binding::Free);
                     constraint.push(Atom::compare(LinearExpr::var(position), CmpOp::Eq, expr));
@@ -2144,7 +2329,7 @@ mod tests {
         db.add_ground("r", vec![Value::sym("b"), Value::num(2)]);
         let result = eval("s(X, Y) :- r(X, Y).", &db);
         let query = Literal::new("s", vec![Term::sym("a"), Term::var("Y")]);
-        let answers = result.answers_to(&query);
+        let answers = result.answers(&Query::new(query));
         assert_eq!(answers.len(), 1);
     }
 
@@ -2158,11 +2343,11 @@ mod tests {
         assert_eq!(result.count_for(&Pred::new("q")), 1);
         let inside = Literal::new("q", vec![Term::num(2)]);
         let outside = Literal::new("q", vec![Term::num(5)]);
-        assert_eq!(result.answers_to(&inside).len(), 1);
-        assert_eq!(result.answers_to(&outside).len(), 0);
+        assert_eq!(result.answers(&Query::new(inside)).len(), 1);
+        assert_eq!(result.answers(&Query::new(outside)).len(), 0);
         // A symbol can never inhabit a numerically constrained position.
         let symbolic = Literal::new("q", vec![Term::sym("madison")]);
-        assert_eq!(result.answers_to(&symbolic).len(), 0);
+        assert_eq!(result.answers(&Query::new(symbolic)).len(), 0);
     }
 
     #[test]
@@ -2340,9 +2525,7 @@ mod tests {
         let result = eval("s(X, Y) :- r(X, Y).", &db);
         let answers = |src: &str| {
             let query = pcs_lang::parse_query(src).unwrap();
-            result
-                .answers_to_constrained(&query.literals[0], &query.constraint)
-                .len()
+            result.answers(&query).len()
         };
         assert_eq!(answers("s(X, Y)"), 4);
         // Only r(1, 1) and r(a, a) repeat their argument.
@@ -2363,9 +2546,7 @@ mod tests {
         );
         let answers = |src: &str| {
             let query = pcs_lang::parse_query(src).unwrap();
-            result
-                .answers_to_constrained(&query.literals[0], &query.constraint)
-                .len()
+            result.answers(&query).len()
         };
         // $1 <= 3 and $2 >= 5 cannot hold one common value.
         assert_eq!(answers("disjoint(X, X)"), 0);
@@ -2395,9 +2576,7 @@ mod tests {
         let result = eval("s(X) :- r(X).\nt(X) :- X <= 5.", &db);
         let answers = |src: &str| {
             let query = pcs_lang::parse_query(src).unwrap();
-            result
-                .answers_to_constrained(&query.literals[0], &query.constraint)
-                .len()
+            result.answers(&query).len()
         };
         // ∃X. X + 1 = v holds for every numeric fact; never for a symbol.
         assert_eq!(answers("s(X + 1)"), 2);
@@ -2420,9 +2599,7 @@ mod tests {
         let result = eval("f(X, Y) :- free(X, Y).\nc(X, Y) :- capped(X, Y).", &db);
         let answers = |src: &str| {
             let query = pcs_lang::parse_query(src).unwrap();
-            result
-                .answers_to_constrained(&query.literals[0], &query.constraint)
-                .len()
+            result.answers(&query).len()
         };
         // Two unconstrained positions can share any value.
         assert_eq!(answers("f(X, X)"), 1);
@@ -2574,7 +2751,7 @@ mod tests {
                 &surviving,
             );
             let path = Literal::new("path", vec![Term::num(1), Term::num(3)]);
-            assert_eq!(retracted.answers_to(&path).len(), 1);
+            assert_eq!(retracted.answers(&Query::new(path)).len(), 1);
             assert_eq!(
                 rendered(&retracted),
                 rendered(&evaluator.evaluate(&surviving))
@@ -2606,7 +2783,7 @@ mod tests {
             assert_eq!(retracted.count_for(&Pred::new("b")), 2);
             assert_eq!(
                 retracted
-                    .answers_to(&Literal::new("p", vec![Term::num(5)]))
+                    .answers(&Query::new(Literal::new("p", vec![Term::num(5)])))
                     .len(),
                 1
             );

@@ -52,7 +52,7 @@ impl Fact {
             if let Some(i) = var.position_index() {
                 if i >= 1 && i <= bindings.len() {
                     if let Binding::Free = bindings[i - 1] {
-                        bindings[i - 1] = Binding::Bound(Value::Num(*value));
+                        bindings[i - 1] = Binding::Bound(Value::num(*value));
                         constraint = constraint.substitute(var, &LinearExpr::constant(*value));
                     }
                 }
@@ -154,12 +154,10 @@ impl Fact {
         let mut syms: Vec<Option<&Value>> = vec![None; self.bindings.len()];
         for (i, b) in self.bindings.iter().enumerate() {
             match b {
-                Binding::Bound(Value::Num(n)) => {
-                    conj.push(Atom::var_eq(Var::position(i + 1), *n));
-                }
-                Binding::Bound(v @ Value::Sym(_)) => {
-                    syms[i] = Some(v);
-                }
+                Binding::Bound(v) => match v.as_num() {
+                    Some(n) => conj.push(Atom::var_eq(Var::position(i + 1), n)),
+                    None => syms[i] = Some(v),
+                },
                 Binding::Free => {}
             }
         }
@@ -174,17 +172,20 @@ impl Fact {
         }
         for (i, (mine, theirs)) in self.bindings.iter().zip(&other.bindings).enumerate() {
             match (mine, theirs) {
-                (Binding::Bound(Value::Sym(a)), Binding::Bound(Value::Sym(b))) => {
-                    if a != b {
-                        return false;
+                (Binding::Bound(a), Binding::Bound(b)) => match (a.as_sym(), b.as_sym()) {
+                    (Some(x), Some(y)) => {
+                        if x != y {
+                            return false;
+                        }
                     }
-                }
-                (Binding::Bound(Value::Sym(_)), _) => return false,
-                (Binding::Bound(Value::Num(_)), Binding::Bound(Value::Num(_))) => {
-                    // handled by the implication check below
-                }
-                (Binding::Bound(Value::Num(_)), _) => return false,
-                (Binding::Free, Binding::Bound(Value::Sym(_))) => {
+                    (Some(_), None) | (None, Some(_)) => return false,
+                    (None, None) => {
+                        // numeric vs numeric: handled by the implication
+                        // check below
+                    }
+                },
+                (Binding::Bound(_), Binding::Free) => return false,
+                (Binding::Free, Binding::Bound(b)) if b.as_sym().is_some() => {
                     // A free position covers a symbolic value only when the
                     // residual constraint does not restrict it to numbers.
                     if self.constraint.contains_var(&Var::position(i + 1)) {
@@ -211,6 +212,25 @@ impl Fact {
         self == other || (self.subsumes(other) && other.subsumes(self))
     }
 
+    /// Deterministic estimate of the bytes this fact occupies: the struct
+    /// itself, the binding vector, boxed rationals, and a flat per-atom
+    /// charge for the residual constraint.  Used by the memory-footprint
+    /// accounting (see `Relation::approx_fact_bytes`); comparisons between
+    /// storage layouts use this same estimator on both sides.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Fact>()
+            + self.bindings.len() * std::mem::size_of::<Binding>()
+            + self
+                .bindings
+                .iter()
+                .map(|b| match b {
+                    Binding::Bound(v) => v.heap_bytes(),
+                    Binding::Free => 0,
+                })
+                .sum::<usize>()
+            + self.constraint.atoms().len() * 96
+    }
+
     /// Converts the fact into a body-less rule (constraint fact) with the
     /// given variable names for the free positions, for display and
     /// re-injection into programs.
@@ -220,8 +240,10 @@ impl Fact {
             .iter()
             .enumerate()
             .map(|(i, b)| match b {
-                Binding::Bound(Value::Num(n)) => Term::num(*n),
-                Binding::Bound(Value::Sym(s)) => Term::Sym(s.clone()),
+                Binding::Bound(v) => match v.as_num() {
+                    Some(n) => Term::num(n),
+                    None => Term::Sym(*v.as_sym().expect("non-numeric value is a symbol")),
+                },
                 Binding::Free => Term::var(Var::position(i + 1)),
             })
             .collect();

@@ -36,10 +36,10 @@ pub mod relation;
 pub mod stats;
 pub mod value;
 
-pub use database::{parse_facts, Database, FactsError};
+pub use database::{parse_facts, Database, FactsError, UpdateBatch};
 pub use eval::{EvalOptions, EvalResult, Evaluator};
 pub use fact::{Binding, Fact};
 pub use limits::{EvalLimits, Termination};
-pub use relation::{InsertOutcome, Relation, Window};
+pub use relation::{FactRef, InsertOutcome, Relation, Window};
 pub use stats::{DerivationRecord, EvalStats, IterationStats};
 pub use value::Value;

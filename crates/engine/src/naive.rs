@@ -121,18 +121,19 @@ fn extend(current: &Match, literal: &Literal, fact: &Fact) -> Option<Match> {
                     match m.sym.get(x) {
                         Some(existing) if existing != sym => return None,
                         _ => {
-                            m.sym.insert(x.clone(), sym.clone());
+                            m.sym.insert(x.clone(), *sym);
                         }
                     }
                 }
                 Term::Num(_) | Term::Expr(_) => return None,
             },
-            Binding::Bound(Value::Num(n)) => {
-                let value = LinearExpr::constant(*n);
+            Binding::Bound(bound) => {
+                let n = bound.as_num().expect("symbol bindings handled above");
+                let value = LinearExpr::constant(n);
                 match term {
                     Term::Sym(_) => return None,
                     Term::Num(k) => {
-                        if k != n {
+                        if *k != n {
                             return None;
                         }
                     }
@@ -189,10 +190,10 @@ fn head_fact(rule: &Rule, m: &Match) -> Option<Fact> {
     let mut bindings = Vec::with_capacity(rule.head.arity());
     for (i, term) in rule.head.args.iter().enumerate() {
         match term {
-            Term::Sym(s) => bindings.push(Binding::Bound(Value::Sym(s.clone()))),
-            Term::Num(n) => bindings.push(Binding::Bound(Value::Num(*n))),
+            Term::Sym(s) => bindings.push(Binding::Bound(Value::Sym(*s))),
+            Term::Num(n) => bindings.push(Binding::Bound(Value::num(*n))),
             Term::Var(x) => match m.sym.get(x) {
-                Some(sym) => bindings.push(Binding::Bound(Value::Sym(sym.clone()))),
+                Some(sym) => bindings.push(Binding::Bound(Value::Sym(*sym))),
                 None => {
                     bindings.push(Binding::Free);
                     constraint.push(Atom::compare(

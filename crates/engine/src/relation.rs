@@ -1,9 +1,33 @@
 //! In-memory relations of constraint facts with subsumption-based insertion,
 //! per-position hash indexes, and an explicit stable/delta/pending partition
 //! for semi-naive evaluation.
+//!
+//! ## Storage layout
+//!
+//! A relation addresses its facts by *logical index* — the insertion order —
+//! and every piece of evaluation machinery (the stable/delta/pending
+//! [`Window`] ranges, the per-position indexes, parallel-round sharding,
+//! retraction's index sets) works purely in that index space.  Behind the
+//! indices, storage is split: ground facts (the overwhelming majority in
+//! real workloads, Theorem 4.4) live as flat arity-strided rows of interned
+//! [`Value`]s in a single columnar buffer, while proper constraint facts —
+//! and any fact the columnar store cannot hold — keep the full [`Fact`]
+//! representation in a slow-path tail.  A ground tuple therefore costs
+//! `arity × 16` bytes plus one 8-byte slot, instead of a whole `Fact` (its
+//! `Vec<Binding>`, an empty conjunction, and a second copy of the values in
+//! the old dedup hash set).
+//!
+//! Reads hand out [`FactRef`] views; [`FactRef::to_fact`] materializes an
+//! owned [`Fact`] for the slow paths that need one.  The columnar layout can
+//! be disabled per relation ([`Relation::with_columnar`]) or process-wide
+//! (`PCS_COLUMNAR=0`), which stores every fact in the tail — the
+//! conformance suites run both layouts differentially.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
 use std::ops::Range;
+
+use pcs_lang::Pred;
 
 use crate::fact::{Binding, Fact};
 use crate::value::Value;
@@ -38,19 +62,164 @@ pub enum Window {
     Known,
 }
 
+/// A borrowed view of one stored fact.
+///
+/// Ground facts stored columnar appear as a predicate plus a row of values;
+/// everything else borrows the stored [`Fact`].  The join core pattern
+/// matches on this to take a renaming-free fast path for ground rows.
+#[derive(Clone, Copy)]
+pub enum FactRef<'a> {
+    /// A ground fact stored as a columnar row.
+    Ground {
+        /// The fact's predicate.
+        predicate: &'a Pred,
+        /// The ground values, one per argument position.
+        row: &'a [Value],
+    },
+    /// A fact stored in full (constraint facts; every fact when the
+    /// columnar layout is disabled).
+    Stored(&'a Fact),
+}
+
+impl<'a> FactRef<'a> {
+    /// The predicate of the fact.
+    pub fn predicate(&self) -> &'a Pred {
+        match self {
+            FactRef::Ground { predicate, .. } => predicate,
+            FactRef::Stored(fact) => fact.predicate(),
+        }
+    }
+
+    /// The arity of the fact.
+    pub fn arity(&self) -> usize {
+        match self {
+            FactRef::Ground { row, .. } => row.len(),
+            FactRef::Stored(fact) => fact.arity(),
+        }
+    }
+
+    /// Returns `true` if every position is bound and there is no residual
+    /// constraint.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            FactRef::Ground { .. } => true,
+            FactRef::Stored(fact) => fact.is_ground(),
+        }
+    }
+
+    /// The ground value at `position` (0-based), or `None` if the position
+    /// is free or out of range.
+    pub fn bound_value(&self, position: usize) -> Option<&'a Value> {
+        match self {
+            FactRef::Ground { row, .. } => row.get(position),
+            FactRef::Stored(fact) => fact.bound_value(position),
+        }
+    }
+
+    /// Materializes an owned [`Fact`].
+    pub fn to_fact(&self) -> Fact {
+        match self {
+            FactRef::Ground { predicate, row } => Fact::ground((*predicate).clone(), row.to_vec()),
+            FactRef::Stored(fact) => (*fact).clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for FactRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactRef::Ground { predicate, row } => {
+                write!(f, "{predicate}(")?;
+                for (i, value) in row.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{value}")?;
+                }
+                write!(f, ")")
+            }
+            FactRef::Stored(fact) => write!(f, "{fact}"),
+        }
+    }
+}
+
+impl std::fmt::Debug for FactRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Display::fmt(self, f)
+    }
+}
+
+/// Where a logical fact index is stored.
+#[derive(Clone, Copy)]
+enum Slot {
+    /// Row `start..start + arity` of the columnar ground store.
+    Ground { start: u32 },
+    /// Index into the full-fact tail.
+    Stored { tail: u32 },
+}
+
+/// The columnar buffer for ground facts: rows of `arity` interned values,
+/// all for the same predicate.
+#[derive(Clone, Default)]
+struct GroundStore {
+    predicate: Option<Pred>,
+    arity: usize,
+    values: Vec<Value>,
+}
+
+impl GroundStore {
+    /// Whether a ground fact with this predicate/arity fits the store
+    /// (adopting the predicate and arity of the first one stored).
+    fn accepts(&mut self, predicate: &Pred, arity: usize) -> bool {
+        match &self.predicate {
+            None => {
+                self.predicate = Some(predicate.clone());
+                self.arity = arity;
+                true
+            }
+            Some(p) => p == predicate && self.arity == arity,
+        }
+    }
+
+    fn row(&self, start: u32) -> &[Value] {
+        let start = start as usize;
+        &self.values[start..start + self.arity]
+    }
+}
+
+/// Reads the process-wide columnar default from `PCS_COLUMNAR` (any value
+/// other than `0`/`false`/`off` enables it; unset means enabled).
+fn columnar_default() -> bool {
+    match std::env::var("PCS_COLUMNAR") {
+        Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),
+        Err(_) => true,
+    }
+}
+
+fn row_hash(values: &[Value]) -> u64 {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    values.hash(&mut hasher);
+    hasher.finish()
+}
+
 /// A finite set of constraint facts for one predicate.
 ///
-/// Ground facts are additionally tracked in a hash set so the common case
-/// (programs whose evaluation computes only ground facts, Theorem 4.4) does
-/// not pay for pairwise subsumption checks.  Every insertion also maintains
-/// per-position hash indexes mapping a bound [`Value`] to the facts holding
-/// it at that position, plus the list of facts that are *free* (constrained)
-/// there; joins probe the index with the values bound so far and fall back to
-/// scanning only that constraint-fact tail.
-#[derive(Clone, Default)]
+/// Ground facts are additionally tracked in a row-hash index so the common
+/// case (programs whose evaluation computes only ground facts, Theorem 4.4)
+/// does not pay for pairwise subsumption checks.  Every insertion also
+/// maintains per-position hash indexes mapping a bound [`Value`] to the
+/// facts holding it at that position, plus the list of facts that are *free*
+/// (constrained) there; joins probe the index with the values bound so far
+/// and fall back to scanning only that constraint-fact tail.
+#[derive(Clone)]
 pub struct Relation {
-    facts: Vec<Fact>,
-    ground_index: HashSet<Vec<Value>>,
+    columnar: bool,
+    /// Logical fact index → storage location.
+    slots: Vec<Slot>,
+    ground: GroundStore,
+    tail: Vec<Fact>,
+    /// Ground-row hash → logical indices of ground facts with that hash.
+    row_index: HashMap<u64, Vec<usize>>,
     constraint_fact_count: usize,
     /// Facts `0..stable_end` are stable, `stable_end..delta_end` are the
     /// delta, and `delta_end..` are pending until the next [`Self::advance`].
@@ -65,25 +234,77 @@ pub struct Relation {
     constraint_fact_indices: Vec<usize>,
 }
 
+impl Default for Relation {
+    fn default() -> Self {
+        Relation::with_columnar(columnar_default())
+    }
+}
+
 impl Relation {
-    /// Creates an empty relation.
+    /// Creates an empty relation with the process-default storage layout
+    /// (columnar unless `PCS_COLUMNAR=0`).
     pub fn new() -> Self {
         Relation::default()
     }
 
-    /// The facts currently in the relation (all segments).
-    pub fn facts(&self) -> &[Fact] {
-        &self.facts
+    /// Creates an empty relation with the columnar ground store explicitly
+    /// enabled or disabled (disabled stores every fact in the full-fact
+    /// tail — the pre-interning layout, kept for differential testing).
+    pub fn with_columnar(columnar: bool) -> Self {
+        Relation {
+            columnar,
+            slots: Vec::new(),
+            ground: GroundStore::default(),
+            tail: Vec::new(),
+            row_index: HashMap::new(),
+            constraint_fact_count: 0,
+            stable_end: 0,
+            delta_end: 0,
+            value_index: Vec::new(),
+            free_index: Vec::new(),
+            constraint_fact_indices: Vec::new(),
+        }
+    }
+
+    /// Whether this relation stores ground facts columnar.
+    pub fn is_columnar(&self) -> bool {
+        self.columnar
+    }
+
+    /// The fact at a logical index, as a borrowed view.
+    pub fn fact_ref(&self, index: usize) -> FactRef<'_> {
+        match self.slots[index] {
+            Slot::Ground { start } => FactRef::Ground {
+                predicate: self
+                    .ground
+                    .predicate
+                    .as_ref()
+                    .expect("ground rows imply a store predicate"),
+                row: self.ground.row(start),
+            },
+            Slot::Stored { tail } => FactRef::Stored(&self.tail[tail as usize]),
+        }
+    }
+
+    /// The fact at a logical index, materialized.
+    pub fn fact_at(&self, index: usize) -> Fact {
+        self.fact_ref(index).to_fact()
+    }
+
+    /// The facts currently in the relation (all segments), materialized in
+    /// logical order.
+    pub fn to_facts(&self) -> Vec<Fact> {
+        self.iter().map(|fact| fact.to_fact()).collect()
     }
 
     /// Number of facts.
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.slots.len()
     }
 
     /// Returns `true` if the relation has no facts.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.slots.is_empty()
     }
 
     /// Number of facts that are not ground (proper constraint facts).
@@ -91,28 +312,62 @@ impl Relation {
         self.constraint_fact_count
     }
 
+    /// The stored fact at a logical index known to live in the tail
+    /// (every proper constraint fact does).
+    fn tail_fact(&self, index: usize) -> &Fact {
+        match self.slots[index] {
+            Slot::Stored { tail } => &self.tail[tail as usize],
+            Slot::Ground { .. } => unreachable!("constraint facts live in the tail"),
+        }
+    }
+
+    /// Whether the fact at `index` is ground with exactly these values.
+    fn ground_row_eq(&self, index: usize, values: &[Value]) -> bool {
+        match self.slots[index] {
+            Slot::Ground { start } => self.ground.row(start) == values,
+            Slot::Stored { tail } => {
+                let fact = &self.tail[tail as usize];
+                fact.is_ground()
+                    && fact.arity() == values.len()
+                    && values
+                        .iter()
+                        .enumerate()
+                        .all(|(i, v)| fact.bound_value(i) == Some(v))
+            }
+        }
+    }
+
+    /// The logical index of the ground fact with exactly these values.
+    fn find_ground_row(&self, values: &[Value]) -> Option<usize> {
+        self.row_index
+            .get(&row_hash(values))?
+            .iter()
+            .copied()
+            .find(|&index| self.ground_row_eq(index, values))
+    }
+
     /// Returns `true` if the relation contains a fact that subsumes `fact`.
     ///
-    /// Ground duplicates are answered by the hash index; beyond that only
-    /// proper constraint facts can subsume (normalization pins single-valued
-    /// positions, so a ground fact subsumes exactly its own duplicate), which
-    /// keeps insertion linear in the number of constraint facts instead of
-    /// the relation size.
+    /// Ground duplicates are answered by the row-hash index; beyond that
+    /// only proper constraint facts can subsume (normalization pins
+    /// single-valued positions, so a ground fact subsumes exactly its own
+    /// duplicate), which keeps insertion linear in the number of constraint
+    /// facts instead of the relation size.
     pub fn covers(&self, fact: &Fact) -> bool {
         if let Some(values) = fact.ground_values() {
-            if self.ground_index.contains(&values) {
+            if self.find_ground_row(&values).is_some() {
                 return true;
             }
         }
         self.constraint_fact_indices
             .iter()
-            .any(|&index| self.facts[index].subsumes(fact))
+            .any(|&index| self.tail_fact(index).subsumes(fact))
     }
 
     /// Inserts a fact unless it is subsumed by an existing one.
     ///
     /// The fact lands in the *pending* segment: it is stored (and visible
-    /// through [`Self::facts`]) immediately, but no [`Window`] exposes it
+    /// through [`Self::iter`]) immediately, but no [`Window`] exposes it
     /// until the next [`Self::advance`].
     pub fn insert(&mut self, fact: Fact) -> InsertOutcome {
         if self.covers(&fact) {
@@ -129,10 +384,9 @@ impl Relation {
     /// be subsumed by other survivors (the narrower fact was stored first),
     /// and re-checking would silently drop them.
     fn store(&mut self, fact: Fact) {
-        let index = self.facts.len();
-        if let Some(values) = fact.ground_values() {
-            self.ground_index.insert(values);
-        } else {
+        let index = self.slots.len();
+        let ground_values = fact.ground_values();
+        if ground_values.is_none() {
             self.constraint_fact_count += 1;
             self.constraint_fact_indices.push(index);
         }
@@ -149,7 +403,22 @@ impl Relation {
                 Binding::Free => self.free_index[position].push(index),
             }
         }
-        self.facts.push(fact);
+        if let Some(values) = ground_values {
+            self.row_index
+                .entry(row_hash(&values))
+                .or_default()
+                .push(index);
+            let fits = self.columnar && self.ground.accepts(fact.predicate(), fact.arity());
+            if fits {
+                let start = u32::try_from(self.ground.values.len()).expect("ground store overflow");
+                self.ground.values.extend(values);
+                self.slots.push(Slot::Ground { start });
+                return;
+            }
+        }
+        let tail = u32::try_from(self.tail.len()).expect("tail overflow");
+        self.tail.push(fact);
+        self.slots.push(Slot::Stored { tail });
     }
 
     /// The index of the stored fact denoting exactly the same ground facts
@@ -157,28 +426,18 @@ impl Relation {
     ///
     /// At most one stored fact can be equivalent to any given fact: a second
     /// equivalent insertion is always subsumed by the first.  Ground facts
-    /// are answered through the per-position hash indexes; beyond that only
-    /// the constraint-fact tail needs a scan.
+    /// are answered through the row-hash index; beyond that only the
+    /// constraint-fact tail needs a scan.
     pub fn find_equivalent(&self, fact: &Fact) -> Option<usize> {
         if let Some(values) = fact.ground_values() {
-            if self.ground_index.contains(&values) {
-                let found =
-                    match values.first() {
-                        Some(value) => self.exact_entries(0, value).iter().copied().find(|&i| {
-                            self.facts[i].ground_values().as_deref() == Some(&values[..])
-                        }),
-                        // A zero-ary relation holds at most one ground fact.
-                        None => self.facts.iter().position(|f| f.is_ground()),
-                    };
-                if found.is_some() {
-                    return found;
-                }
+            if let Some(index) = self.find_ground_row(&values) {
+                return Some(index);
             }
         }
         self.constraint_fact_indices
             .iter()
             .copied()
-            .find(|&i| self.facts[i].equivalent(fact))
+            .find(|&index| self.tail_fact(index).equivalent(fact))
     }
 
     /// Removes the facts at the given indices, rebuilding every index and
@@ -187,28 +446,29 @@ impl Relation {
     /// verbatim — no subsumption re-check — so a narrower fact that was
     /// legitimately stored before a broader one is not silently dropped by
     /// the rebuild.  Returns how many facts were removed.
-    pub fn remove_indices(&mut self, removed: &std::collections::BTreeSet<usize>) -> usize {
+    pub fn remove_indices(&mut self, removed: &BTreeSet<usize>) -> usize {
         if removed.is_empty() {
             self.seal();
             return 0;
         }
-        let facts = std::mem::take(&mut self.facts);
-        let before = facts.len();
-        *self = Relation::new();
-        for (index, fact) in facts.into_iter().enumerate() {
-            if !removed.contains(&index) {
-                self.store(fact);
-            }
+        let before = self.slots.len();
+        let survivors: Vec<Fact> = (0..self.slots.len())
+            .filter(|index| !removed.contains(index))
+            .map(|index| self.fact_at(index))
+            .collect();
+        *self = Relation::with_columnar(self.columnar);
+        for fact in survivors {
+            self.store(fact);
         }
         self.seal();
-        before - self.facts.len()
+        before - self.slots.len()
     }
 
     /// Rotates the partition at an iteration boundary: the delta becomes
     /// stable and the pending insertions become the new delta.
     pub fn advance(&mut self) {
         self.stable_end = self.delta_end;
-        self.delta_end = self.facts.len();
+        self.delta_end = self.slots.len();
     }
 
     /// Quiesces the partition: every stored fact (delta and pending included)
@@ -216,8 +476,8 @@ impl Relation {
     /// evaluation starts from — the next [`Self::insert`]s land in pending
     /// and the next [`Self::advance`] makes exactly them the delta.
     pub fn seal(&mut self) {
-        self.stable_end = self.facts.len();
-        self.delta_end = self.facts.len();
+        self.stable_end = self.slots.len();
+        self.delta_end = self.slots.len();
     }
 
     /// Returns `true` if the delta segment is empty.
@@ -235,8 +495,9 @@ impl Relation {
     }
 
     /// The facts visible through `window`.
-    pub fn window_facts(&self, window: Window) -> &[Fact] {
-        &self.facts[self.window_range(window)]
+    pub fn window_refs(&self, window: Window) -> impl Iterator<Item = FactRef<'_>> {
+        self.window_range(window)
+            .map(move |index| self.fact_ref(index))
     }
 
     /// Number of candidate facts a [`Self::probe`] with the same arguments
@@ -256,9 +517,9 @@ impl Relation {
         window: Window,
         position: usize,
         value: &Value,
-    ) -> impl Iterator<Item = &Fact> {
+    ) -> impl Iterator<Item = FactRef<'_>> {
         self.probe_indices(window, position, value)
-            .map(move |index| &self.facts[index])
+            .map(move |index| self.fact_ref(index))
     }
 
     /// The fact indices a [`Self::probe`] with the same arguments yields, in
@@ -293,9 +554,35 @@ impl Relation {
             .unwrap_or(&[])
     }
 
-    /// Iterates over the facts.
-    pub fn iter(&self) -> impl Iterator<Item = &Fact> {
-        self.facts.iter()
+    /// Iterates over the facts in logical (insertion) order.
+    pub fn iter(&self) -> impl Iterator<Item = FactRef<'_>> {
+        (0..self.slots.len()).map(move |index| self.fact_ref(index))
+    }
+
+    /// Deterministic estimate of the heap bytes held by the fact storage:
+    /// the columnar rows, the full-fact tail, and the slot table.  Index
+    /// structures are excluded — they are identical across layouts — so the
+    /// number isolates exactly what the columnar representation changes.
+    pub fn approx_fact_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let slots = self.slots.len() * size_of::<Slot>();
+        let rows = self.ground.values.len() * size_of::<Value>()
+            + self
+                .ground
+                .values
+                .iter()
+                .map(Value::heap_bytes)
+                .sum::<usize>();
+        let tail: usize = self.tail.iter().map(Fact::approx_bytes).sum();
+        // The row-hash dedup index is part of the storage contract (the old
+        // layout kept a full second copy of every ground tuple for dedup;
+        // the columnar one keeps an 8-byte hash and a 8-byte index).
+        let dedup = self
+            .row_index
+            .values()
+            .map(|v| size_of::<u64>() + v.len() * size_of::<usize>())
+            .sum::<usize>();
+        slots + rows + tail + dedup
     }
 }
 
@@ -306,6 +593,7 @@ const _: () = {
     const fn assert_shareable<T: Send + Sync>() {}
     assert_shareable::<Relation>();
     assert_shareable::<Fact>();
+    assert_shareable::<FactRef<'_>>();
 };
 
 /// Restricts a sorted index list to the entries inside `range`.
@@ -317,7 +605,7 @@ fn clip<'a>(entries: &'a [usize], range: &Range<usize>) -> &'a [usize] {
 
 impl std::fmt::Debug for Relation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_list().entries(self.facts.iter()).finish()
+        f.debug_list().entries(self.iter()).finish()
     }
 }
 
@@ -326,95 +614,174 @@ mod tests {
     use super::*;
     use pcs_constraints::{Atom, Conjunction, Var};
 
+    fn layouts() -> [Relation; 2] {
+        [
+            Relation::with_columnar(true),
+            Relation::with_columnar(false),
+        ]
+    }
+
     #[test]
     fn duplicate_ground_facts_are_subsumed() {
-        let mut rel = Relation::new();
-        let fact = Fact::ground("p", vec![Value::num(1), Value::sym("a")]);
-        assert_eq!(rel.insert(fact.clone()), InsertOutcome::Added);
-        assert_eq!(rel.insert(fact), InsertOutcome::Subsumed);
-        assert_eq!(rel.len(), 1);
-        assert_eq!(rel.constraint_fact_count(), 0);
+        for mut rel in layouts() {
+            let fact = Fact::ground("p", vec![Value::num(1), Value::sym("a")]);
+            assert_eq!(rel.insert(fact.clone()), InsertOutcome::Added);
+            assert_eq!(rel.insert(fact), InsertOutcome::Subsumed);
+            assert_eq!(rel.len(), 1);
+            assert_eq!(rel.constraint_fact_count(), 0);
+        }
     }
 
     #[test]
     fn constraint_facts_subsume_ground_instances() {
-        let mut rel = Relation::new();
-        let broad = Fact::constrained(
-            "m_fib",
-            1,
-            Conjunction::of(Atom::var_gt(Var::position(1), 0)),
-        )
-        .unwrap();
-        assert_eq!(rel.insert(broad), InsertOutcome::Added);
-        assert_eq!(rel.constraint_fact_count(), 1);
-        // A ground instance inside the constraint fact is subsumed.
-        let inside = Fact::ground("m_fib", vec![Value::num(3)]);
-        assert_eq!(rel.insert(inside), InsertOutcome::Subsumed);
-        // A ground fact outside is added.
-        let outside = Fact::ground("m_fib", vec![Value::num(0)]);
-        assert_eq!(rel.insert(outside), InsertOutcome::Added);
-        assert_eq!(rel.len(), 2);
+        for mut rel in layouts() {
+            let broad = Fact::constrained(
+                "m_fib",
+                1,
+                Conjunction::of(Atom::var_gt(Var::position(1), 0)),
+            )
+            .unwrap();
+            assert_eq!(rel.insert(broad), InsertOutcome::Added);
+            assert_eq!(rel.constraint_fact_count(), 1);
+            // A ground instance inside the constraint fact is subsumed.
+            let inside = Fact::ground("m_fib", vec![Value::num(3)]);
+            assert_eq!(rel.insert(inside), InsertOutcome::Subsumed);
+            // A ground fact outside is added.
+            let outside = Fact::ground("m_fib", vec![Value::num(0)]);
+            assert_eq!(rel.insert(outside), InsertOutcome::Added);
+            assert_eq!(rel.len(), 2);
+        }
     }
 
     #[test]
     fn ground_facts_do_not_subsume_constraint_facts() {
-        let mut rel = Relation::new();
-        rel.insert(Fact::ground("m_fib", vec![Value::num(3)]));
-        let broad = Fact::constrained(
-            "m_fib",
-            1,
-            Conjunction::of(Atom::var_gt(Var::position(1), 0)),
-        )
-        .unwrap();
-        assert_eq!(rel.insert(broad), InsertOutcome::Added);
+        for mut rel in layouts() {
+            rel.insert(Fact::ground("m_fib", vec![Value::num(3)]));
+            let broad = Fact::constrained(
+                "m_fib",
+                1,
+                Conjunction::of(Atom::var_gt(Var::position(1), 0)),
+            )
+            .unwrap();
+            assert_eq!(rel.insert(broad), InsertOutcome::Added);
+        }
     }
 
     #[test]
     fn windows_track_the_stable_delta_pending_partition() {
-        let mut rel = Relation::new();
-        rel.insert(Fact::ground("e", vec![Value::num(1)]));
-        // Nothing is visible until the first advance.
-        assert!(rel.window_facts(Window::Known).is_empty());
-        assert!(rel.delta_is_empty());
-        rel.advance();
-        assert_eq!(rel.window_facts(Window::Delta).len(), 1);
-        assert!(rel.window_facts(Window::Stable).is_empty());
-        rel.insert(Fact::ground("e", vec![Value::num(2)]));
-        // The new fact is pending: delta and known are unchanged.
-        assert_eq!(rel.window_facts(Window::Delta).len(), 1);
-        assert_eq!(rel.window_facts(Window::Known).len(), 1);
-        rel.advance();
-        assert_eq!(rel.window_facts(Window::Stable).len(), 1);
-        assert_eq!(rel.window_facts(Window::Delta).len(), 1);
-        assert_eq!(rel.window_facts(Window::Known).len(), 2);
-        rel.advance();
-        assert!(rel.delta_is_empty());
-        assert_eq!(rel.window_facts(Window::Stable).len(), 2);
+        for mut rel in layouts() {
+            rel.insert(Fact::ground("e", vec![Value::num(1)]));
+            // Nothing is visible until the first advance.
+            assert_eq!(rel.window_refs(Window::Known).count(), 0);
+            assert!(rel.delta_is_empty());
+            rel.advance();
+            assert_eq!(rel.window_refs(Window::Delta).count(), 1);
+            assert_eq!(rel.window_refs(Window::Stable).count(), 0);
+            rel.insert(Fact::ground("e", vec![Value::num(2)]));
+            // The new fact is pending: delta and known are unchanged.
+            assert_eq!(rel.window_refs(Window::Delta).count(), 1);
+            assert_eq!(rel.window_refs(Window::Known).count(), 1);
+            rel.advance();
+            assert_eq!(rel.window_refs(Window::Stable).count(), 1);
+            assert_eq!(rel.window_refs(Window::Delta).count(), 1);
+            assert_eq!(rel.window_refs(Window::Known).count(), 2);
+            rel.advance();
+            assert!(rel.delta_is_empty());
+            assert_eq!(rel.window_refs(Window::Stable).count(), 2);
+        }
     }
 
     #[test]
     fn probe_finds_exact_matches_and_the_constraint_tail() {
-        let mut rel = Relation::new();
-        rel.insert(Fact::ground("p", vec![Value::sym("a"), Value::num(1)]));
-        rel.insert(Fact::ground("p", vec![Value::sym("b"), Value::num(2)]));
-        let tail = Fact::new(
-            "p".into(),
-            vec![Binding::Free, Binding::Bound(Value::num(3))],
-            Conjunction::of(Atom::var_le(Var::position(1), 0)),
-        )
-        .unwrap();
-        rel.insert(tail);
-        rel.advance();
-        // Probing position 1 for `a` sees the exact match plus the free fact.
-        let hits: Vec<_> = rel.probe(Window::Delta, 0, &Value::sym("a")).collect();
-        assert_eq!(hits.len(), 2);
-        assert_eq!(rel.probe_len(Window::Delta, 0, &Value::sym("a")), 2);
-        // Probing position 2 for 2 sees only the exact match.
-        let hits: Vec<_> = rel.probe(Window::Delta, 1, &Value::num(2)).collect();
-        assert_eq!(hits.len(), 1);
-        // A value nobody holds still yields the constraint-fact tail.
-        assert_eq!(rel.probe_len(Window::Delta, 0, &Value::sym("zzz")), 1);
-        // Probes respect windows.
-        assert_eq!(rel.probe_len(Window::Stable, 0, &Value::sym("a")), 0);
+        for mut rel in layouts() {
+            rel.insert(Fact::ground("p", vec![Value::sym("a"), Value::num(1)]));
+            rel.insert(Fact::ground("p", vec![Value::sym("b"), Value::num(2)]));
+            let tail = Fact::new(
+                "p".into(),
+                vec![Binding::Free, Binding::Bound(Value::num(3))],
+                Conjunction::of(Atom::var_le(Var::position(1), 0)),
+            )
+            .unwrap();
+            rel.insert(tail);
+            rel.advance();
+            // Probing position 1 for `a` sees the exact match plus the free
+            // fact.
+            let hits: Vec<_> = rel.probe(Window::Delta, 0, &Value::sym("a")).collect();
+            assert_eq!(hits.len(), 2);
+            assert_eq!(rel.probe_len(Window::Delta, 0, &Value::sym("a")), 2);
+            // Probing position 2 for 2 sees only the exact match.
+            let hits: Vec<_> = rel.probe(Window::Delta, 1, &Value::num(2)).collect();
+            assert_eq!(hits.len(), 1);
+            // A value nobody holds still yields the constraint-fact tail.
+            assert_eq!(rel.probe_len(Window::Delta, 0, &Value::sym("zzz")), 1);
+            // Probes respect windows.
+            assert_eq!(rel.probe_len(Window::Stable, 0, &Value::sym("a")), 0);
+        }
+    }
+
+    #[test]
+    fn layouts_materialize_identical_facts() {
+        let facts = vec![
+            Fact::ground("p", vec![Value::sym("a"), Value::num(1)]),
+            Fact::ground("p", vec![Value::sym("b"), Value::num(2)]),
+            Fact::new(
+                "p".into(),
+                vec![Binding::Free, Binding::Bound(Value::num(3))],
+                Conjunction::of(Atom::var_le(Var::position(1), 0)),
+            )
+            .unwrap(),
+        ];
+        let mut columnar = Relation::with_columnar(true);
+        let mut rowwise = Relation::with_columnar(false);
+        for fact in &facts {
+            columnar.insert(fact.clone());
+            rowwise.insert(fact.clone());
+        }
+        assert_eq!(columnar.to_facts(), rowwise.to_facts());
+        assert_eq!(columnar.to_facts(), facts);
+        // The columnar layout is strictly smaller on the ground prefix.
+        assert!(columnar.approx_fact_bytes() < rowwise.approx_fact_bytes());
+    }
+
+    #[test]
+    fn removal_preserves_layout_and_survivors() {
+        for mut rel in layouts() {
+            let was_columnar = rel.is_columnar();
+            for i in 0..5 {
+                rel.insert(Fact::ground("p", vec![Value::num(i)]));
+            }
+            let removed: BTreeSet<usize> = [1usize, 3].into_iter().collect();
+            assert_eq!(rel.remove_indices(&removed), 2);
+            assert_eq!(rel.is_columnar(), was_columnar);
+            let survivors: Vec<String> = rel.iter().map(|f| f.to_string()).collect();
+            assert_eq!(survivors, vec!["p(0)", "p(2)", "p(4)"]);
+            // The rebuilt indexes still answer probes.
+            assert_eq!(
+                rel.find_equivalent(&Fact::ground("p", vec![Value::num(2)])),
+                Some(1)
+            );
+            assert_eq!(
+                rel.find_equivalent(&Fact::ground("p", vec![Value::num(3)])),
+                None
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_predicates_fall_back_to_the_tail() {
+        // A relation is keyed by predicate in practice, but nothing enforces
+        // it; rows that do not fit the adopted store shape take the slow
+        // path and stay fully correct.
+        let mut rel = Relation::with_columnar(true);
+        rel.insert(Fact::ground("p", vec![Value::num(1)]));
+        rel.insert(Fact::ground("q", vec![Value::num(1), Value::num(2)]));
+        rel.insert(Fact::ground("p", vec![Value::num(2)]));
+        assert_eq!(rel.len(), 3);
+        assert_eq!(
+            rel.find_equivalent(&Fact::ground("q", vec![Value::num(1), Value::num(2)])),
+            Some(1)
+        );
+        let shown: Vec<String> = rel.iter().map(|f| f.to_string()).collect();
+        assert_eq!(shown, vec!["p(1)", "q(1, 2)", "p(2)"]);
     }
 }

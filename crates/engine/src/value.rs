@@ -1,23 +1,42 @@
 //! Ground values stored in facts.
 
+use std::cmp::Ordering;
 use std::fmt;
 
 use pcs_constraints::Rational;
 use pcs_lang::Symbol;
 
 /// A ground value: an exact number or a symbolic constant.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// The representation is interned and small (16 bytes): symbols are `u32`
+/// ids via [`Symbol`], integers that fit `i64` use an inline fast path, and
+/// only non-integer (or oversized) rationals pay for a heap box.  The
+/// normalization invariant — an integer rational fitting `i64` is *always*
+/// [`Value::Int`], never [`Value::Num`] — is enforced by every constructor
+/// ([`Value::num`] and the `From` impls), which keeps the derived `Eq` and
+/// `Hash` sound.  Pattern-match numeric values through [`Value::as_num`]
+/// rather than on the variants.
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub enum Value {
-    /// A numeric value.
-    Num(Rational),
-    /// A symbolic constant (e.g. `madison`).
+    /// An integer that fits `i64` (the common numeric case).
+    Int(i64),
+    /// A symbolic constant (e.g. `madison`), interned.
     Sym(Symbol),
+    /// A non-integer (or `i64`-overflowing) exact rational.
+    Num(Box<Rational>),
 }
 
 impl Value {
-    /// A numeric value.
+    /// A numeric value, normalized so that integers fitting `i64` take the
+    /// inline representation.
     pub fn num(value: impl Into<Rational>) -> Value {
-        Value::Num(value.into())
+        let r = value.into();
+        if r.is_integer() {
+            if let Ok(i) = i64::try_from(r.numer()) {
+                return Value::Int(i);
+            }
+        }
+        Value::Num(Box::new(r))
     }
 
     /// A symbolic value.
@@ -28,7 +47,8 @@ impl Value {
     /// Returns the numeric value, if this is a number.
     pub fn as_num(&self) -> Option<Rational> {
         match self {
-            Value::Num(n) => Some(*n),
+            Value::Int(i) => Some(Rational::from_int(*i as i128)),
+            Value::Num(n) => Some(**n),
             Value::Sym(_) => None,
         }
     }
@@ -36,8 +56,36 @@ impl Value {
     /// Returns the symbol, if this is a symbolic constant.
     pub fn as_sym(&self) -> Option<&Symbol> {
         match self {
-            Value::Num(_) => None,
+            Value::Int(_) | Value::Num(_) => None,
             Value::Sym(s) => Some(s),
+        }
+    }
+
+    /// Approximate bytes attributable to this value beyond its inline slot.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Num(_) => std::mem::size_of::<Rational>(),
+            Value::Int(_) | Value::Sym(_) => 0,
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Numbers order by value and sort before symbols; symbols order by
+    /// spelling — the same total order the pre-interning representation
+    /// derived, so sorted answer listings are unchanged.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.as_num(), other.as_num()) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => self.as_sym().cmp(&other.as_sym()),
         }
     }
 }
@@ -45,6 +93,7 @@ impl Value {
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Value::Int(i) => write!(f, "{i}"),
             Value::Num(n) => write!(f, "{n}"),
             Value::Sym(s) => write!(f, "{s}"),
         }
@@ -59,13 +108,13 @@ impl fmt::Debug for Value {
 
 impl From<i64> for Value {
     fn from(value: i64) -> Self {
-        Value::Num(Rational::from_int(value as i128))
+        Value::Int(value)
     }
 }
 
 impl From<Rational> for Value {
     fn from(value: Rational) -> Self {
-        Value::Num(value)
+        Value::num(value)
     }
 }
 
@@ -91,5 +140,44 @@ mod tests {
     fn display() {
         assert_eq!(Value::num(3).to_string(), "3");
         assert_eq!(Value::sym("madison").to_string(), "madison");
+    }
+
+    #[test]
+    fn normalization_invariant() {
+        assert!(matches!(Value::num(Rational::from_int(7)), Value::Int(7)));
+        assert!(matches!(Value::num(Rational::ratio(1, 2)), Value::Num(_)));
+        // Equal rationals compare and hash equal regardless of how they were
+        // built.
+        assert_eq!(Value::num(Rational::ratio(6, 2)), Value::from(3i64));
+        let big = Rational::from_int(i128::from(i64::MAX) + 1);
+        assert!(matches!(Value::num(big), Value::Num(_)));
+    }
+
+    #[test]
+    fn ordering_matches_legacy_derivation() {
+        // Numbers by value, then symbols by spelling.
+        let mut values = vec![
+            Value::sym("b"),
+            Value::num(Rational::ratio(1, 2)),
+            Value::sym("a"),
+            Value::from(2i64),
+            Value::from(-1i64),
+        ];
+        values.sort();
+        assert_eq!(
+            values,
+            vec![
+                Value::from(-1i64),
+                Value::num(Rational::ratio(1, 2)),
+                Value::from(2i64),
+                Value::sym("a"),
+                Value::sym("b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn value_is_small() {
+        assert!(std::mem::size_of::<Value>() <= 16);
     }
 }

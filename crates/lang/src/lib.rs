@@ -28,12 +28,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod intern;
 pub mod literal;
 pub mod parser;
 pub mod program;
 pub mod rule;
 pub mod term;
 
+pub use intern::{SymId, SymbolTable};
 pub use literal::{Literal, Pred};
 pub use parser::{parse_facts, parse_literal, parse_program, parse_query, parse_rule, ParseError};
 pub use program::{Program, Query};

@@ -1,26 +1,57 @@
 //! Terms appearing as arguments of literals.
 
+use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
 
 use pcs_constraints::{LinearExpr, PosArg, Rational, Var};
+
+use crate::intern::SymId;
 
 /// A symbolic (non-numeric) constant, e.g. `madison`.
 ///
 /// Symbolic constants participate only in equality tests during evaluation;
-/// they never appear inside arithmetic constraints.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Symbol(Arc<str>);
+/// they never appear inside arithmetic constraints.  A `Symbol` is a
+/// four-byte `Copy` wrapper around an interned [`SymId`]; equality and
+/// hashing are id comparisons, while ordering resolves to the spelling so
+/// sorted output stays alphabetical regardless of interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(SymId);
 
 impl Symbol {
-    /// Creates a symbol.
+    /// Creates (interning if necessary) a symbol.
     pub fn new(name: impl AsRef<str>) -> Self {
-        Symbol(Arc::from(name.as_ref()))
+        Symbol(SymId::intern(name.as_ref()))
     }
 
     /// The symbol's spelling.
-    pub fn name(&self) -> &str {
-        &self.0
+    pub fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    /// The symbol's interned id.
+    pub fn id(&self) -> SymId {
+        self.0
+    }
+
+    /// The symbol for an already-interned id.
+    pub fn from_id(id: SymId) -> Symbol {
+        Symbol(id)
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.name().cmp(other.name())
+        }
     }
 }
 

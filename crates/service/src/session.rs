@@ -24,7 +24,9 @@ use std::time::{Duration, Instant};
 
 use pcs_core::transform::TransformError;
 use pcs_core::{Optimized, Optimizer};
-use pcs_engine::{parse_facts, Database, EvalResult, Evaluator, Fact, FactsError, Termination};
+use pcs_engine::{
+    parse_facts, Database, EvalResult, Evaluator, Fact, FactsError, Termination, UpdateBatch,
+};
 use pcs_lang::{Literal, Pred, Query, Term};
 
 /// Errors reported by a [`Session`].
@@ -123,23 +125,25 @@ impl Snapshot {
 
     /// Answers a resolved single-literal query (with optional side
     /// constraints) against this snapshot.
-    pub fn answers(&self, query: &Query) -> Vec<&Fact> {
-        self.result
-            .answers_to_constrained(&query.literals[0], &query.constraint)
+    pub fn answers(&self, query: &Query) -> Vec<Fact> {
+        self.result.answers(query)
     }
 }
 
-/// The outcome of one update batch (an insertion or a retraction).
+/// The outcome of one applied [`UpdateBatch`] (insertions, retractions, or
+/// a mixed batch).
 #[derive(Debug, Clone)]
 pub struct UpdateOutcome {
     /// The epoch the update produced.
     pub epoch: u64,
-    /// Update facts that actually entered the delta (not subsumed by the
-    /// existing materialization); zero for retractions.
+    /// For insert-only batches, the update facts that actually entered the
+    /// delta (not subsumed by the existing materialization); zero for
+    /// retract-only batches; for mixed batches, the batch's nominal
+    /// insertion count.
     pub inserted: usize,
     /// Facts the DRed over-deletion phase removed from the materialization
     /// (the retracted facts plus everything that lost its last derivation);
-    /// zero for insertions.
+    /// zero for insert-only batches.
     pub removed: usize,
     /// Facts the update added to the materialization: for insertions, the
     /// inserted facts plus everything the resumed fixpoint derived; for
@@ -328,63 +332,97 @@ impl Session {
     pub fn query(&self, query: &Query) -> Result<(Query, Snapshot, Vec<Fact>), SessionError> {
         let resolved = self.resolve_query(query)?;
         let snapshot = self.snapshot();
-        let answers = snapshot
-            .answers(&resolved)
-            .into_iter()
-            .cloned()
-            .collect::<Vec<Fact>>();
+        let answers = snapshot.answers(&resolved);
         Ok((resolved, snapshot, answers))
     }
 
-    /// Applies one batch of EDB update facts by resuming the fixpoint, and
-    /// publishes the resulting materialization as the next epoch.
+    /// Applies one atomic [`UpdateBatch`] — retractions first, then
+    /// insertions — in a *single* incremental pass
+    /// ([`pcs_engine::Evaluator::apply`]), and publishes the resulting
+    /// materialization as the next epoch.  This is the one update entry
+    /// point; [`Session::insert`] and [`Session::remove`] are thin wrappers
+    /// over a single-sided batch, and the shell/TCP front-ends coalesce
+    /// mixed `+`/`-` line runs into one call (one epoch, one resumed
+    /// fixpoint) instead of two.
     ///
-    /// Every fact must target an EDB predicate of the materialized program;
-    /// queries keep reading the previous epoch until the resumed evaluation
-    /// completes.  Updates are refused while the current materialization is
-    /// partial (stopped on a resource limit rather than a fixpoint): a
-    /// resume cannot replay the derivations the interrupted run never
-    /// attempted, so applying one would publish silently incomplete epochs.
-    /// A resumed evaluation that itself hits a limit is still published
+    /// Refusal rules (the whole batch is refused, changing nothing):
+    ///
+    /// * every fact must target an EDB predicate of the materialized
+    ///   program ([`SessionError::NotAnEdbPredicate`]);
+    /// * every retraction must actually be in the extensional database
+    ///   (matched by [`Fact::equivalent`], one occurrence per retraction) —
+    ///   all-or-nothing, so a typo cannot silently retract only part of a
+    ///   batch ([`SessionError::NoSuchFact`]);
+    /// * updates are refused while the current materialization is partial
+    ///   (stopped on a resource limit rather than a fixpoint): an
+    ///   incremental pass cannot replay the derivations the interrupted run
+    ///   never attempted ([`SessionError::PartialMaterialization`]).
+    ///
+    /// Queries keep reading the previous epoch until the update completes.
+    /// An update evaluation that itself hits a limit is still published
     /// (its facts are sound, and `.stats`/[`Session::stats`] show the
     /// termination), but further updates then error until re-materialized.
-    pub fn insert(&self, facts: Vec<Fact>) -> Result<UpdateOutcome, SessionError> {
-        for fact in &facts {
+    pub fn apply(&self, batch: UpdateBatch) -> Result<UpdateOutcome, SessionError> {
+        for fact in batch.inserts.iter().chain(&batch.retracts) {
             if !self.edb.contains(fact.predicate()) {
                 return Err(SessionError::NotAnEdbPredicate(fact.predicate().clone()));
             }
         }
         let _guard = self.update_lock.lock().expect("update lock poisoned");
         let base = self.snapshot();
-        // `Evaluator::resume` is only sound on a *completed* materialization:
+        // `Evaluator::apply` is only sound on a *completed* materialization:
         // a run that stopped on a resource limit left derivations unattempted
-        // that no delta-driven resume will replay.
+        // that no delta-driven pass will replay.
         if !base.result.termination.is_fixpoint() {
             return Err(SessionError::PartialMaterialization(
                 base.result.termination,
             ));
         }
+        // Build the surviving EDB aside; the mirror is committed only after
+        // the update succeeds, so a refused or panicking batch changes
+        // nothing.  The clone is O(|EDB|), but the copy-on-update clone of
+        // the (strictly larger) materialized relations below already
+        // dominates the per-batch cost.  The evaluator wants the EDB after
+        // the retractions but *without* the insertions (it seeds those as
+        // delta facts itself); the committed mirror gets both.
+        let surviving = {
+            let edb = self.base.lock().expect("base database poisoned");
+            let mut surviving = edb.clone();
+            for fact in &batch.retracts {
+                if !surviving.remove(fact) {
+                    return Err(SessionError::NoSuchFact(fact.to_string()));
+                }
+            }
+            surviving
+        };
         let start = Instant::now();
         // Copy-on-update: the new epoch is built aside so readers of `base`
-        // are undisturbed; the resumed fixpoint then only re-derives what
-        // the update facts reach.
+        // are undisturbed; the incremental pass then only touches what the
+        // batch can reach.
         let relations = base.result.relations.clone();
-        let result = self.evaluator.resume(relations, facts.clone());
+        let pure_insert = batch.retracts.is_empty();
+        let inserts = batch.inserts.clone();
+        let result = self.evaluator.apply(relations, batch, &surviving);
         let elapsed = start.elapsed();
-        // Update facts enter the relations before the resumed fixpoint's
-        // iteration statistics start counting, so the facts that survived
-        // subsumption are the growth the derivations do not account for.
-        // (This holds for both join cores, unlike the iteration-0 delta
-        // width, which only the indexed core records.)
-        let inserted = result
-            .total_facts()
-            .saturating_sub(base.result.total_facts())
-            .saturating_sub(result.stats.total_new_facts());
+        let removed = result.stats.removed_facts;
+        // Batch insertions and resurrected EDB facts enter the relations
+        // outside the iteration statistics, so the facts stored that way are
+        // recovered from the totals: the net growth (over-deletion removals
+        // added back) minus what the iterations account for.
+        let new_facts = (result.total_facts() + removed).saturating_sub(base.result.total_facts());
+        let inserted = if pure_insert {
+            new_facts.saturating_sub(result.stats.total_new_facts())
+        } else {
+            // Mixed batches cannot split the unaccounted growth between
+            // surviving insertions and resurrections; report the batch's
+            // nominal insertion count instead.
+            inserts.len()
+        };
         let outcome = UpdateOutcome {
             epoch: base.epoch + 1,
             inserted,
-            removed: 0,
-            new_facts: inserted + result.stats.total_new_facts(),
+            removed,
+            new_facts,
             derivations: result.stats.total_derivations(),
             iterations: result.stats.iterations.len(),
             termination: result.termination,
@@ -396,7 +434,8 @@ impl Session {
             // inserted fact is a base fact, whether or not subsumption
             // stored it.
             let mut edb = self.base.lock().expect("base database poisoned");
-            for fact in facts {
+            *edb = surviving;
+            for fact in inserts {
                 edb.add(fact);
             }
         }
@@ -407,79 +446,24 @@ impl Session {
         Ok(outcome)
     }
 
+    /// Inserts one batch of EDB facts: a thin wrapper over
+    /// [`Session::apply`] with an insert-only [`UpdateBatch`].
+    pub fn insert(&self, facts: Vec<Fact>) -> Result<UpdateOutcome, SessionError> {
+        self.apply(UpdateBatch::inserting(facts))
+    }
+
     /// Parses fact-only text (`flight(a, b, 3).`, constraint facts included)
-    /// and applies it as one update batch.
+    /// and applies it as one insert-only update batch.
     pub fn insert_str(&self, text: &str) -> Result<UpdateOutcome, SessionError> {
         let facts = parse_facts(text)?;
         self.insert(facts)
     }
 
-    /// Retracts one batch of EDB facts by DRed-style incremental deletion
-    /// ([`pcs_engine::Evaluator::retract`]), and publishes the resulting
-    /// materialization as the next epoch.
-    ///
-    /// The refusal rules mirror [`Session::insert`]: every fact must target
-    /// an EDB predicate of the materialized program, and retraction is
-    /// refused while the current materialization is partial.  Additionally,
-    /// every fact must actually be in the extensional database (matched by
-    /// [`Fact::equivalent`], one occurrence per retraction) — the whole
-    /// batch is refused otherwise, so a typo cannot silently retract only
-    /// part of it.  Queries keep reading the previous epoch until the
-    /// retraction completes.
+    /// Retracts one batch of EDB facts: a thin wrapper over
+    /// [`Session::apply`] with a retract-only [`UpdateBatch`]
+    /// (DRed-style incremental deletion).
     pub fn remove(&self, facts: Vec<Fact>) -> Result<UpdateOutcome, SessionError> {
-        for fact in &facts {
-            if !self.edb.contains(fact.predicate()) {
-                return Err(SessionError::NotAnEdbPredicate(fact.predicate().clone()));
-            }
-        }
-        let _guard = self.update_lock.lock().expect("update lock poisoned");
-        let base = self.snapshot();
-        if !base.result.termination.is_fixpoint() {
-            return Err(SessionError::PartialMaterialization(
-                base.result.termination,
-            ));
-        }
-        // Build the surviving EDB aside; the mirror is committed only after
-        // the retraction succeeds, so a refused or panicking batch changes
-        // nothing.  The clone is O(|EDB|), but the copy-on-update clone of
-        // the (strictly larger) materialized relations below already
-        // dominates the per-batch cost.
-        let surviving = {
-            let edb = self.base.lock().expect("base database poisoned");
-            let mut surviving = edb.clone();
-            for fact in &facts {
-                if !surviving.remove(fact) {
-                    return Err(SessionError::NoSuchFact(fact.to_string()));
-                }
-            }
-            surviving
-        };
-        let start = Instant::now();
-        let relations = base.result.relations.clone();
-        let result = self.evaluator.retract(relations, facts, &surviving);
-        let elapsed = start.elapsed();
-        let removed = result.stats.removed_facts;
-        // Resurrected EDB facts re-enter the relations outside the
-        // iteration statistics (like resume's update insertions), so the
-        // facts put back are recovered from the totals: what the
-        // materialization holds now, minus what survived the over-deletion.
-        let outcome = UpdateOutcome {
-            epoch: base.epoch + 1,
-            inserted: 0,
-            removed,
-            new_facts: (result.total_facts() + removed).saturating_sub(base.result.total_facts()),
-            derivations: result.stats.total_derivations(),
-            iterations: result.stats.iterations.len(),
-            termination: result.termination,
-            total_facts: result.total_facts(),
-            elapsed,
-        };
-        *self.base.lock().expect("base database poisoned") = surviving;
-        *self.current.write().expect("session lock poisoned") = Snapshot {
-            epoch: outcome.epoch,
-            result: Arc::new(result),
-        };
-        Ok(outcome)
+        self.apply(UpdateBatch::retracting(facts))
     }
 
     /// Parses fact-only text and retracts it as one batch (the `-fact.` /
@@ -585,6 +569,71 @@ mod tests {
         let optimizer = Optimizer::new(programs::flights()).strategy(Strategy::ConstraintRewrite);
         let fresh = Session::materialize(&optimizer, &db).unwrap();
         assert_eq!(fresh.stats().total_facts, session.stats().total_facts);
+    }
+
+    #[test]
+    fn mixed_batches_apply_in_one_epoch_and_match_a_fresh_materialization() {
+        for strategy in [
+            Strategy::None,
+            Strategy::ConstraintRewrite,
+            Strategy::Optimal,
+        ] {
+            let session = flights_session(strategy.clone());
+            // One atomic batch: reroute the madison hub — retract the
+            // direct madison→seattle leg, insert a madison→newhub→seattle
+            // pair.
+            let batch = UpdateBatch::new()
+                .retract_str("singleleg(madison, seattle, 200, 90).")
+                .unwrap()
+                .insert_str(
+                    "singleleg(madison, newhub, 10, 10).\nsingleleg(newhub, seattle, 10, 10).",
+                )
+                .unwrap();
+            let outcome = session.apply(batch).unwrap();
+            assert_eq!(outcome.epoch, 1, "one epoch for the whole mixed batch");
+            assert_eq!(outcome.inserted, 2);
+            assert!(outcome.removed >= 1, "{outcome:?}");
+            assert!(outcome.termination.is_fixpoint());
+
+            // A fresh session over (base − retracts) + inserts answers
+            // identically.
+            let mut db = programs::flights_database(6, 10);
+            assert!(
+                db.remove_facts_str("singleleg(madison, seattle, 200, 90).")
+                    .unwrap()
+                    == 1
+            );
+            db.add_facts_str(
+                "singleleg(madison, newhub, 10, 10).\nsingleleg(newhub, seattle, 10, 10).",
+            )
+            .unwrap();
+            let optimizer = Optimizer::new(programs::flights()).strategy(strategy);
+            let fresh = Session::materialize(&optimizer, &db).unwrap();
+            assert_eq!(fresh.stats().total_facts, session.stats().total_facts);
+            assert_eq!(fresh.stats().relations, session.stats().relations);
+        }
+    }
+
+    #[test]
+    fn mixed_batch_refusals_leave_the_session_untouched() {
+        let session = flights_session(Strategy::ConstraintRewrite);
+        // A bad retraction refuses the whole batch, inserts included.
+        let batch = UpdateBatch::new()
+            .insert_str("singleleg(madison, newhub, 10, 10).")
+            .unwrap()
+            .retract_str("singleleg(nope, nope, 1, 1).")
+            .unwrap();
+        assert!(matches!(
+            session.apply(batch),
+            Err(SessionError::NoSuchFact(_))
+        ));
+        assert_eq!(session.snapshot().epoch(), 0);
+        // The insert did not leak into the EDB: inserting it again still
+        // lands in epoch 1 as a fresh fact.
+        let outcome = session
+            .insert_str("singleleg(madison, newhub, 10, 10).")
+            .unwrap();
+        assert_eq!((outcome.epoch, outcome.inserted), (1, 1));
     }
 
     #[test]

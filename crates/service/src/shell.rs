@@ -30,7 +30,7 @@ use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
 use pcs_core::{Optimizer, Strategy};
-use pcs_engine::Database;
+use pcs_engine::{parse_facts, Database, UpdateBatch};
 use pcs_lang::{parse_program, parse_query};
 
 use crate::session::Session;
@@ -102,6 +102,11 @@ pub struct Shell {
     hub: Arc<SessionHub>,
     strategy: Strategy,
     loading: Option<LoadBuffer>,
+    /// An update batch being accumulated between `.batch` and `.commit`:
+    /// while open, `+`/`-` lines collect here instead of each paying their
+    /// own incremental pass, and `.commit` applies the whole mixed batch
+    /// atomically as one epoch ([`Session::apply`]).
+    batch: Option<UpdateBatch>,
 }
 
 impl Default for Shell {
@@ -122,6 +127,7 @@ impl Shell {
             hub,
             strategy: Strategy::Optimal,
             loading: None,
+            batch: None,
         }
     }
 
@@ -172,6 +178,9 @@ impl Shell {
                     self.remove(arg)
                 }
             }
+            ".batch" => self.begin_batch(),
+            ".commit" => self.commit_batch(),
+            ".abort" => self.abort_batch(),
             ".stats" => self.stats(),
             ".facts" => self.facts(arg),
             ".answers" => self.program_answers(),
@@ -267,7 +276,83 @@ impl Shell {
         }
     }
 
+    fn begin_batch(&mut self) -> Response {
+        if self.batch.is_some() {
+            return Response::error("a .batch is already open; .commit or .abort it first");
+        }
+        if let Err(response) = self.session() {
+            return response;
+        }
+        self.batch = Some(UpdateBatch::new());
+        Response::say("batching updates; `+`/`-` lines accumulate until .commit (or .abort)")
+    }
+
+    fn commit_batch(&mut self) -> Response {
+        let Some(batch) = self.batch.take() else {
+            return Response::error("no .batch in progress");
+        };
+        if batch.is_empty() {
+            return Response::say("ok: empty batch, nothing to apply");
+        }
+        let session = match self.session() {
+            Ok(session) => session,
+            Err(response) => return response,
+        };
+        let (inserts, retracts) = (batch.inserts.len(), batch.retracts.len());
+        match session.apply(batch) {
+            Ok(outcome) => Response::say(format!(
+                "ok: epoch {}; batch of +{}/-{} applied, -{} removed, +{} new facts \
+                 ({} derivations over {} iterations, {:?}, {:?})",
+                outcome.epoch,
+                inserts,
+                retracts,
+                outcome.removed,
+                outcome.new_facts,
+                outcome.derivations,
+                outcome.iterations,
+                outcome.termination,
+                outcome.elapsed,
+            )),
+            Err(e) => Response::error(e),
+        }
+    }
+
+    fn abort_batch(&mut self) -> Response {
+        match self.batch.take() {
+            Some(batch) => Response::say(format!(
+                "aborted: dropped +{}/-{} pending updates",
+                batch.inserts.len(),
+                batch.retracts.len()
+            )),
+            None => Response::error("no .batch in progress"),
+        }
+    }
+
+    /// Parses one `+`/`-` line's facts into the open batch, reporting the
+    /// pending totals (parse errors surface immediately; nothing of an
+    /// unparsable line enters the batch).
+    fn buffer_update(&mut self, text: &str, retract: bool) -> Response {
+        let facts = match parse_facts(text) {
+            Ok(facts) => facts,
+            Err(e) => return Response::error(e),
+        };
+        let batch = self.batch.as_mut().expect("buffer_update requires a batch");
+        if retract {
+            batch.retracts.extend(facts);
+        } else {
+            batch.inserts.extend(facts);
+        }
+        Response::say(format!(
+            "batched: +{}/-{} pending",
+            batch.inserts.len(),
+            batch.retracts.len()
+        ))
+    }
+
     fn insert(&mut self, text: &str) -> Response {
+        if self.batch.is_some() {
+            return self.buffer_update(text, false);
+        }
         let session = match self.session() {
             Ok(session) => session,
             Err(response) => return response,
@@ -288,6 +373,9 @@ impl Shell {
     }
 
     fn remove(&mut self, text: &str) -> Response {
+        if self.batch.is_some() {
+            return self.buffer_update(text, true);
+        }
         let session = match self.session() {
             Ok(session) => session,
             Err(response) => return response,
@@ -439,6 +527,9 @@ const HELP: &str = "commands:
   +p(a, 1).          insert EDB facts; resumes the fixpoint incrementally
   -p(a, 1).          retract EDB facts; DRed delete/re-derive incrementally
   .retract p(a, 1).  same as a leading `-` line
+  .batch             start collecting `+`/`-` lines into one atomic batch
+  .commit            apply the open batch in a single incremental pass/epoch
+  .abort             drop the open batch without applying it
   .answers           answer the loaded program's own query
   .facts <pred>      list the stored facts of one predicate
   .stats             materialization statistics
@@ -510,6 +601,60 @@ r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2), T = T1 +
         assert!(run(&mut shell, "+flight(a, b, 1, 1).")[0].contains("not an EDB"));
         assert!(run(&mut shell, "?- nosuch(X).")[0].contains("unknown predicate"));
         assert!(run(&mut shell, "+nonsense((")[0].starts_with("error:"));
+    }
+
+    #[test]
+    fn batched_mixed_updates_apply_as_one_epoch() {
+        let mut shell = Shell::new();
+        run(&mut shell, FLIGHTS);
+        let out = run(
+            &mut shell,
+            ".batch\n\
+             +singleleg(madison, seattle, 45, 30).\n\
+             -singleleg(madison, chicago, 50, 100).\n\
+             .commit",
+        );
+        assert!(
+            out.iter().any(|l| l.contains("batching updates")),
+            "{out:?}"
+        );
+        assert!(out.iter().any(|l| l == "batched: +1/-0 pending"), "{out:?}");
+        assert!(out.iter().any(|l| l == "batched: +1/-1 pending"), "{out:?}");
+        // The whole mixed batch lands in one epoch, not one per line.
+        assert!(
+            out.iter()
+                .any(|l| l.starts_with("ok: epoch 1; batch of +1/-1")),
+            "{out:?}"
+        );
+        // The retracted leg kills the composed madison→seattle flight; the
+        // inserted direct leg qualifies on its own.
+        let out = run(&mut shell, "?- cheaporshort(madison, seattle, T, C).");
+        assert!(out[0].starts_with("answers: 1"), "{out:?}");
+        assert!(out[0].contains("epoch 1"), "{out:?}");
+    }
+
+    #[test]
+    fn batch_command_errors_and_abort() {
+        let mut shell = Shell::new();
+        assert!(run(&mut shell, ".commit")[0].contains("no .batch"));
+        assert!(run(&mut shell, ".abort")[0].contains("no .batch"));
+        assert!(run(&mut shell, ".batch")[0].contains("no session loaded"));
+        run(&mut shell, FLIGHTS);
+        run(&mut shell, ".batch");
+        assert!(run(&mut shell, ".batch")[0].contains("already open"));
+        assert!(run(&mut shell, "+nonsense((")[0].starts_with("error:"));
+        run(&mut shell, "+singleleg(a, b, 1, 1).");
+        let out = run(&mut shell, ".abort");
+        assert!(out[0].contains("dropped +1/-0"), "{out:?}");
+        // The aborted batch changed nothing.
+        let out = run(&mut shell, ".stats");
+        assert!(out.iter().any(|l| l.starts_with("epoch: 0")), "{out:?}");
+        // A refused batch (retracting an absent fact) also changes nothing.
+        run(&mut shell, ".batch");
+        run(&mut shell, "-singleleg(nope, nope, 1, 1).");
+        assert!(run(&mut shell, ".commit")[0].contains("not in the extensional database"));
+        let out = run(&mut shell, ".stats");
+        assert!(out.iter().any(|l| l.starts_with("epoch: 0")), "{out:?}");
     }
 
     #[test]

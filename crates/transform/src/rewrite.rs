@@ -288,11 +288,8 @@ mod tests {
         }));
 
         // Query answers agree.
-        let query = program.query().unwrap().literals[0].clone();
-        assert_eq!(
-            plain.answers_to(&query).len(),
-            rewritten.answers_to(&query).len()
-        );
+        let query = program.query().unwrap();
+        assert_eq!(plain.answers(query).len(), rewritten.answers(query).len());
     }
 
     #[test]
@@ -349,11 +346,11 @@ mod tests {
         assert!(eval_magic_first.termination.is_fixpoint());
         assert!(eval_optimal.total_facts() <= eval_magic_first.total_facts());
         // Both orderings produce the same answers to the query.
-        let q_opt = optimal.program.query().unwrap().literals[0].clone();
-        let q_mf = magic_first.program.query().unwrap().literals[0].clone();
         assert_eq!(
-            eval_optimal.answers_to(&q_opt).len(),
-            eval_magic_first.answers_to(&q_mf).len()
+            eval_optimal.answers(optimal.program.query().unwrap()).len(),
+            eval_magic_first
+                .answers(magic_first.program.query().unwrap())
+                .len()
         );
     }
 

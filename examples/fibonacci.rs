@@ -41,7 +41,7 @@ fn run(label: &str, program: &Program, iterations: usize) {
             .collect();
         println!("iteration {i}: {}", facts.join("   "));
     }
-    let answers = result.answers_to(&magic.program.query().unwrap().literals[0]);
+    let answers = result.answers(magic.program.query().unwrap());
     println!(
         "terminated: {:?}; constraint facts stored: {}; answers: {}\n",
         result.termination,

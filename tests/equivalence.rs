@@ -12,9 +12,9 @@ fn answers(program: &Program, strategy: Strategy, db: &Database) -> Vec<String> 
         .optimize()
         .expect("optimization succeeds");
     let result = optimized.evaluate(db);
-    let query = optimized.program.query().expect("query present").literals[0].clone();
+    let query = optimized.program.query().expect("query present");
     let mut rendered: Vec<String> = result
-        .answers_to(&query)
+        .answers(query)
         .iter()
         .map(|fact| {
             // Strip the (possibly adorned) predicate name so that answers are

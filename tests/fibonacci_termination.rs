@@ -25,9 +25,7 @@ fn evaluate_magic(program: &Program, cap: usize) -> (Termination, usize, usize) 
         },
     )
     .evaluate(&Database::new());
-    let answers = result
-        .answers_to(&magic.program.query().unwrap().literals[0])
-        .len();
+    let answers = result.answers(magic.program.query().unwrap()).len();
     (result.termination, answers, result.stats.constraint_facts)
 }
 

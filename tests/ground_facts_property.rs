@@ -22,9 +22,9 @@ fn answer_strings(program: &Program, strategy: OptStrategy, db: &Database) -> Ve
         .optimize()
         .unwrap();
     let result = optimized.evaluate(db);
-    let query = optimized.program.query().unwrap().literals[0].clone();
+    let query = optimized.program.query().unwrap();
     let mut rendered: Vec<String> = result
-        .answers_to(&query)
+        .answers(query)
         .iter()
         .map(|f| {
             let text = f.to_string();

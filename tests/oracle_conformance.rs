@@ -54,7 +54,7 @@ fn assert_matches_oracle(production: &EvalResult, oracle: &NaiveResult, context:
     for pred in preds {
         let prod_facts = production.facts_for(pred);
         let oracle_facts = oracle.facts_for(pred);
-        for fact in prod_facts {
+        for fact in &prod_facts {
             assert!(
                 oracle_facts.iter().any(|o| o.subsumes(fact)),
                 "production fact `{fact}` of `{pred}` is not covered by the oracle {context}\n\
@@ -82,8 +82,35 @@ fn assert_matches_oracle(production: &EvalResult, oracle: &NaiveResult, context:
     }
 }
 
-/// Runs every strategy with both production cores (sequential and 4-thread)
-/// against the oracle.
+/// Every production configuration under test: both join cores, sequential
+/// and 4-thread, each with the columnar ground store forced on and forced
+/// off.  Interning is unconditional, so together these rows prove that
+/// neither the interned representation nor the storage layout changes any
+/// answer.
+fn production_options() -> Vec<(String, EvalOptions)> {
+    let mut rows = Vec::new();
+    for (core, base) in [
+        ("indexed", EvalOptions::indexed()),
+        ("legacy", EvalOptions::legacy()),
+    ] {
+        for threads in [1, 4] {
+            for columnar in [true, false] {
+                let layout = if columnar { "columnar" } else { "row-wise" };
+                rows.push((
+                    format!("{core} {threads}-thread {layout}"),
+                    base.clone()
+                        .with_columnar(columnar)
+                        .with_threads(threads)
+                        .with_min_parallel_work(0),
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Runs every strategy with both production cores (sequential and 4-thread,
+/// columnar and row-wise storage) against the oracle.
 fn assert_conformance(program: &Program, db: &Database) {
     for strategy in all_strategies() {
         let optimized = Optimizer::new(program.clone())
@@ -95,16 +122,7 @@ fn assert_conformance(program: &Program, db: &Database) {
             oracle.termination.is_fixpoint(),
             "oracle diverged under {strategy:?}; pick a terminating workload"
         );
-        for (label, options) in [
-            ("indexed", EvalOptions::indexed().with_threads(1)),
-            ("legacy", EvalOptions::legacy().with_threads(1)),
-            (
-                "indexed 4-thread",
-                EvalOptions::indexed()
-                    .with_threads(4)
-                    .with_min_parallel_work(0),
-            ),
-        ] {
+        for (label, options) in production_options() {
             let production = Evaluator::new(&optimized.program, options).evaluate(db);
             assert_matches_oracle(
                 &production,

@@ -214,6 +214,61 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn symbols_round_trip_through_the_interner(seed in 0u64..u64::MAX) {
+        // parse → intern → Display → parse is the identity on symbols: a
+        // spelling interns to one stable id, the interned symbol prints its
+        // exact spelling, and re-parsing the printed fact reaches the *same*
+        // id (value equality on facts is id equality on their symbols).
+        use pushing_constraint_selections::engine::{parse_facts as parse_engine_facts, Value};
+        use pushing_constraint_selections::lang::{SymbolTable, Symbol};
+
+        // Random lowercase spellings, `[a-z][a-z0-9_]{0,12}` by construction.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spellings: Vec<String> = (0..rng.random_range(1..8usize))
+            .map(|_| {
+                let mut s = String::new();
+                s.push((b'a' + rng.random_range(0..26u8)) as char);
+                for _ in 0..rng.random_range(0..12usize) {
+                    let tail = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+                    s.push(tail[rng.random_range(0..tail.len())] as char);
+                }
+                s
+            })
+            .collect();
+
+        let table = SymbolTable::shared();
+        for spelling in &spellings {
+            let symbol = Symbol::new(spelling);
+            prop_assert_eq!(symbol.name(), spelling.as_str());
+            prop_assert_eq!(symbol.to_string(), spelling.clone());
+            prop_assert_eq!(table.intern(spelling), symbol.id());
+            prop_assert_eq!(table.resolve(symbol.id()), spelling.as_str());
+
+            let source = format!("loc({spelling}, {spelling}2, 1).");
+            let facts = parse_engine_facts(&source).unwrap();
+            prop_assert_eq!(facts.len(), 1);
+            let fact = &facts[0];
+            let values = fact.ground_values().expect("ground fact");
+            let first = values[0].as_sym().expect("symbol argument");
+            prop_assert_eq!(first.id(), symbol.id(), "parse reached a different id");
+            prop_assert_eq!(&values[0], &Value::sym(spelling));
+
+            // Display → parse lands on the identical interned fact.
+            let (literal, _) = fact.to_literal_and_constraint();
+            let reparsed = parse_engine_facts(&format!("{literal}.")).unwrap();
+            prop_assert_eq!(&reparsed[0], fact, "printed fact re-parsed differently");
+            prop_assert_eq!(
+                reparsed[0].ground_values().unwrap()[0].as_sym().unwrap().id(),
+                symbol.id()
+            );
+        }
+    }
+}
+
 #[test]
 fn engine_facts_round_trip_into_the_database_layer() {
     // The engine's `Fact` display is `literal; constraint` — the `.facts`

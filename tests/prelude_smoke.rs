@@ -33,7 +33,7 @@ fn prelude_reexports_every_layer() {
     let result = Evaluator::new(&program, EvalOptions::default()).evaluate(&db);
     assert!(result.termination.is_fixpoint());
     let _: &EvalLimits = &EvalOptions::default().limits;
-    let _: Vec<&Fact> = result.answers_to(&program.query().unwrap().literals[0]);
+    let _: Vec<Fact> = result.answers(program.query().unwrap());
     let _: Termination = result.termination;
 
     // transform

@@ -26,6 +26,31 @@ use pushing_constraint_selections::prelude::*;
 // optimizer's enum.
 use pushing_constraint_selections::Strategy as OptStrategy;
 
+/// Both join cores, each with the columnar ground store forced on and
+/// forced off.  Interning is unconditional, so these rows prove the
+/// maintained materialization is independent of the storage layout too.
+fn core_options() -> Vec<EvalOptions> {
+    vec![
+        EvalOptions::indexed().with_columnar(true).with_threads(1),
+        EvalOptions::indexed().with_columnar(false).with_threads(1),
+        EvalOptions::legacy().with_columnar(true).with_threads(1),
+        EvalOptions::legacy().with_columnar(false).with_threads(1),
+    ]
+}
+
+/// Human-readable label for a `core_options()` row.
+fn options_label(options: &EvalOptions) -> String {
+    format!(
+        "{} {}",
+        if options.index { "indexed" } else { "legacy" },
+        match options.columnar {
+            Some(true) => "columnar",
+            Some(false) => "row-wise",
+            None => "default-layout",
+        }
+    )
+}
+
 fn all_strategies() -> Vec<OptStrategy> {
     vec![
         OptStrategy::None,
@@ -67,18 +92,12 @@ fn assert_resume_matches_scratch(program: &Program, base: &Database, updates: &[
             .strategy(strategy.clone())
             .optimize()
             .expect("optimization succeeds");
-        for options in [
-            EvalOptions::indexed().with_threads(1),
-            EvalOptions::legacy().with_threads(1),
-        ] {
+        for options in core_options() {
             let evaluator = Evaluator::new(&optimized.program, options.clone());
             let scratch = evaluator.evaluate(&full);
             let materialized = evaluator.evaluate(base);
             let resumed = evaluator.resume(materialized.relations, updates.to_vec());
-            let context = format!(
-                "under {strategy:?} with {} core",
-                if options.index { "indexed" } else { "legacy" }
-            );
+            let context = format!("under {strategy:?} with {} core", options_label(&options));
             assert_eq!(
                 resumed.termination, scratch.termination,
                 "termination diverged {context}"
@@ -264,14 +283,8 @@ fn assert_interleaving_matches_scratch(program: &Program, base: &Database, updat
             .strategy(strategy.clone())
             .optimize()
             .expect("optimization succeeds");
-        for options in [
-            EvalOptions::indexed().with_threads(1),
-            EvalOptions::legacy().with_threads(1),
-        ] {
-            let context = format!(
-                "under {strategy:?} with {} core",
-                if options.index { "indexed" } else { "legacy" }
-            );
+        for options in core_options() {
+            let context = format!("under {strategy:?} with {} core", options_label(&options));
             let evaluator = Evaluator::new(&optimized.program, options.clone());
             let scratch = evaluator.evaluate(&surviving);
             let maintain = |evaluator: &Evaluator| {
@@ -410,6 +423,138 @@ fn retracting_a_constraint_fact_resurrects_what_it_subsumed() {
         Update::Retract(parse_facts("b1(102, 10001).").unwrap()),
     ];
     assert_interleaving_matches_scratch(&program, &base, &updates);
+}
+
+/// The unified one-epoch path: `Evaluator::apply` on a single mixed
+/// `UpdateBatch { inserts, retracts }` — retractions first, insertions
+/// seeded into the same resumed fixpoint — must store exactly what a
+/// from-scratch evaluation of the surviving EDB stores, for every strategy,
+/// both join cores, both storage layouts, and bit-for-bit under 4 threads.
+fn assert_batch_matches_scratch(program: &Program, base: &Database, batch: &UpdateBatch) {
+    let mut surviving = base.clone();
+    surviving.remove_facts(&batch.retracts);
+    let mut full = surviving.clone();
+    for fact in &batch.inserts {
+        full.add(fact.clone());
+    }
+    for strategy in all_strategies() {
+        let optimized = Optimizer::new(program.clone())
+            .strategy(strategy.clone())
+            .optimize()
+            .expect("optimization succeeds");
+        for options in core_options() {
+            let context = format!("under {strategy:?} with {} core", options_label(&options));
+            let evaluator = Evaluator::new(&optimized.program, options.clone());
+            let scratch = evaluator.evaluate(&full);
+            let applied = evaluator.apply(
+                evaluator.evaluate(base).relations,
+                batch.clone(),
+                &surviving,
+            );
+            assert_eq!(
+                applied.termination, scratch.termination,
+                "termination diverged {context}"
+            );
+            assert_eq!(
+                rendered_relations(&applied),
+                rendered_relations(&scratch),
+                "one-batch apply diverged from scratch {context}"
+            );
+            assert_eq!(
+                applied.stats.facts_per_predicate, scratch.stats.facts_per_predicate,
+                "fact counts diverged {context}"
+            );
+
+            let parallel_evaluator = Evaluator::new(
+                &optimized.program,
+                options.clone().with_threads(4).with_min_parallel_work(0),
+            );
+            let parallel = parallel_evaluator.apply(
+                parallel_evaluator.evaluate(base).relations,
+                batch.clone(),
+                &surviving,
+            );
+            assert_eq!(
+                rendered_relations(&applied),
+                rendered_relations(&parallel),
+                "parallel one-batch apply diverged {context}"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_mixed_batch_matches_scratch_on_the_flights_workload() {
+    let program = programs::flights();
+    let base = programs::flights_database(6, 8);
+    let batch = UpdateBatch::retracting(leg_updates(&[("madison", "seattle", 200, 90)]))
+        .insert_str("singleleg(madison, newhub, 10, 10).")
+        .unwrap()
+        .insert_str("singleleg(newhub, seattle, 10, 10).")
+        .unwrap();
+    assert_batch_matches_scratch(&program, &base, &batch);
+}
+
+#[test]
+fn one_mixed_batch_matches_scratch_with_constraint_facts() {
+    // Retract a constraint fact and insert ground facts inside its former
+    // denotation in the *same* batch: the insertions must survive (they are
+    // no longer subsumed) and the resurrection pass must not double-store
+    // them.
+    let program = programs::example_71();
+    let mut base = programs::example_7x_database(6, 5);
+    base.add_facts_str("b1(X, 10001) :- X >= 100, X <= 102.")
+        .unwrap();
+    let batch =
+        UpdateBatch::retracting(parse_facts("b1(X, 10001) :- X >= 100, X <= 102.").unwrap())
+            .insert_str("b1(101, 10001).\nb2(10006, 10007).")
+            .unwrap();
+    assert_batch_matches_scratch(&program, &base, &batch);
+}
+
+#[test]
+fn degenerate_batches_match_the_dedicated_entry_points() {
+    // A pure-insert batch is `resume`; a pure-retract batch is `retract`.
+    // `apply` must agree with both specialized paths exactly.
+    let program = programs::flights();
+    let base = programs::flights_database(5, 5);
+    let inserts = leg_updates(&[("madison", "hubx", 30, 30), ("hubx", "seattle", 40, 40)]);
+    let retracts = leg_updates(&[("madison", "seattle", 200, 90)]);
+    let evaluator = Optimizer::new(program)
+        .strategy(OptStrategy::Optimal)
+        .optimize()
+        .unwrap()
+        .evaluator();
+
+    let via_apply = evaluator.apply(
+        evaluator.evaluate(&base).relations,
+        UpdateBatch::inserting(inserts.clone()),
+        &base,
+    );
+    let via_resume = evaluator.resume(evaluator.evaluate(&base).relations, inserts);
+    assert_eq!(
+        rendered_relations(&via_apply),
+        rendered_relations(&via_resume)
+    );
+    assert_eq!(via_apply.stats.retracted, via_resume.stats.retracted);
+
+    let mut surviving = base.clone();
+    surviving.remove_facts(&retracts);
+    let via_apply = evaluator.apply(
+        evaluator.evaluate(&base).relations,
+        UpdateBatch::retracting(retracts.clone()),
+        &surviving,
+    );
+    let via_retract = evaluator.retract(evaluator.evaluate(&base).relations, retracts, &surviving);
+    assert_eq!(
+        rendered_relations(&via_apply),
+        rendered_relations(&via_retract)
+    );
+    assert_eq!(via_apply.stats.retracted, via_retract.stats.retracted);
+    assert_eq!(
+        via_apply.stats.removed_facts,
+        via_retract.stats.removed_facts
+    );
 }
 
 #[test]
