@@ -1,0 +1,331 @@
+//! Per-argument interval bounds inferred from predicate constraints.
+//!
+//! The range-inference pass projects each predicate's inferred constraint set
+//! onto every argument position and extracts the tightest interval that the
+//! constraints imply.  The result is a crude but sound selectivity summary: a
+//! predicate whose position is confined to `[0, 10]` is a better candidate
+//! for an early join than one whose positions are unbounded.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use pcs_constraints::{Conjunction, ConstraintSet, Rational, Rel, Var};
+use pcs_lang::Pred;
+
+/// An interval over the rationals, possibly unbounded on either side.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Interval {
+    /// The greatest lower bound, if the position is bounded below.
+    pub lower: Option<Rational>,
+    /// Whether the lower bound is strict (`x > l` rather than `x >= l`).
+    pub lower_strict: bool,
+    /// The least upper bound, if the position is bounded above.
+    pub upper: Option<Rational>,
+    /// Whether the upper bound is strict (`x < u` rather than `x <= u`).
+    pub upper_strict: bool,
+}
+
+impl Interval {
+    /// The interval `(-inf, +inf)`.
+    pub fn unbounded() -> Self {
+        Interval::default()
+    }
+
+    /// Returns `true` if the interval has both a lower and an upper bound.
+    pub fn is_bounded(&self) -> bool {
+        self.lower.is_some() && self.upper.is_some()
+    }
+
+    /// Returns `true` if the interval contains no point (`lower > upper`, or
+    /// `lower == upper` with either end strict).
+    pub fn is_empty(&self) -> bool {
+        match (&self.lower, &self.upper) {
+            (Some(l), Some(u)) => l > u || (l == u && (self.lower_strict || self.upper_strict)),
+            _ => false,
+        }
+    }
+
+    /// The width `upper - lower` when both bounds exist.
+    pub fn width(&self) -> Option<Rational> {
+        match (&self.lower, &self.upper) {
+            (Some(l), Some(u)) => u.checked_sub(l),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the interval pins the position to a single value.
+    pub fn is_point(&self) -> bool {
+        self.is_bounded() && self.lower == self.upper && !self.lower_strict && !self.upper_strict
+    }
+}
+
+impl std::fmt::Display for Interval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.lower {
+            Some(l) if self.lower_strict => write!(f, "({l}")?,
+            Some(l) => write!(f, "[{l}")?,
+            None => write!(f, "(-inf")?,
+        }
+        write!(f, ", ")?;
+        match &self.upper {
+            Some(u) if self.upper_strict => write!(f, "{u})")?,
+            Some(u) => write!(f, "{u}]")?,
+            None => write!(f, "+inf)")?,
+        }
+        Ok(())
+    }
+}
+
+/// Interval bounds per predicate argument position, plus the set of
+/// predicates whose inferred constraint is unsatisfiable (provably empty).
+///
+/// Produced by the range-inference pass; intended as input for join planning
+/// (a bounded position is more selective than an unbounded one).
+#[derive(Debug, Clone, Default)]
+pub struct Selectivity {
+    bounds: BTreeMap<Pred, Vec<Interval>>,
+    empty: BTreeSet<Pred>,
+}
+
+impl Selectivity {
+    /// Builds the selectivity summary from per-predicate constraint sets in
+    /// argument-position form (`$1..$n`), given each predicate's arity.
+    pub fn from_constraints(
+        constraints: &BTreeMap<Pred, ConstraintSet>,
+        arity: &dyn Fn(&Pred) -> Option<usize>,
+    ) -> Selectivity {
+        let mut bounds = BTreeMap::new();
+        let mut empty = BTreeSet::new();
+        for (pred, set) in constraints {
+            let Some(n) = arity(pred) else { continue };
+            if !set.is_satisfiable() {
+                empty.insert(pred.clone());
+                bounds.insert(pred.clone(), vec![Interval::unbounded(); n]);
+                continue;
+            }
+            let intervals = (1..=n).map(|i| position_interval(set, i)).collect();
+            bounds.insert(pred.clone(), intervals);
+        }
+        Selectivity { bounds, empty }
+    }
+
+    /// The interval inferred for `pred`'s argument position `position`
+    /// (0-based), or `None` if the predicate was not analyzed.
+    pub fn interval(&self, pred: &Pred, position: usize) -> Option<&Interval> {
+        self.bounds.get(pred).and_then(|v| v.get(position))
+    }
+
+    /// All per-position intervals for a predicate.
+    pub fn intervals(&self, pred: &Pred) -> Option<&[Interval]> {
+        self.bounds.get(pred).map(std::vec::Vec::as_slice)
+    }
+
+    /// The predicates covered by the summary.
+    pub fn predicates(&self) -> impl Iterator<Item = &Pred> {
+        self.bounds.keys()
+    }
+
+    /// Returns `true` if the predicate's inferred constraint is
+    /// unsatisfiable: it can never hold any facts.
+    pub fn is_provably_empty(&self, pred: &Pred) -> bool {
+        self.empty.contains(pred)
+    }
+
+    /// How many argument positions of the predicate have both bounds — a
+    /// quick selectivity score for join planning (higher is more selective).
+    pub fn bounded_positions(&self, pred: &Pred) -> usize {
+        self.bounds
+            .get(pred)
+            .map_or(0, |v| v.iter().filter(|i| i.is_bounded()).count())
+    }
+}
+
+/// The tightest interval implied for position `$i` (1-based) by a constraint
+/// set in position form: per disjunct, intersect the atom-level bounds; across
+/// disjuncts, take the union (so a bound survives only if every disjunct has
+/// one).
+fn position_interval(set: &ConstraintSet, i: usize) -> Interval {
+    let var = Var::position(i);
+    let mut result: Option<Interval> = None;
+    for disjunct in set.disjuncts() {
+        let projected = disjunct.project(&BTreeSet::from([var.clone()]));
+        if !projected.is_satisfiable() {
+            // This disjunct contributes no points at all.
+            continue;
+        }
+        let one = conjunction_interval(&projected, &var);
+        result = Some(match result {
+            None => one,
+            Some(acc) => union(acc, one),
+        });
+    }
+    result.unwrap_or_else(Interval::unbounded)
+}
+
+/// The interval implied by a satisfiable single-variable conjunction: each
+/// atom `a*v + k REL 0` contributes `v <= -k/a` (for `a > 0`) or
+/// `v >= -k/a` (for `a < 0`).
+fn conjunction_interval(conjunction: &Conjunction, var: &Var) -> Interval {
+    let mut interval = Interval::unbounded();
+    for atom in conjunction.atoms() {
+        let a = atom.expr().coefficient(var);
+        if a.is_zero() {
+            continue;
+        }
+        let k = atom.expr().constant_part();
+        let bound = -(k.checked_div(&a).expect("nonzero coefficient"));
+        let strict = atom.rel().is_strict();
+        match atom.rel() {
+            Rel::Eq => {
+                tighten_lower(&mut interval, bound, false);
+                tighten_upper(&mut interval, bound, false);
+            }
+            Rel::Le | Rel::Lt if a.is_positive() => tighten_upper(&mut interval, bound, strict),
+            Rel::Le | Rel::Lt => tighten_lower(&mut interval, bound, strict),
+        }
+    }
+    interval
+}
+
+fn tighten_lower(interval: &mut Interval, bound: Rational, strict: bool) {
+    let better = match &interval.lower {
+        None => true,
+        Some(l) => bound > *l || (bound == *l && strict && !interval.lower_strict),
+    };
+    if better {
+        interval.lower = Some(bound);
+        interval.lower_strict = strict;
+    }
+}
+
+fn tighten_upper(interval: &mut Interval, bound: Rational, strict: bool) {
+    let better = match &interval.upper {
+        None => true,
+        Some(u) => bound < *u || (bound == *u && strict && !interval.upper_strict),
+    };
+    if better {
+        interval.upper = Some(bound);
+        interval.upper_strict = strict;
+    }
+}
+
+/// The smallest interval containing both arguments (used across disjuncts).
+fn union(a: Interval, b: Interval) -> Interval {
+    let (lower, lower_strict) = match (&a.lower, &b.lower) {
+        (Some(x), Some(y)) if x < y => (a.lower, a.lower_strict),
+        (Some(x), Some(y)) if y < x => (b.lower, b.lower_strict),
+        (Some(_), Some(_)) => (a.lower, a.lower_strict && b.lower_strict),
+        _ => (None, false),
+    };
+    let (upper, upper_strict) = match (&a.upper, &b.upper) {
+        (Some(x), Some(y)) if x > y => (a.upper, a.upper_strict),
+        (Some(x), Some(y)) if y > x => (b.upper, b.upper_strict),
+        (Some(_), Some(_)) => (a.upper, a.upper_strict && b.upper_strict),
+        _ => (None, false),
+    };
+    Interval {
+        lower,
+        lower_strict,
+        upper,
+        upper_strict,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_constraints::Atom;
+
+    fn pos(i: usize) -> Var {
+        Var::position(i)
+    }
+
+    #[test]
+    fn single_disjunct_bounds_both_sides() {
+        let set = ConstraintSet::of(Conjunction::from_atoms([
+            Atom::var_ge(pos(1), 0),
+            Atom::var_le(pos(1), 10),
+        ]));
+        let interval = position_interval(&set, 1);
+        assert_eq!(interval.lower, Some(Rational::from(0)));
+        assert_eq!(interval.upper, Some(Rational::from(10)));
+        assert!(!interval.lower_strict && !interval.upper_strict);
+        assert_eq!(interval.to_string(), "[0, 10]");
+        assert_eq!(interval.width(), Some(Rational::from(10)));
+    }
+
+    #[test]
+    fn disjunction_unions_and_drops_missing_bounds() {
+        // ($1 in [0, 2]) or ($1 in [5, 9])  =>  [0, 9]
+        let set = ConstraintSet::from_disjuncts([
+            Conjunction::from_atoms([Atom::var_ge(pos(1), 0), Atom::var_le(pos(1), 2)]),
+            Conjunction::from_atoms([Atom::var_ge(pos(1), 5), Atom::var_le(pos(1), 9)]),
+        ]);
+        let interval = position_interval(&set, 1);
+        assert_eq!(interval.lower, Some(Rational::from(0)));
+        assert_eq!(interval.upper, Some(Rational::from(9)));
+
+        // ($1 >= 0) or ($1 <= 4): neither bound survives the union.
+        let set = ConstraintSet::from_disjuncts([
+            Conjunction::of(Atom::var_ge(pos(1), 0)),
+            Conjunction::of(Atom::var_le(pos(1), 4)),
+        ]);
+        assert_eq!(position_interval(&set, 1), Interval::unbounded());
+    }
+
+    #[test]
+    fn strictness_and_points_are_tracked() {
+        let set = ConstraintSet::of(Conjunction::from_atoms([
+            Atom::var_gt(pos(1), 1),
+            Atom::var_lt(pos(1), 3),
+        ]));
+        let interval = position_interval(&set, 1);
+        assert!(interval.lower_strict && interval.upper_strict);
+        assert_eq!(interval.to_string(), "(1, 3)");
+        assert!(!interval.is_point());
+
+        let point = position_interval(
+            &ConstraintSet::of(Conjunction::of(Atom::var_eq(pos(1), 7))),
+            1,
+        );
+        assert!(point.is_point());
+        assert_eq!(point.to_string(), "[7, 7]");
+    }
+
+    #[test]
+    fn bounds_propagate_through_other_positions() {
+        // $1 + $2 <= 6 and $2 >= 2  implies  $1 <= 4 after projection.
+        let set = ConstraintSet::of(Conjunction::from_atoms([
+            Atom::compare(
+                pcs_constraints::LinearExpr::var(pos(1)) + pcs_constraints::LinearExpr::var(pos(2)),
+                pcs_constraints::CmpOp::Le,
+                pcs_constraints::LinearExpr::constant(6),
+            ),
+            Atom::var_ge(pos(2), 2),
+        ]));
+        let interval = position_interval(&set, 1);
+        assert_eq!(interval.upper, Some(Rational::from(4)));
+        assert_eq!(interval.lower, None);
+    }
+
+    #[test]
+    fn selectivity_summary_scores_and_flags_empty() {
+        let p = Pred::new("p");
+        let q = Pred::new("q");
+        let constraints = BTreeMap::from([
+            (
+                p.clone(),
+                ConstraintSet::of(Conjunction::from_atoms([
+                    Atom::var_ge(pos(1), 0),
+                    Atom::var_le(pos(1), 10),
+                ])),
+            ),
+            (q.clone(), ConstraintSet::falsum()),
+        ]);
+        let arity = |pred: &Pred| Some(if pred.name() == "p" { 2 } else { 1 });
+        let sel = Selectivity::from_constraints(&constraints, &arity);
+        assert_eq!(sel.bounded_positions(&p), 1);
+        assert!(sel.interval(&p, 1).unwrap().lower.is_none());
+        assert!(sel.is_provably_empty(&q));
+        assert!(!sel.is_provably_empty(&p));
+    }
+}

@@ -1,0 +1,109 @@
+//! End-to-end tests for the `pcs-lint` binary over the seeded fixture
+//! programs in `tests/fixtures/` and the example programs in `programs/`.
+//!
+//! These drive the actual binary (via `CARGO_BIN_EXE_pcs-lint`), so they
+//! cover argument handling, rendering, and exit codes — not just the
+//! analyzer library.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn example(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../programs")
+        .join(name)
+}
+
+fn lint(args: &[&Path]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pcs-lint"));
+    for arg in args {
+        cmd.arg(arg);
+    }
+    cmd.output().expect("pcs-lint runs")
+}
+
+fn lint_strict(args: &[&Path]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pcs-lint"));
+    cmd.arg("--strict");
+    for arg in args {
+        cmd.arg(arg);
+    }
+    cmd.output().expect("pcs-lint runs")
+}
+
+#[test]
+fn unsafe_fixture_fails_with_an_unsafe_rule_error() {
+    let out = lint(&[&fixture("unsafe.pcs")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("unsafe-rule"), "stdout: {stdout}");
+    assert!(stdout.contains("rule r2"), "stdout: {stdout}");
+}
+
+#[test]
+fn unsat_fixture_is_flagged_but_not_an_error() {
+    let out = lint(&[&fixture("unsat.pcs")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Unsatisfiable rules are warnings: the program still runs correctly.
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("unsatisfiable-rule"), "stdout: {stdout}");
+
+    // ... but `--strict` promotes warnings to failures.
+    let strict = lint_strict(&[&fixture("unsat.pcs")]);
+    assert_eq!(strict.status.code(), Some(1));
+}
+
+#[test]
+fn dead_fixture_reports_the_whole_cascade() {
+    let out = lint(&[&fixture("dead.pcs")]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("unsatisfiable-rule"), "stdout: {stdout}");
+    assert!(stdout.contains("impossible-body"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("unreachable-from-query"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn missing_file_and_parse_error_exit_2() {
+    let out = lint(&[Path::new("no/such/file.pcs")]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let dir = std::env::temp_dir().join("pcs_lint_parse_error_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.pcs");
+    std::fs::write(&bad, "r1: p(X :- q(X).\n").unwrap();
+    let out = lint(&[bad.as_path()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(stderr.contains("error[parse]"), "stderr: {stderr}");
+}
+
+#[test]
+fn all_example_programs_lint_clean() {
+    let names = [
+        "flights.pcs",
+        "fibonacci.pcs",
+        "example41.pcs",
+        "example42.pcs",
+        "example51.pcs",
+        "example61.pcs",
+        "example71.pcs",
+        "example72.pcs",
+    ];
+    let paths: Vec<PathBuf> = names.iter().map(|n| example(n)).collect();
+    let refs: Vec<&Path> = paths.iter().map(PathBuf::as_path).collect();
+    let out = lint(&refs);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    // No example program should produce an error-severity finding.
+    assert!(!stdout.contains("error["), "stdout: {stdout}");
+}

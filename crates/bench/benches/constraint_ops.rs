@@ -31,13 +31,13 @@ fn bench_constraints(c: &mut Criterion) {
 
     let conj = chain_conjunction(8);
     group.bench_function("satisfiability_chain8", |b| {
-        b.iter(|| black_box(&conj).is_satisfiable())
+        b.iter(|| black_box(&conj).is_satisfiable());
     });
 
     let keep: std::collections::BTreeSet<Var> =
         [Var::new("X1"), Var::new("X8")].into_iter().collect();
     group.bench_function("projection_chain8_to_2", |b| {
-        b.iter(|| black_box(&conj).project(black_box(&keep)))
+        b.iter(|| black_box(&conj).project(black_box(&keep)));
     });
 
     let premise = Conjunction::from_atoms([
@@ -50,7 +50,7 @@ fn bench_constraints(c: &mut Criterion) {
     ]);
     let conclusion = Atom::var_le(Var::new("Y"), 4);
     group.bench_function("implication_example41", |b| {
-        b.iter(|| black_box(&premise).implies_atom(black_box(&conclusion)))
+        b.iter(|| black_box(&premise).implies_atom(black_box(&conclusion)));
     });
 
     let set = ConstraintSet::from_disjuncts([
@@ -66,7 +66,7 @@ fn bench_constraints(c: &mut Criterion) {
         ]),
     ]);
     group.bench_function("non_overlapping_flight_qrp", |b| {
-        b.iter(|| black_box(&set).non_overlapping())
+        b.iter(|| black_box(&set).non_overlapping());
     });
 
     let args = vec![
@@ -79,7 +79,7 @@ fn bench_constraints(c: &mut Criterion) {
         b.iter(|| {
             let local = ptol(black_box(&args), black_box(&set));
             ltop(black_box(&args), &local)
-        })
+        });
     });
 
     group.finish();

@@ -42,7 +42,7 @@ fn bench_deletion(c: &mut Criterion) {
         );
 
         group.bench_with_input(BenchmarkId::new("scratch", legs), &surviving, |b, db| {
-            b.iter(|| black_box(&evaluator).evaluate(black_box(db)))
+            b.iter(|| black_box(&evaluator).evaluate(black_box(db)));
         });
         group.bench_with_input(
             BenchmarkId::new("retract", legs),
@@ -54,7 +54,7 @@ fn bench_deletion(c: &mut Criterion) {
                         deletions.clone(),
                         &surviving,
                     )
-                })
+                });
             },
         );
     }

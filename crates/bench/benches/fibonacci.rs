@@ -29,7 +29,7 @@ fn bench_fibonacci(c: &mut Criterion) {
                 },
             )
             .evaluate(&Database::new())
-        })
+        });
     });
 
     let constrained = parse_program(
@@ -46,7 +46,7 @@ fn bench_fibonacci(c: &mut Criterion) {
         b.iter(|| {
             Evaluator::new(black_box(&constrained_magic), EvalOptions::default())
                 .evaluate(&Database::new())
-        })
+        });
     });
 
     group.finish();

@@ -26,7 +26,7 @@ fn bench_flights(c: &mut Criterion) {
                 .optimize()
                 .unwrap();
             group.bench_with_input(BenchmarkId::new(*name, extra_legs), &db, |b, db| {
-                b.iter(|| black_box(&optimized).evaluate(black_box(db)))
+                b.iter(|| black_box(&optimized).evaluate(black_box(db)));
             });
         }
     }

@@ -39,7 +39,7 @@ fn bench_incremental(c: &mut Criterion) {
         );
 
         group.bench_with_input(BenchmarkId::new("scratch", legs), &full, |b, db| {
-            b.iter(|| black_box(&evaluator).evaluate(black_box(db)))
+            b.iter(|| black_box(&evaluator).evaluate(black_box(db)));
         });
         group.bench_with_input(
             BenchmarkId::new("resume", legs),
@@ -47,7 +47,7 @@ fn bench_incremental(c: &mut Criterion) {
             |b, relations| {
                 b.iter(|| {
                     black_box(&evaluator).resume(black_box(relations.clone()), updates.clone())
-                })
+                });
             },
         );
     }

@@ -28,7 +28,7 @@ fn bench_threads(
     for threads in THREADS {
         let evaluator = Evaluator::new(program, EvalOptions::indexed().with_threads(threads));
         group.bench_with_input(BenchmarkId::new(label.to_string(), threads), db, |b, db| {
-            b.iter(|| black_box(&evaluator).evaluate(black_box(db)))
+            b.iter(|| black_box(&evaluator).evaluate(black_box(db)));
         });
     }
 }

@@ -21,10 +21,12 @@ fn bench_transformations(c: &mut Criterion) {
         ("example_71", programs::example_71()),
     ] {
         group.bench_function(format!("constraint_rewrite_{name}"), |b| {
-            b.iter(|| constraint_rewrite(black_box(&program), &RewriteOptions::default()).unwrap())
+            b.iter(|| constraint_rewrite(black_box(&program), &RewriteOptions::default()).unwrap());
         });
         group.bench_function(format!("magic_rewrite_{name}"), |b| {
-            b.iter(|| magic_rewrite(black_box(&program), &MagicOptions::bound_if_ground()).unwrap())
+            b.iter(|| {
+                magic_rewrite(black_box(&program), &MagicOptions::bound_if_ground()).unwrap()
+            });
         });
     }
     group.finish();

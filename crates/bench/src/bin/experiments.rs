@@ -9,7 +9,7 @@
 //!
 //! Available experiment names: `table1`, `table2`, `flights`, `ex41`, `ex42`,
 //! `balbin`, `orderings`, `overlap`, `parallel`, `incremental`, `deletion`,
-//! `memory`, `all`.
+//! `memory`, `analyze`, `all`.
 //!
 //! The `memory` experiment (and `all`, which includes it) additionally
 //! writes the machine-readable `BENCH_6.json` artifact to the current
@@ -44,10 +44,11 @@ fn main() {
         "incremental" | "resume" => experiments::incremental(&[(60, 120, 4), (100, 200, 8)]),
         "deletion" | "retract" => experiments::deletion(&[(60, 120, 4), (100, 200, 8)]),
         "memory" | "columnar" => memory_with_artifact(),
+        "analyze" | "lint" => experiments::analyze(),
         "all" => format!("{}\n{}", experiments::all(), memory_with_artifact()),
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, incremental, deletion, memory, all"
+                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, incremental, deletion, memory, analyze, all"
             );
             std::process::exit(2);
         }

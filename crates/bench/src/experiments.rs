@@ -107,12 +107,10 @@ pub fn flights(sizes: &[(usize, usize)]) -> String {
                 .facts_for(&flight_pred)
                 .iter()
                 .filter(|f| {
-                    f.ground_values()
-                        .map(|v| {
-                            v[2].as_num().map(|t| t > 240.into()).unwrap_or(false)
-                                && v[3].as_num().map(|c| c > 150.into()).unwrap_or(false)
-                        })
-                        .unwrap_or(false)
+                    f.ground_values().is_some_and(|v| {
+                        v[2].as_num().is_some_and(|t| t > 240.into())
+                            && v[3].as_num().is_some_and(|c| c > 150.into())
+                    })
                 })
                 .count();
             let _ = writeln!(
@@ -322,9 +320,7 @@ pub fn parallel_scaling(thread_counts: &[usize]) -> String {
     use std::time::{Duration, Instant};
 
     let program = programs::flights();
-    let hardware = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let hardware = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -686,6 +682,50 @@ pub fn bench6_json(rows: &[MemoryRow]) -> String {
     out
 }
 
+/// Analyzer overhead: wall-clock cost and findings of the static analysis
+/// pass (which `Optimizer::optimize` runs by default) over the paper's
+/// example programs.
+pub fn analyze() -> String {
+    let cases: Vec<(&str, Program)> = vec![
+        ("flights", programs::flights()),
+        ("fibonacci(5)", programs::fibonacci(5)),
+        ("example_41", programs::example_41()),
+        ("example_71", programs::example_71()),
+        ("example_72", programs::example_72()),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Static analysis: per-program analyzer cost and findings (errors/warnings/notes)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>5} {:>4} {:>4} {:>5} {:>6} {:>5} {:>9} {:>10}",
+        "program", "rules", "err", "warn", "notes", "strata", "dead", "converged", "elapsed"
+    );
+    for (name, program) in cases {
+        let start = std::time::Instant::now();
+        let analysis = pcs_core::analysis::analyze(&program);
+        let elapsed = start.elapsed();
+        let (errors, warnings, notes) = analysis.counts();
+        let strata = analysis.strata.values().max().copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>5} {:>4} {:>4} {:>5} {:>6} {:>5} {:>9} {:>10?}",
+            name,
+            program.rules().len(),
+            errors,
+            warnings,
+            notes,
+            strata,
+            analysis.dead_rules.len(),
+            analysis.converged,
+            elapsed
+        );
+    }
+    out
+}
+
 /// Runs every experiment and concatenates the reports.
 pub fn all() -> String {
     let mut out = String::new();
@@ -701,6 +741,7 @@ pub fn all() -> String {
         parallel_scaling(&[1, 2, 4, 8]),
         incremental(&[(60, 120, 4), (100, 200, 8)]),
         deletion(&[(60, 120, 4), (100, 200, 8)]),
+        analyze(),
     ] {
         out.push_str(&section);
         out.push('\n');

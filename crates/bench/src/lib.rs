@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod experiments;
 pub mod workload;

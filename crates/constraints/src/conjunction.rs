@@ -193,7 +193,7 @@ impl Conjunction {
     /// Decides satisfiability over the rationals.
     pub fn is_satisfiable(&self) -> bool {
         // Fast path: any trivially false atom.
-        if self.atoms.iter().any(|a| a.is_trivially_false()) {
+        if self.atoms.iter().any(super::atom::Atom::is_trivially_false) {
             return false;
         }
         let mut current = self.clone();
@@ -201,11 +201,18 @@ impl Conjunction {
             let vars: Vec<Var> = current.vars().into_iter().collect();
             match vars.first() {
                 None => {
-                    return current.atoms.iter().all(|a| a.is_trivially_true());
+                    return current
+                        .atoms
+                        .iter()
+                        .all(super::atom::Atom::is_trivially_true);
                 }
                 Some(v) => {
                     current = current.eliminate_var(v);
-                    if current.atoms.iter().any(|a| a.is_trivially_false()) {
+                    if current
+                        .atoms
+                        .iter()
+                        .any(super::atom::Atom::is_trivially_false)
+                    {
                         return false;
                     }
                 }
@@ -306,7 +313,11 @@ impl fmt::Display for Conjunction {
         if self.atoms.is_empty() {
             return write!(f, "true");
         }
-        let parts: Vec<String> = self.atoms.iter().map(|a| a.to_string()).collect();
+        let parts: Vec<String> = self
+            .atoms
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         write!(f, "{}", parts.join(" & "))
     }
 }

@@ -88,12 +88,16 @@ impl ConstraintSet {
 
     /// Returns `true` if some disjunct is the empty conjunction.
     pub fn is_trivially_true(&self) -> bool {
-        self.disjuncts.iter().any(|d| d.is_trivially_true())
+        self.disjuncts
+            .iter()
+            .any(super::conjunction::Conjunction::is_trivially_true)
     }
 
     /// Returns `true` if some disjunct is satisfiable.
     pub fn is_satisfiable(&self) -> bool {
-        self.disjuncts.iter().any(|d| d.is_satisfiable())
+        self.disjuncts
+            .iter()
+            .any(super::conjunction::Conjunction::is_satisfiable)
     }
 
     /// The set of variables mentioned.
@@ -188,7 +192,11 @@ impl ConstraintSet {
 
     /// Simplifies each disjunct and drops redundant disjuncts.
     pub fn simplify(&self) -> ConstraintSet {
-        ConstraintSet::from_disjuncts(self.disjuncts.iter().map(|d| d.simplify()))
+        ConstraintSet::from_disjuncts(
+            self.disjuncts
+                .iter()
+                .map(super::conjunction::Conjunction::simplify),
+        )
     }
 
     /// Decides whether a single conjunction implies this constraint set,
@@ -221,7 +229,8 @@ impl ConstraintSet {
             if d.is_trivially_true() {
                 return true;
             }
-            let negations: Vec<Vec<Atom>> = d.atoms().iter().map(|a| a.negate()).collect();
+            let negations: Vec<Vec<Atom>> =
+                d.atoms().iter().map(super::atom::Atom::negate).collect();
             let options: Vec<Atom> = negations.into_iter().flatten().collect();
             let mut next: Vec<Conjunction> = Vec::new();
             for branch in &branches {

@@ -48,6 +48,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod atom;
 pub mod conjunction;

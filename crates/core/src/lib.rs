@@ -26,12 +26,14 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod optimizer;
 pub mod programs;
 
-pub use optimizer::{Optimized, Optimizer, Strategy};
+pub use optimizer::{AnalyzeMode, Optimized, Optimizer, Strategy};
 
+pub use pcs_analysis as analysis;
 pub use pcs_constraints as constraints;
 pub use pcs_engine as engine;
 pub use pcs_lang as lang;
@@ -39,8 +41,12 @@ pub use pcs_transform as transform;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use crate::optimizer::{Optimized, Optimizer, Strategy};
+    pub use crate::optimizer::{AnalyzeMode, Optimized, Optimizer, Strategy};
     pub use crate::programs;
+    pub use pcs_analysis::{
+        analyze, analyze_with, AnalyzeOptions, Code, Diagnostic, Interval, ProgramAnalysis,
+        Selectivity, Severity,
+    };
     pub use pcs_constraints::{Atom, CmpOp, Conjunction, ConstraintSet, LinearExpr, Rational, Var};
     pub use pcs_engine::{
         parse_facts, Database, EvalLimits, EvalOptions, Evaluator, Fact, FactRef, FactsError,

@@ -5,8 +5,9 @@
 //! constraints, and obtain an [`Optimized`] program that can be evaluated
 //! directly against a [`Database`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use pcs_analysis::{analyze_with, AnalyzeOptions, Diagnostic, ProgramAnalysis};
 use pcs_constraints::ConstraintSet;
 use pcs_engine::{Database, EvalOptions, EvalResult, Evaluator};
 use pcs_lang::{Pred, Program};
@@ -14,6 +15,54 @@ use pcs_transform::{
     apply_sequence, constraint_rewrite, MagicOptions, Result, RewriteOptions, SequenceOptions,
     Step, TransformError,
 };
+
+/// When the optimizer runs the static analyzer, read from the `PCS_ANALYZE`
+/// environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalyzeMode {
+    /// Skip analysis entirely (dead-rule pruning still analyzes on demand).
+    Off,
+    /// Analyze and attach the findings to the [`Optimized`] program without
+    /// failing — the default.
+    #[default]
+    Warn,
+    /// Analyze and refuse to optimize a program with error-severity findings
+    /// ([`TransformError::AnalysisRejected`]).
+    Strict,
+}
+
+impl AnalyzeMode {
+    /// Reads `PCS_ANALYZE` (`off`, `warn`, `strict`); unset selects
+    /// [`AnalyzeMode::Warn`], an unrecognized value falls back to the
+    /// default with a visible warning.
+    pub fn from_env() -> Self {
+        match std::env::var("PCS_ANALYZE") {
+            Ok(raw) => {
+                let value = raw.trim();
+                match Self::parse(value) {
+                    Some(mode) => mode,
+                    None => {
+                        eprintln!(
+                            "warning: ignoring invalid PCS_ANALYZE={value:?}: expected `off`, `warn` or `strict`"
+                        );
+                        AnalyzeMode::default()
+                    }
+                }
+            }
+            Err(_) => AnalyzeMode::default(),
+        }
+    }
+
+    /// Parses one spelling of the mode.
+    pub fn parse(value: &str) -> Option<Self> {
+        match value {
+            "off" | "0" | "false" | "none" => Some(AnalyzeMode::Off),
+            "warn" | "on" | "1" | "true" => Some(AnalyzeMode::Warn),
+            "strict" => Some(AnalyzeMode::Strict),
+            _ => None,
+        }
+    }
+}
 
 /// Which rewriting pipeline to apply.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -100,51 +149,145 @@ impl Optimizer {
         self
     }
 
+    /// Runs the static analyzer on the source program, with the declared EDB
+    /// constraints.  [`Optimizer::optimize`] calls this automatically (per
+    /// the `PCS_ANALYZE` mode); it is public so front-ends like the shell's
+    /// `.check` command can report findings without optimizing.
+    pub fn analyze(&self) -> ProgramAnalysis {
+        let options = AnalyzeOptions::new().with_edb_constraints(self.edb_constraints.clone());
+        analyze_with(&self.program, &options)
+    }
+
     /// Runs the selected rewriting pipeline.
+    ///
+    /// Unless `PCS_ANALYZE=off`, the source program is first analyzed and
+    /// the findings attached to the returned [`Optimized`]; with
+    /// `PCS_ANALYZE=strict`, error-severity findings abort with
+    /// [`TransformError::AnalysisRejected`] before any rewriting.  When the
+    /// evaluation options request it ([`EvalOptions::prune_dead`]), rules the
+    /// analyzer proves dead are pruned from the source program before
+    /// rewriting.
     pub fn optimize(&self) -> Result<Optimized> {
+        let mode = AnalyzeMode::from_env();
+        let mut diagnostics = Vec::new();
+        let mut program = self.program.clone();
+        if mode != AnalyzeMode::Off || self.eval.prune_dead {
+            let analysis = self.analyze();
+            if mode == AnalyzeMode::Strict && analysis.has_errors() {
+                let details = analysis
+                    .errors()
+                    .map(std::string::ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                return Err(TransformError::AnalysisRejected {
+                    errors: analysis.errors().count(),
+                    details,
+                });
+            }
+            if self.eval.prune_dead && !analysis.dead_rules.is_empty() {
+                program = prune_dead_rules(&program, &analysis.dead_rules);
+            }
+            diagnostics = analysis.diagnostics;
+        }
         let rewrite_options = RewriteOptions {
             edb_constraints: self.edb_constraints.clone(),
             ..Default::default()
         };
-        let query_pred = self
-            .program
+        let query_pred = program
             .query()
             .and_then(|q| q.literals.first())
             .map(|l| l.predicate.clone());
-        match &self.strategy {
-            Strategy::None => Ok(Optimized {
-                program: self.program.clone(),
+        let mut optimized = match &self.strategy {
+            Strategy::None => Optimized {
+                program: program.clone(),
                 query_pred: query_pred.ok_or(TransformError::MissingQuery)?,
                 eval: self.eval.clone(),
-            }),
+                diagnostics: Vec::new(),
+            },
             Strategy::ConstraintRewrite => {
-                let result = constraint_rewrite(&self.program, &rewrite_options)?;
-                Ok(Optimized {
+                let result = constraint_rewrite(&program, &rewrite_options)?;
+                Optimized {
                     program: result.program,
                     query_pred: query_pred.ok_or(TransformError::MissingQuery)?,
                     eval: self.eval.clone(),
-                })
+                    diagnostics: Vec::new(),
+                }
             }
-            Strategy::MagicOnly => self.run_sequence(&[Step::Magic], rewrite_options),
+            Strategy::MagicOnly => self.run_sequence(&program, &[Step::Magic], rewrite_options)?,
             Strategy::Optimal => {
-                self.run_sequence(&pcs_transform::OPTIMAL_SEQUENCE, rewrite_options)
+                self.run_sequence(&program, &pcs_transform::OPTIMAL_SEQUENCE, rewrite_options)?
             }
-            Strategy::Sequence(steps) => self.run_sequence(steps, rewrite_options),
-        }
+            Strategy::Sequence(steps) => self.run_sequence(&program, steps, rewrite_options)?,
+        };
+        optimized.diagnostics = diagnostics;
+        Ok(optimized)
     }
 
-    fn run_sequence(&self, steps: &[Step], rewrite: RewriteOptions) -> Result<Optimized> {
+    fn run_sequence(
+        &self,
+        program: &Program,
+        steps: &[Step],
+        rewrite: RewriteOptions,
+    ) -> Result<Optimized> {
         let options = SequenceOptions {
             rewrite,
             magic: self.magic,
         };
-        let result = apply_sequence(&self.program, steps, &options)?;
+        let result = apply_sequence(program, steps, &options)?;
         Ok(Optimized {
             program: result.program,
             query_pred: result.query_pred,
             eval: self.eval.clone(),
+            diagnostics: Vec::new(),
         })
     }
+}
+
+/// Removes the given rules from the program, except where removing every
+/// defining rule of a predicate that is still referenced (by a surviving
+/// rule body or the query) would turn that predicate into an implicitly
+/// extensional one: such predicates keep their first defining rule (a dead
+/// rule derives nothing, so keeping it is harmless).
+fn prune_dead_rules(program: &Program, dead: &BTreeSet<usize>) -> Program {
+    let rules = program.rules();
+    let mut keep: Vec<bool> = (0..rules.len()).map(|i| !dead.contains(&i)).collect();
+    loop {
+        let mut referenced: BTreeSet<Pred> = program
+            .query()
+            .map(pcs_lang::Query::predicates)
+            .unwrap_or_default();
+        for (idx, rule) in rules.iter().enumerate() {
+            if keep[idx] {
+                referenced.extend(rule.body_predicates());
+            }
+        }
+        let mut changed = false;
+        for pred in &referenced {
+            let defining: Vec<usize> = rules
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| &r.head.predicate == pred)
+                .map(|(i, _)| i)
+                .collect();
+            if !defining.is_empty() && defining.iter().all(|&i| !keep[i]) {
+                keep[defining[0]] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut pruned = Program::new().with_edb(program.edb_predicates());
+    for (idx, rule) in rules.iter().enumerate() {
+        if keep[idx] {
+            pruned.add_rule(rule.clone());
+        }
+    }
+    if let Some(query) = program.query() {
+        pruned.set_query(query.clone());
+    }
+    pruned
 }
 
 /// An optimized program ready for evaluation.
@@ -158,6 +301,10 @@ pub struct Optimized {
     /// The evaluation options configured on the [`Optimizer`] (indexed vs
     /// legacy join core, limits, tracing).
     pub eval: EvalOptions,
+    /// The static-analysis findings for the source program, sorted most
+    /// severe first.  Empty when `PCS_ANALYZE=off` (and dead-rule pruning was
+    /// not requested).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Optimized {
@@ -330,6 +477,84 @@ mod tests {
                 scratch.stats.facts_per_predicate
             );
         }
+    }
+
+    #[test]
+    fn analyzer_findings_attach_to_the_optimized_program() {
+        let program = pcs_lang::parse_program(
+            "q(X) :- e(X), X > 3, X < 2.\n\
+             q(X) :- e(X).\n\
+             ?- q(U).",
+        )
+        .unwrap();
+        let optimized = Optimizer::new(program)
+            .strategy(Strategy::None)
+            .optimize()
+            .unwrap();
+        assert!(optimized
+            .diagnostics
+            .iter()
+            .any(|d| d.code == pcs_analysis::Code::UnsatisfiableRule));
+    }
+
+    #[test]
+    fn strict_mode_rejects_error_findings_and_passes_clean_programs() {
+        std::env::set_var("PCS_ANALYZE", "strict");
+        let clean = pcs_lang::parse_program("q(X) :- e(X).\n?- q(U).").unwrap();
+        let ok = Optimizer::new(clean).strategy(Strategy::None).optimize();
+        let unsafe_program = pcs_lang::parse_program("q(X, Y) :- e(X).\n?- q(U, V).").unwrap();
+        let err = Optimizer::new(unsafe_program)
+            .strategy(Strategy::None)
+            .optimize();
+        std::env::remove_var("PCS_ANALYZE");
+        assert!(ok.is_ok());
+        match err.unwrap_err() {
+            TransformError::AnalysisRejected { errors, details } => {
+                assert_eq!(errors, 1);
+                assert!(details.contains("unsafe-rule"), "{details}");
+            }
+            other => panic!("expected AnalysisRejected, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dead_rule_pruning_drops_rules_without_changing_answers() {
+        let program = pcs_lang::parse_program(
+            "q(X) :- e(X), X <= 4.\n\
+             q(X) :- e(X), X > 10, X < 5.\n\
+             ?- q(U).",
+        )
+        .unwrap();
+        let mut db = pcs_engine::Database::new();
+        for fact in pcs_engine::parse_facts("e(1). e(3). e(7).").unwrap() {
+            db.add(fact);
+        }
+        let plain = Optimizer::new(program.clone())
+            .strategy(Strategy::None)
+            .optimize()
+            .unwrap();
+        let pruned = Optimizer::new(program)
+            .strategy(Strategy::None)
+            .eval_options(EvalOptions::default().with_prune_dead(true))
+            .optimize()
+            .unwrap();
+        assert_eq!(plain.program.rules().len(), 2);
+        assert_eq!(pruned.program.rules().len(), 1);
+        assert_eq!(plain.count_answers(&db), pruned.count_answers(&db));
+    }
+
+    #[test]
+    fn pruning_keeps_a_defining_rule_for_query_referenced_predicates() {
+        // The only rule for q is dead; pruning must not turn q into an
+        // implicitly extensional predicate.
+        let program = pcs_lang::parse_program("q(X) :- e(X), X > 3, X < 2.\n?- q(U).").unwrap();
+        let pruned = Optimizer::new(program)
+            .strategy(Strategy::None)
+            .eval_options(EvalOptions::default().with_prune_dead(true))
+            .optimize()
+            .unwrap();
+        assert_eq!(pruned.program.rules().len(), 1);
+        assert!(pruned.program.idb_predicates().contains(&Pred::new("q")));
     }
 
     #[test]

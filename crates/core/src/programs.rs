@@ -235,7 +235,7 @@ mod tests {
         assert!(small
             .facts_for(&Pred::new("singleleg"))
             .iter()
-            .all(|f| f.is_ground()));
+            .all(pcs_engine::Fact::is_ground));
     }
 
     #[test]

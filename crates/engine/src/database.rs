@@ -355,7 +355,7 @@ impl Database {
 
     /// The facts for a predicate.
     pub fn facts_for(&self, pred: &Pred) -> &[Fact] {
-        self.facts.get(pred).map(Vec::as_slice).unwrap_or(&[])
+        self.facts.get(pred).map_or(&[], Vec::as_slice)
     }
 
     /// Iterates over all facts.

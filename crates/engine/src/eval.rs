@@ -77,6 +77,12 @@ pub struct EvalOptions {
     /// relations, statistics, and termination are identical either way
     /// (the property the conformance suites check under both values).
     pub columnar: Option<bool>,
+    /// When `true`, the optimizer prunes rules the static analyzer proves
+    /// dead (unsatisfiable constraints, provably empty body predicates)
+    /// before rewriting.  Purely an optimization knob — dead rules derive
+    /// nothing, so the computed answers are identical either way (the
+    /// property `tests/analysis_differential.rs` checks).  Off by default.
+    pub prune_dead: bool,
 }
 
 impl Default for EvalOptions {
@@ -88,6 +94,7 @@ impl Default for EvalOptions {
             threads: threads_from_env(),
             min_parallel_work: MIN_PARALLEL_ROUND_WORK,
             columnar: None,
+            prune_dead: false,
         }
     }
 }
@@ -155,11 +162,7 @@ fn threads_from_env() -> usize {
     env_setting(
         "PCS_EVAL_THREADS",
         "a positive thread count",
-        || {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        },
+        || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         parse_threads_setting,
     )
 }
@@ -220,6 +223,12 @@ impl EvalOptions {
             ..self
         }
     }
+
+    /// Returns these options with analyzer-driven dead-rule pruning switched
+    /// on or off (see [`EvalOptions::prune_dead`]).
+    pub fn with_prune_dead(self, prune_dead: bool) -> Self {
+        EvalOptions { prune_dead, ..self }
+    }
 }
 
 /// The result of a bottom-up evaluation.
@@ -244,7 +253,7 @@ impl EvalResult {
 
     /// Number of facts computed for a predicate.
     pub fn count_for(&self, pred: &Pred) -> usize {
-        self.relations.get(pred).map(Relation::len).unwrap_or(0)
+        self.relations.get(pred).map_or(0, Relation::len)
     }
 
     /// Total number of facts across all predicates.
@@ -875,8 +884,7 @@ impl Evaluator {
                 .map(|task| match &task.kind {
                     TaskKind::Pinned { order, .. } => relations
                         .get(&task.rule.body[order[0].0].predicate)
-                        .map(|r| r.window_range(Window::Known).len())
-                        .unwrap_or(0),
+                        .map_or(0, |r| r.window_range(Window::Known).len()),
                     _ => 1,
                 })
                 .sum();
@@ -1665,8 +1673,7 @@ fn greedy_order(
     let visible = |i: usize| {
         relations
             .get(&rule.body[i].predicate)
-            .map(|r| r.window_range(window_of(i)).len())
-            .unwrap_or(0)
+            .map_or(0, |r| r.window_range(window_of(i)).len())
     };
     let mut bound = seed_bound.clone();
     for atom in rule.constraint.atoms() {
@@ -2268,8 +2275,7 @@ mod tests {
             .iter()
             .find(|f| {
                 f.ground_values()
-                    .map(|v| v[0] == Value::sym("madison") && v[1] == Value::sym("seattle"))
-                    .unwrap_or(false)
+                    .is_some_and(|v| v[0] == Value::sym("madison") && v[1] == Value::sym("seattle"))
             })
             .cloned()
             .expect("composed flight exists");
@@ -2393,12 +2399,12 @@ mod tests {
             let mut a: Vec<String> = indexed
                 .facts_for(&Pred::new(pred))
                 .iter()
-                .map(|f| f.to_string())
+                .map(std::string::ToString::to_string)
                 .collect();
             let mut b: Vec<String> = legacy
                 .facts_for(&Pred::new(pred))
                 .iter()
-                .map(|f| f.to_string())
+                .map(std::string::ToString::to_string)
                 .collect();
             a.sort();
             b.sort();

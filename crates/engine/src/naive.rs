@@ -44,7 +44,7 @@ pub struct NaiveResult {
 impl NaiveResult {
     /// The facts computed for a predicate.
     pub fn facts_for(&self, pred: &Pred) -> &[Fact] {
-        self.relations.get(pred).map(Vec::as_slice).unwrap_or(&[])
+        self.relations.get(pred).map_or(&[], Vec::as_slice)
     }
 
     /// Number of facts computed for a predicate.
@@ -234,10 +234,7 @@ fn apply_rule(
             return;
         }
         let literal = &rule.body[index];
-        let facts = relations
-            .get(&literal.predicate)
-            .map(Vec::as_slice)
-            .unwrap_or(&[]);
+        let facts: &[Fact] = relations.get(&literal.predicate).map_or(&[], Vec::as_slice);
         let limit = visible
             .get(&literal.predicate)
             .copied()
@@ -386,8 +383,7 @@ mod tests {
             .iter()
             .find(|f| {
                 f.ground_values()
-                    .map(|v| v[0] == Value::sym("madison") && v[1] == Value::sym("seattle"))
-                    .unwrap_or(false)
+                    .is_some_and(|v| v[0] == Value::sym("madison") && v[1] == Value::sym("seattle"))
             })
             .cloned()
             .expect("composed trip exists");

@@ -543,15 +543,11 @@ impl Relation {
         self.value_index
             .get(position)
             .and_then(|by_value| by_value.get(value))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[], Vec::as_slice)
     }
 
     fn free_entries(&self, position: usize) -> &[usize] {
-        self.free_index
-            .get(position)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.free_index.get(position).map_or(&[], Vec::as_slice)
     }
 
     /// Iterates over the facts in logical (insertion) order.

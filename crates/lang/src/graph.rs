@@ -1,0 +1,362 @@
+//! The predicate dependency graph of a program, as a reusable structure.
+//!
+//! [`RuleGraph`] captures everything the rule-level structure of a program
+//! determines without looking at constraints: the predicate dependency
+//! edges, Tarjan's strongly connected components, a stratum numbering over
+//! the SCC condensation, reachability, and a "possibly nonempty" fixpoint
+//! over predicates.  It is built once from a [`Program`] and then queried —
+//! the static analyzer (`pcs-analysis`) drives its dead-code pass off it,
+//! and it is the scaffold a future stratified-negation evaluator needs
+//! (today every program is trivially stratified because all dependencies
+//! are positive, but the numbering is already the topological level of each
+//! predicate's component).
+//!
+//! [`Program::dependencies`], [`Program::sccs`] and
+//! [`Program::reachable_from`] delegate here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::literal::Pred;
+use crate::program::Program;
+
+/// The predicate dependency structure of one program.
+///
+/// Edges run `p -> q` when `q` occurs in the body of a rule defining `p`.
+/// Rule-level structure (which predicates each rule's body mentions) is kept
+/// alongside, indexed by the rule's position in [`Program::rules`].
+#[derive(Debug, Clone)]
+pub struct RuleGraph {
+    edges: BTreeMap<Pred, BTreeSet<Pred>>,
+    idb: BTreeSet<Pred>,
+    edb: BTreeSet<Pred>,
+    rule_heads: Vec<Pred>,
+    rule_bodies: Vec<BTreeSet<Pred>>,
+    query_preds: BTreeSet<Pred>,
+}
+
+impl RuleGraph {
+    /// Builds the dependency graph of a program.
+    pub fn new(program: &Program) -> RuleGraph {
+        let mut edges: BTreeMap<Pred, BTreeSet<Pred>> = BTreeMap::new();
+        for pred in program.all_predicates() {
+            edges.entry(pred).or_default();
+        }
+        let mut rule_heads = Vec::with_capacity(program.rules().len());
+        let mut rule_bodies = Vec::with_capacity(program.rules().len());
+        for rule in program.rules() {
+            let entry = edges.entry(rule.head.predicate.clone()).or_default();
+            for lit in &rule.body {
+                entry.insert(lit.predicate.clone());
+            }
+            rule_heads.push(rule.head.predicate.clone());
+            rule_bodies.push(rule.body_predicates());
+        }
+        RuleGraph {
+            edges,
+            idb: program.idb_predicates(),
+            edb: program.edb_predicates(),
+            rule_heads,
+            rule_bodies,
+            query_preds: program
+                .query()
+                .map(super::program::Query::predicates)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// The dependency edges: `p -> q` if `q` occurs in the body of a rule
+    /// defining `p`.  Every predicate of the program has an entry.
+    pub fn dependencies(&self) -> &BTreeMap<Pred, BTreeSet<Pred>> {
+        &self.edges
+    }
+
+    /// The derived (IDB) predicates.
+    pub fn idb_predicates(&self) -> &BTreeSet<Pred> {
+        &self.idb
+    }
+
+    /// The EDB predicates (declared, or used but never defined).
+    pub fn edb_predicates(&self) -> &BTreeSet<Pred> {
+        &self.edb
+    }
+
+    /// The predicates the program's query mentions (empty without a query).
+    pub fn query_predicates(&self) -> &BTreeSet<Pred> {
+        &self.query_preds
+    }
+
+    /// The head predicate of each rule, indexed like [`Program::rules`].
+    pub fn rule_heads(&self) -> &[Pred] {
+        &self.rule_heads
+    }
+
+    /// The body predicates of each rule, indexed like [`Program::rules`].
+    pub fn rule_bodies(&self) -> &[BTreeSet<Pred>] {
+        &self.rule_bodies
+    }
+
+    /// The predicates reachable from `start` along dependency edges
+    /// (including `start` itself).
+    pub fn reachable_from(&self, start: &Pred) -> BTreeSet<Pred> {
+        let mut reached = BTreeSet::new();
+        let mut stack = vec![start.clone()];
+        while let Some(p) = stack.pop() {
+            if !reached.insert(p.clone()) {
+                continue;
+            }
+            if let Some(next) = self.edges.get(&p) {
+                for q in next {
+                    if !reached.contains(q) {
+                        stack.push(q.clone());
+                    }
+                }
+            }
+        }
+        reached
+    }
+
+    /// The predicates reachable from any of the program's query predicates
+    /// (the "relevant" part of the program).  `None` when the program has no
+    /// query — without one, every rule is presumed relevant.
+    pub fn reachable_from_query(&self) -> Option<BTreeSet<Pred>> {
+        if self.query_preds.is_empty() {
+            return None;
+        }
+        let mut reached = BTreeSet::new();
+        for q in &self.query_preds {
+            reached.extend(self.reachable_from(q));
+        }
+        Some(reached)
+    }
+
+    /// Strongly connected components of the derived predicates, in reverse
+    /// topological order (every component only depends on components that
+    /// appear *earlier* in the returned list).
+    ///
+    /// EDB predicates form their own singleton components and are omitted.
+    /// The GMT grounding procedure of Section 6.2 processes SCCs in
+    /// topological order starting from the query predicate's component; use
+    /// `.rev()` on the result for that order.
+    pub fn sccs(&self) -> Vec<BTreeSet<Pred>> {
+        struct TarjanState {
+            index: usize,
+            indices: BTreeMap<Pred, usize>,
+            lowlink: BTreeMap<Pred, usize>,
+            on_stack: BTreeSet<Pred>,
+            stack: Vec<Pred>,
+            output: Vec<BTreeSet<Pred>>,
+        }
+        let mut state = TarjanState {
+            index: 0,
+            indices: BTreeMap::new(),
+            lowlink: BTreeMap::new(),
+            on_stack: BTreeSet::new(),
+            stack: Vec::new(),
+            output: Vec::new(),
+        };
+
+        fn strongconnect(
+            v: &Pred,
+            graph: &BTreeMap<Pred, BTreeSet<Pred>>,
+            idb: &BTreeSet<Pred>,
+            state: &mut TarjanState,
+        ) {
+            state.indices.insert(v.clone(), state.index);
+            state.lowlink.insert(v.clone(), state.index);
+            state.index += 1;
+            state.stack.push(v.clone());
+            state.on_stack.insert(v.clone());
+
+            if let Some(successors) = graph.get(v) {
+                for w in successors {
+                    if !idb.contains(w) {
+                        continue;
+                    }
+                    if !state.indices.contains_key(w) {
+                        strongconnect(w, graph, idb, state);
+                        let wl = state.lowlink[w];
+                        let vl = state.lowlink[v];
+                        state.lowlink.insert(v.clone(), vl.min(wl));
+                    } else if state.on_stack.contains(w) {
+                        let wi = state.indices[w];
+                        let vl = state.lowlink[v];
+                        state.lowlink.insert(v.clone(), vl.min(wi));
+                    }
+                }
+            }
+
+            if state.lowlink[v] == state.indices[v] {
+                let mut component = BTreeSet::new();
+                while let Some(w) = state.stack.pop() {
+                    state.on_stack.remove(&w);
+                    let done = w == *v;
+                    component.insert(w);
+                    if done {
+                        break;
+                    }
+                }
+                state.output.push(component);
+            }
+        }
+
+        for pred in &self.idb {
+            if !state.indices.contains_key(pred) {
+                strongconnect(pred, &self.edges, &self.idb, &mut state);
+            }
+        }
+        state.output
+    }
+
+    /// A stratum number per predicate: EDB predicates sit at stratum 0, and
+    /// each IDB component sits one level above the highest stratum it
+    /// depends on outside itself.
+    ///
+    /// With only positive dependencies (the language has no negation yet)
+    /// every program is stratifiable and the numbering is simply the
+    /// topological level of each predicate's SCC — the evaluation order a
+    /// stratified or SCC-at-a-time evaluator would use, and the scaffold a
+    /// future negation pass will refine (a negated edge would then require a
+    /// *strict* stratum increase).
+    pub fn strata(&self) -> BTreeMap<Pred, usize> {
+        let mut strata: BTreeMap<Pred, usize> = BTreeMap::new();
+        for pred in &self.edb {
+            strata.insert(pred.clone(), 0);
+        }
+        // Reverse topological order: dependencies already numbered.
+        for component in self.sccs() {
+            let mut level = 1;
+            for member in &component {
+                if let Some(deps) = self.edges.get(member) {
+                    for dep in deps {
+                        if component.contains(dep) {
+                            continue;
+                        }
+                        if let Some(&s) = strata.get(dep) {
+                            level = level.max(s + 1);
+                        }
+                    }
+                }
+            }
+            for member in component {
+                strata.insert(member, level);
+            }
+        }
+        strata
+    }
+
+    /// The predicates that can possibly hold facts, assuming every EDB
+    /// relation may be nonempty: the least fixpoint in which a rule fires as
+    /// soon as all of its body predicates possibly hold facts (a rule with
+    /// no body literals always fires).
+    ///
+    /// `dead_rules` are rule indices excluded from firing — the analyzer
+    /// passes the statically unsatisfiable rules, so that a predicate whose
+    /// every derivation is unsatisfiable propagates emptiness downstream.
+    pub fn possibly_nonempty(&self, dead_rules: &BTreeSet<usize>) -> BTreeSet<Pred> {
+        let mut nonempty: BTreeSet<Pred> = self.edb.clone();
+        loop {
+            let mut changed = false;
+            for (i, head) in self.rule_heads.iter().enumerate() {
+                if dead_rules.contains(&i) || nonempty.contains(head) {
+                    continue;
+                }
+                if self.rule_bodies[i].iter().all(|p| nonempty.contains(p)) {
+                    nonempty.insert(head.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                return nonempty;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn graph(source: &str) -> RuleGraph {
+        RuleGraph::new(&parse_program(source).expect("test program parses"))
+    }
+
+    #[test]
+    fn strata_number_the_condensation_levels() {
+        let g = graph(
+            "q(X) :- a(X), X <= 4.\n\
+             a(X) :- b(X, Z), a(Z).\n\
+             a(X) :- b(X, X).\n\
+             ?- q(U).",
+        );
+        let strata = g.strata();
+        assert_eq!(strata[&Pred::new("b")], 0);
+        assert_eq!(strata[&Pred::new("a")], 1);
+        assert_eq!(strata[&Pred::new("q")], 2);
+    }
+
+    #[test]
+    fn mutually_recursive_predicates_share_a_stratum() {
+        let g = graph(
+            "p(X) :- e(X, Y), q(Y).\n\
+             q(X) :- e(X, Y), p(Y).\n\
+             q(X) :- e(X, X).\n\
+             ?- p(U).",
+        );
+        let strata = g.strata();
+        assert_eq!(strata[&Pred::new("p")], strata[&Pred::new("q")]);
+        let sccs = g.sccs();
+        assert!(sccs
+            .iter()
+            .any(|c| c.contains(&Pred::new("p")) && c.contains(&Pred::new("q"))));
+    }
+
+    #[test]
+    fn possibly_nonempty_propagates_emptiness() {
+        // `loop` has no non-recursive rule, so it can never hold facts, and
+        // neither can `user` which depends on it.
+        let g = graph(
+            "top(X) :- b(X).\n\
+             loop(X) :- loop(X).\n\
+             user(X) :- loop(X), b(X).\n\
+             ?- top(U).",
+        );
+        let nonempty = g.possibly_nonempty(&BTreeSet::new());
+        assert!(nonempty.contains(&Pred::new("b")));
+        assert!(nonempty.contains(&Pred::new("top")));
+        assert!(!nonempty.contains(&Pred::new("loop")));
+        assert!(!nonempty.contains(&Pred::new("user")));
+    }
+
+    #[test]
+    fn dead_rules_are_excluded_from_the_fixpoint() {
+        // Excluding p's only rule makes p empty, which kills q too.
+        let g = graph(
+            "p(X) :- b(X).\n\
+             q(X) :- p(X).\n\
+             ?- q(U).",
+        );
+        let all = g.possibly_nonempty(&BTreeSet::new());
+        assert!(all.contains(&Pred::new("q")));
+        let without: BTreeSet<usize> = [0].into_iter().collect();
+        let restricted = g.possibly_nonempty(&without);
+        assert!(!restricted.contains(&Pred::new("p")));
+        assert!(!restricted.contains(&Pred::new("q")));
+    }
+
+    #[test]
+    fn query_reachability_marks_the_relevant_part() {
+        let g = graph(
+            "q(X) :- a(X).\n\
+             a(X) :- b(X).\n\
+             orphan(X) :- b(X).\n\
+             ?- q(U).",
+        );
+        let reached = g.reachable_from_query().expect("program has a query");
+        assert!(reached.contains(&Pred::new("a")));
+        assert!(reached.contains(&Pred::new("b")));
+        assert!(!reached.contains(&Pred::new("orphan")));
+        let no_query = graph("q(X) :- a(X).");
+        assert!(no_query.reachable_from_query().is_none());
+    }
+}

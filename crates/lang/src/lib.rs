@@ -27,7 +27,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
+pub mod graph;
 pub mod intern;
 pub mod literal;
 pub mod parser;
@@ -35,9 +37,10 @@ pub mod program;
 pub mod rule;
 pub mod term;
 
+pub use graph::RuleGraph;
 pub use intern::{SymId, SymbolTable};
 pub use literal::{Literal, Pred};
 pub use parser::{parse_facts, parse_literal, parse_program, parse_query, parse_rule, ParseError};
 pub use program::{Program, Query};
-pub use rule::Rule;
+pub use rule::{Rule, Span};
 pub use term::{Symbol, Term};

@@ -153,7 +153,11 @@ impl fmt::Display for Literal {
         if self.args.is_empty() {
             return write!(f, "{}", self.predicate);
         }
-        let args: Vec<String> = self.args.iter().map(|a| a.to_string()).collect();
+        let args: Vec<String> = self
+            .args
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         write!(f, "{}({})", self.predicate, args.join(", "))
     }
 }

@@ -27,7 +27,7 @@ use pcs_constraints::{Atom, CmpOp, Conjunction, LinearExpr, Rational, Var};
 
 use crate::literal::{Literal, Pred};
 use crate::program::{Program, Query};
-use crate::rule::Rule;
+use crate::rule::{Rule, Span};
 use crate::term::Term;
 
 /// A parse error with the (1-based) line and column where it occurred.
@@ -160,7 +160,7 @@ impl<'a> Lexer<'a> {
                     // (otherwise it terminates the statement).
                     if c == '.' {
                         let next = self.chars.get(self.pos + 1).copied();
-                        if !next.map(|n| n.is_ascii_digit()).unwrap_or(false) {
+                        if !next.is_some_and(|n| n.is_ascii_digit()) {
                             break;
                         }
                     }
@@ -347,6 +347,12 @@ impl Parser {
     }
 
     fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        // The statement-start position becomes the rule's span, so
+        // diagnostics can point at the offending source line.
+        let span = Span {
+            line: self.peek().line,
+            column: self.peek().column,
+        };
         // Optional label: lower ident followed by ':' (but not ':-').
         let mut label = None;
         if let Token::LowerIdent(name) = &self.peek().token {
@@ -364,7 +370,7 @@ impl Parser {
             (Vec::new(), Conjunction::truth())
         };
         self.expect_punct(".")?;
-        let mut rule = Rule::new(head, body, constraint);
+        let mut rule = Rule::new(head, body, constraint).with_span(span);
         if let Some(label) = label {
             rule = rule.with_label(label);
         }

@@ -5,6 +5,7 @@ use std::fmt;
 
 use pcs_constraints::{Conjunction, Var, VarGen};
 
+use crate::graph::RuleGraph;
 use crate::literal::{Literal, Pred};
 use crate::rule::Rule;
 use crate::term::Term;
@@ -69,9 +70,9 @@ impl fmt::Display for Query {
             .constraint
             .atoms()
             .iter()
-            .map(|a| a.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
-        parts.extend(self.literals.iter().map(|l| l.to_string()));
+        parts.extend(self.literals.iter().map(std::string::ToString::to_string));
         write!(f, "?- {}.", parts.join(", "))
     }
 }
@@ -268,41 +269,22 @@ impl Program {
         Some((program, query_pred))
     }
 
+    /// The rule-level dependency structure of this program (dependency
+    /// edges, SCCs, strata, reachability) — see [`RuleGraph`].
+    pub fn graph(&self) -> RuleGraph {
+        RuleGraph::new(self)
+    }
+
     /// The predicate dependency graph: `p -> q` if `q` occurs in the body of
     /// a rule defining `p`.
     pub fn dependencies(&self) -> BTreeMap<Pred, BTreeSet<Pred>> {
-        let mut graph: BTreeMap<Pred, BTreeSet<Pred>> = BTreeMap::new();
-        for pred in self.all_predicates() {
-            graph.entry(pred).or_default();
-        }
-        for rule in &self.rules {
-            let entry = graph.entry(rule.head.predicate.clone()).or_default();
-            for lit in &rule.body {
-                entry.insert(lit.predicate.clone());
-            }
-        }
-        graph
+        self.graph().dependencies().clone()
     }
 
     /// The predicates reachable from `start` in the dependency graph
     /// (including `start` itself).
     pub fn reachable_from(&self, start: &Pred) -> BTreeSet<Pred> {
-        let graph = self.dependencies();
-        let mut reached = BTreeSet::new();
-        let mut stack = vec![start.clone()];
-        while let Some(p) = stack.pop() {
-            if !reached.insert(p.clone()) {
-                continue;
-            }
-            if let Some(next) = graph.get(&p) {
-                for q in next {
-                    if !reached.contains(q) {
-                        stack.push(q.clone());
-                    }
-                }
-            }
-        }
-        reached
+        self.graph().reachable_from(start)
     }
 
     /// Removes rules whose head predicate is not reachable from `start`.
@@ -326,80 +308,10 @@ impl Program {
     ///
     /// The GMT grounding procedure of Section 6.2 processes SCCs in
     /// topological order starting from the query predicate's component; use
-    /// `.rev()` on the result for that order.
+    /// `.rev()` on the result for that order.  Delegates to
+    /// [`RuleGraph::sccs`].
     pub fn sccs(&self) -> Vec<BTreeSet<Pred>> {
-        // Tarjan's algorithm over the dependency graph restricted to IDB
-        // predicates (EDB predicates form their own singleton components and
-        // are omitted).
-        struct TarjanState {
-            index: usize,
-            indices: BTreeMap<Pred, usize>,
-            lowlink: BTreeMap<Pred, usize>,
-            on_stack: BTreeSet<Pred>,
-            stack: Vec<Pred>,
-            output: Vec<BTreeSet<Pred>>,
-        }
-        let graph = self.dependencies();
-        let idb = self.idb_predicates();
-        let mut state = TarjanState {
-            index: 0,
-            indices: BTreeMap::new(),
-            lowlink: BTreeMap::new(),
-            on_stack: BTreeSet::new(),
-            stack: Vec::new(),
-            output: Vec::new(),
-        };
-
-        fn strongconnect(
-            v: &Pred,
-            graph: &BTreeMap<Pred, BTreeSet<Pred>>,
-            idb: &BTreeSet<Pred>,
-            state: &mut TarjanState,
-        ) {
-            state.indices.insert(v.clone(), state.index);
-            state.lowlink.insert(v.clone(), state.index);
-            state.index += 1;
-            state.stack.push(v.clone());
-            state.on_stack.insert(v.clone());
-
-            if let Some(successors) = graph.get(v) {
-                for w in successors {
-                    if !idb.contains(w) {
-                        continue;
-                    }
-                    if !state.indices.contains_key(w) {
-                        strongconnect(w, graph, idb, state);
-                        let wl = state.lowlink[w];
-                        let vl = state.lowlink[v];
-                        state.lowlink.insert(v.clone(), vl.min(wl));
-                    } else if state.on_stack.contains(w) {
-                        let wi = state.indices[w];
-                        let vl = state.lowlink[v];
-                        state.lowlink.insert(v.clone(), vl.min(wi));
-                    }
-                }
-            }
-
-            if state.lowlink[v] == state.indices[v] {
-                let mut component = BTreeSet::new();
-                while let Some(w) = state.stack.pop() {
-                    state.on_stack.remove(&w);
-                    let done = w == *v;
-                    component.insert(w);
-                    if done {
-                        break;
-                    }
-                }
-                state.output.push(component);
-            }
-        }
-
-        for pred in &idb {
-            if !state.indices.contains_key(pred) {
-                strongconnect(pred, &graph, &idb, &mut state);
-            }
-        }
-        state.output
+        self.graph().sccs()
     }
 
     /// Returns `true` if `p` and `q` are mutually recursive (in the same SCC).

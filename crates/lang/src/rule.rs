@@ -8,13 +8,30 @@ use pcs_constraints::{Atom, CmpOp, Conjunction, LinearExpr, Var, VarGen};
 use crate::literal::{Literal, Pred};
 use crate::term::Term;
 
+/// A source position (1-based line and column) attached to a parsed
+/// statement, so diagnostics can point at the offending rule instead of just
+/// naming it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Line number (1-based).
+    pub line: usize,
+    /// Column number (1-based).
+    pub column: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
 /// A rule `head :- C, l1, ..., ln.` where `C` is a conjunction of linear
 /// arithmetic constraints and `l1..ln` are ordinary literals.
 ///
 /// A rule with no body literals is a *constraint fact* (Section 2 of the
 /// paper): a finite representation of the possibly infinite set of ground
 /// facts satisfying its constraints.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Rule {
     /// The head literal.
     pub head: Literal,
@@ -24,7 +41,22 @@ pub struct Rule {
     pub constraint: Conjunction,
     /// An optional label (`r1`, `mr2`, ...) used for display and statistics.
     pub label: Option<String>,
+    /// The source position of the statement this rule was parsed from, if it
+    /// came from the parser.  Ignored by equality: two rules that differ only
+    /// in where they were written are the same rule.
+    pub span: Option<Span>,
 }
+
+impl PartialEq for Rule {
+    fn eq(&self, other: &Self) -> bool {
+        self.head == other.head
+            && self.body == other.body
+            && self.constraint == other.constraint
+            && self.label == other.label
+    }
+}
+
+impl Eq for Rule {}
 
 impl Rule {
     /// Creates a rule.
@@ -34,6 +66,7 @@ impl Rule {
             body,
             constraint,
             label: None,
+            span: None,
         }
     }
 
@@ -45,6 +78,13 @@ impl Rule {
     /// Attaches a label to the rule.
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
+        self
+    }
+
+    /// Attaches a source position to the rule (the parser records where each
+    /// statement started).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
         self
     }
 
@@ -96,6 +136,7 @@ impl Rule {
             body: self.body.iter().map(|l| l.rename(mapping)).collect(),
             constraint: self.constraint.rename(mapping),
             label: self.label.clone(),
+            span: self.span,
         }
     }
 
@@ -152,6 +193,7 @@ impl Rule {
             body,
             constraint,
             label: self.label.clone(),
+            span: self.span,
         }
     }
 
@@ -168,6 +210,7 @@ impl Rule {
             body: self.body.clone(),
             constraint: self.constraint.and(extra),
             label: self.label.clone(),
+            span: self.span,
         }
     }
 

@@ -22,12 +22,13 @@ use std::fmt;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+use pcs_core::analysis::{analyze, ProgramAnalysis};
 use pcs_core::transform::TransformError;
 use pcs_core::{Optimized, Optimizer};
 use pcs_engine::{
     parse_facts, Database, EvalResult, Evaluator, Fact, FactsError, Termination, UpdateBatch,
 };
-use pcs_lang::{Literal, Pred, Query, Term};
+use pcs_lang::{Literal, Pred, Program, Query, Term};
 
 /// Errors reported by a [`Session`].
 #[derive(Debug)]
@@ -190,6 +191,9 @@ pub struct SessionStats {
 /// new snapshot.
 pub struct Session {
     optimized: Optimized,
+    /// The source program the session was materialized from (before any
+    /// rewriting), kept for on-demand static analysis (`.check`).
+    source: Program,
     evaluator: Evaluator,
     /// EDB predicates of the rewritten program — the only legal insertion
     /// targets.
@@ -238,6 +242,7 @@ impl Session {
         let result = evaluator.evaluate(db);
         Ok(Session {
             optimized,
+            source: optimizer.program().clone(),
             evaluator,
             edb,
             original_query,
@@ -254,6 +259,17 @@ impl Session {
     /// The rewritten program this session materialized.
     pub fn optimized(&self) -> &Optimized {
         &self.optimized
+    }
+
+    /// The source program the session was materialized from.
+    pub fn source(&self) -> &Program {
+        &self.source
+    }
+
+    /// Runs the static analyzer over the source program (safety,
+    /// satisfiability, dead rules, stratification) — the shell's `.check`.
+    pub fn check(&self) -> ProgramAnalysis {
+        analyze(&self.source)
     }
 
     /// The current snapshot (cheap: one `Arc` clone under a read lock that

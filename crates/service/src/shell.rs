@@ -182,6 +182,7 @@ impl Shell {
             ".commit" => self.commit_batch(),
             ".abort" => self.abort_batch(),
             ".stats" => self.stats(),
+            ".check" => self.check(),
             ".facts" => self.facts(arg),
             ".answers" => self.program_answers(),
             ".quit" | ".exit" => Response {
@@ -419,6 +420,27 @@ impl Shell {
         Response { lines, quit: false }
     }
 
+    fn check(&mut self) -> Response {
+        let session = match self.session() {
+            Ok(session) => session,
+            Err(response) => return response,
+        };
+        let analysis = session.check();
+        let mut lines: Vec<String> = analysis.render().lines().map(str::to_string).collect();
+        if !analysis.dead_rules.is_empty() {
+            lines.push(format!(
+                "dead rules (prunable): {}",
+                analysis
+                    .dead_rules
+                    .iter()
+                    .map(|i| format!("#{}", i + 1))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        Response { lines, quit: false }
+    }
+
     fn facts(&mut self, arg: &str) -> Response {
         if arg.is_empty() {
             return Response::error(".facts needs a predicate name");
@@ -533,6 +555,8 @@ const HELP: &str = "commands:
   .answers           answer the loaded program's own query
   .facts <pred>      list the stored facts of one predicate
   .stats             materialization statistics
+  .check             static analysis of the loaded program (safety,
+                     satisfiability, dead rules, reachability)
   .help              this text
   .quit              close this session";
 
@@ -601,6 +625,41 @@ r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2), T = T1 +
         assert!(run(&mut shell, "+flight(a, b, 1, 1).")[0].contains("not an EDB"));
         assert!(run(&mut shell, "?- nosuch(X).")[0].contains("unknown predicate"));
         assert!(run(&mut shell, "+nonsense((")[0].starts_with("error:"));
+    }
+
+    #[test]
+    fn check_reports_analysis_findings() {
+        let mut shell = Shell::new();
+        assert!(run(&mut shell, ".check")[0].contains("no session loaded"));
+        run(&mut shell, FLIGHTS);
+        let out = run(&mut shell, ".check");
+        assert!(out.iter().any(|l| l == "no findings"), "{out:?}");
+
+        // A program with an unsatisfiable rule and an unreachable predicate.
+        let out = run(
+            &mut shell,
+            ".load\n\
+             q(X) :- e(X), X > 3, X < 2.\n\
+             q(X) :- e(X).\n\
+             orphan(X) :- e(X).\n\
+             +e(1).\n\
+             ?- q(U).\n\
+             .end\n\
+             .check",
+        );
+        assert!(
+            out.iter().any(|l| l.contains("unsatisfiable-rule")),
+            "{out:?}"
+        );
+        assert!(
+            out.iter().any(|l| l.contains("unreachable-from-query")),
+            "{out:?}"
+        );
+        assert!(
+            out.iter()
+                .any(|l| l.starts_with("dead rules (prunable): #1")),
+            "{out:?}"
+        );
     }
 
     #[test]

@@ -135,8 +135,7 @@ pub fn unfold(rule: &Rule, literal_index: usize, definitions: &[Rule]) -> Result
                 Term::Var(v) => substitution
                     .iter()
                     .find(|(from, _)| from == v)
-                    .map(|(_, to)| to.clone())
-                    .unwrap_or_else(|| term.clone()),
+                    .map_or_else(|| term.clone(), |(_, to)| to.clone()),
                 other => other.clone(),
             }
         };

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub mod adorn;
 pub mod balbin;

@@ -12,12 +12,10 @@ fn count_irrelevant_flights(result: &EvalResult, pred: &Pred) -> usize {
         .facts_for(pred)
         .iter()
         .filter(|fact| {
-            fact.ground_values()
-                .map(|v| {
-                    v[2].as_num().map(|t| t > 240.into()).unwrap_or(false)
-                        && v[3].as_num().map(|c| c > 150.into()).unwrap_or(false)
-                })
-                .unwrap_or(false)
+            fact.ground_values().is_some_and(|v| {
+                v[2].as_num().is_some_and(|t| t > 240.into())
+                    && v[3].as_num().is_some_and(|c| c > 150.into())
+            })
         })
         .count()
 }

@@ -21,7 +21,10 @@ fn report(name: &str, program: &Program, db: &Database, sequences: &[&[Step]]) {
             .expect("sequence applies");
         let result = optimized.evaluate(db);
         let answers = optimized.count_answers(db);
-        let label: Vec<&str> = steps.iter().map(|s| s.short_name()).collect();
+        let label: Vec<&str> = steps
+            .iter()
+            .map(pushing_constraint_selections::prelude::Step::short_name)
+            .collect();
         println!(
             "{:<24} {:>12} {:>12} {:>10}",
             label.join(","),

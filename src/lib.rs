@@ -38,6 +38,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(deprecated)]
 
 pub use pcs_constraints as constraints;
 pub use pcs_core as core;

@@ -273,7 +273,7 @@ mod tests {
             .warm_up_time(Duration::from_millis(10));
         group.bench_function("noop", |b| b.iter(|| 1 + 1));
         group.bench_with_input(BenchmarkId::new("with_input", 42), &42, |b, n| {
-            b.iter(|| n + 1)
+            b.iter(|| n + 1);
         });
         group.finish();
     }
