@@ -2,11 +2,14 @@
 //! the command line.
 //!
 //! ```text
-//! pcs-lint [--strict] [--quiet] FILE...
+//! pcs-lint [--strict] [--quiet] [--explain] FILE...
 //! ```
 //!
 //! Parses each file, runs the [`pcs_analysis`] passes and prints every
-//! finding as `file:line:column: severity[code]: message`.  Exit status:
+//! finding as `file:line:column: severity[code]: message`.  With `--explain`
+//! the compiled join plan of every (rule × delta-position) body is printed
+//! after the findings, one `file:line:column: plan ...` line per delta
+//! position with per-literal cost annotations.  Exit status:
 //!
 //! * `0` — no error-severity findings (with `--strict`: no findings of
 //!   warning severity or above),
@@ -15,21 +18,25 @@
 
 use std::process::ExitCode;
 
-use pcs_analysis::{analyze, ProgramAnalysis, Severity};
+use pcs_analysis::{analyze, selectivity_hints, ProgramAnalysis, Severity};
+use pcs_engine::compile_plans;
 use pcs_lang::parse_program;
 
-const USAGE: &str = "usage: pcs-lint [--strict] [--quiet] FILE...\n\
-  --strict  also fail (exit 1) on warning-severity findings\n\
-  --quiet   print only the per-file summary lines";
+const USAGE: &str = "usage: pcs-lint [--strict] [--quiet] [--explain] FILE...\n\
+  --strict   also fail (exit 1) on warning-severity findings\n\
+  --quiet    print only the per-file summary lines\n\
+  --explain  print the compiled join plan of every rule body";
 
 fn main() -> ExitCode {
     let mut strict = false;
     let mut quiet = false;
+    let mut explain = false;
     let mut files: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--strict" => strict = true,
             "--quiet" | "-q" => quiet = true,
+            "--explain" => explain = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -48,14 +55,14 @@ fn main() -> ExitCode {
 
     let mut worst: u8 = 0;
     for file in &files {
-        let status = lint_file(file, strict, quiet);
+        let status = lint_file(file, strict, quiet, explain);
         worst = worst.max(status);
     }
     ExitCode::from(worst)
 }
 
 /// Lints one file and prints its findings; returns the exit status it earns.
-fn lint_file(file: &str, strict: bool, quiet: bool) -> u8 {
+fn lint_file(file: &str, strict: bool, quiet: bool, explain: bool) -> u8 {
     let text = match std::fs::read_to_string(file) {
         Ok(text) => text,
         Err(err) => {
@@ -82,6 +89,9 @@ fn lint_file(file: &str, strict: bool, quiet: bool) -> u8 {
             }
         }
     }
+    if explain {
+        print_plans(file, &program, &analysis);
+    }
     println!("{file}: {}", summary(&analysis, program.rules().len()));
     let failed = analysis.has_errors()
         || (strict
@@ -90,6 +100,29 @@ fn lint_file(file: &str, strict: bool, quiet: bool) -> u8 {
                 .iter()
                 .any(|d| d.severity >= Severity::Warning));
     u8::from(failed)
+}
+
+/// Prints the compiled join plan of every (rule × delta-position) body of
+/// the *source* program (whose rules carry parser spans), one line per plan
+/// with the analyzer's selectivity as the cost model — the CLI counterpart
+/// of the shell's `.explain`.
+fn print_plans(file: &str, program: &pcs_lang::Program, analysis: &ProgramAnalysis) {
+    let hints = selectivity_hints(&analysis.selectivity);
+    let flat = program.flattened();
+    let plans = compile_plans(&flat, &hints);
+    for rule_index in plans.planned_rules() {
+        let rule = &flat.rules()[rule_index];
+        let name = rule
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("#{}", rule_index + 1));
+        let position = rule
+            .span
+            .map_or_else(|| "-:-".to_string(), |s| format!("{}:{}", s.line, s.column));
+        for plan in plans.plans_for(rule_index) {
+            println!("{file}:{position}: plan {name} {}", plan.render(rule));
+        }
+    }
 }
 
 fn summary(analysis: &ProgramAnalysis, rules: usize) -> String {

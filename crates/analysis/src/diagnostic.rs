@@ -69,6 +69,18 @@ pub enum Code {
     /// A head variable of a constraint fact is not constrained at all: the
     /// fact holds for every real number in that position.
     FreeHeadVariable,
+    /// For some delta position, a body literal shares no variables (directly
+    /// or through constraint atoms) with the literals the join plan places
+    /// before it: no indexed order exists, and the join degrades to a cross
+    /// product.
+    CrossProductJoin,
+    /// A body literal is probed with no bound column and the analyzer infers
+    /// no constraint interval for any of its positions: the join step scans
+    /// the whole window.
+    UnboundedProbe,
+    /// The inferred selectivity proves a body literal can never match, so
+    /// every join plan of the rule is degenerate.
+    DegeneratePlan,
 }
 
 impl Code {
@@ -86,6 +98,9 @@ impl Code {
             Code::SingletonVariable => "singleton-variable",
             Code::UnusedPredicate => "unused-predicate",
             Code::FreeHeadVariable => "free-head-variable",
+            Code::CrossProductJoin => "cross-product-join",
+            Code::UnboundedProbe => "unbounded-probe",
+            Code::DegeneratePlan => "degenerate-plan",
         }
     }
 }

@@ -25,6 +25,10 @@
 //!    [`Interval`] bounds.
 //! 5. **Consistency lints** — arity mismatches, duplicate and subsumed
 //!    rules, singleton variables, unused predicates.
+//! 6. **Join planning** — every (rule × delta-position) body is compiled
+//!    into a static [`pcs_engine::JoinPlan`] with the inferred intervals as
+//!    the cost model, and structural join problems (cross-product joins,
+//!    unbounded probes, degenerate plans) are reported as diagnostics.
 //!
 //! ## Example
 //!
@@ -49,6 +53,7 @@ pub mod selectivity;
 use std::collections::{BTreeMap, BTreeSet};
 
 use pcs_constraints::{ptol, ConstraintSet, Rel, Var};
+use pcs_engine::{compile_plans, PlanFindingKind, SelectivityClass, SelectivityHints};
 use pcs_lang::{Pred, Program, Rule, RuleGraph};
 use pcs_transform::{
     gen_predicate_constraints, gen_qrp_constraints, ConstraintAnalysis, GenOptions,
@@ -188,7 +193,7 @@ pub fn analyze(program: &Program) -> ProgramAnalysis {
     analyze_with(program, &AnalyzeOptions::new())
 }
 
-/// Analyzes a program: runs all five passes and collects their findings.
+/// Analyzes a program: runs all six passes and collects their findings.
 pub fn analyze_with(program: &Program, options: &AnalyzeOptions) -> ProgramAnalysis {
     let options = options.normalized();
     let flat = program.flattened();
@@ -203,6 +208,7 @@ pub fn analyze_with(program: &Program, options: &AnalyzeOptions) -> ProgramAnaly
     reachability_pass(program, &graph, &mut dead_rules, &mut diagnostics);
     lint_pass(program, &graph, &mut diagnostics);
     let selectivity = range_pass(program, &inference, &options);
+    plan_pass(program, &flat, &selectivity, &mut diagnostics);
 
     diagnostics.sort_by(|a, b| {
         b.severity
@@ -608,6 +614,79 @@ fn singleton_lint(program: &Program, idx: usize, rule: &Rule, diagnostics: &mut 
     }
 }
 
+/// Pass 6: join planning.  Compiles every (rule × delta-position) body into
+/// a static join plan with the inferred intervals as the cost model and
+/// converts the compilation findings into diagnostics.  The rule indices of
+/// the flattened program map 1:1 onto the source program (flattening
+/// preserves rule order, labels, and spans), so the diagnostics carry the
+/// source positions.
+fn plan_pass(
+    program: &Program,
+    flat: &Program,
+    selectivity: &Selectivity,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let hints = selectivity_hints(selectivity);
+    let plans = compile_plans(flat, &hints);
+    for finding in plans.findings() {
+        let code = match finding.kind {
+            PlanFindingKind::CrossProductJoin => Code::CrossProductJoin,
+            PlanFindingKind::UnboundedProbe => Code::UnboundedProbe,
+            PlanFindingKind::DegeneratePlan => Code::DegeneratePlan,
+        };
+        diagnostics.push(rule_diagnostic(
+            program,
+            finding.rule,
+            Severity::Warning,
+            code,
+            finding.message.clone(),
+        ));
+    }
+}
+
+/// Converts a [`Selectivity`] summary into the plain per-position
+/// [`SelectivityClass`] hints the engine's plan compiler consumes: a point
+/// interval is a `Point`, a two-sided interval `Bounded`, anything else
+/// `Unbounded`, and provably empty predicates are marked as such.
+pub fn selectivity_hints(selectivity: &Selectivity) -> SelectivityHints {
+    let mut hints = SelectivityHints::new();
+    for pred in selectivity.predicates() {
+        if selectivity.is_provably_empty(pred) {
+            hints.mark_empty(pred.clone());
+            continue;
+        }
+        if let Some(intervals) = selectivity.intervals(pred) {
+            let classes = intervals
+                .iter()
+                .map(|interval| {
+                    if interval.is_point() {
+                        SelectivityClass::Point
+                    } else if interval.is_bounded() {
+                        SelectivityClass::Bounded
+                    } else {
+                        SelectivityClass::Unbounded
+                    }
+                })
+                .collect();
+            hints.set_classes(pred.clone(), classes);
+        }
+    }
+    hints
+}
+
+/// The converged per-position selectivity of a program on its own: the
+/// constraint inference plus range projection of [`analyze_with`] without the
+/// diagnostic passes.  This is what `Optimizer::optimize()` runs on the
+/// *rewritten* program to derive the plan hints its evaluators use.
+pub fn program_selectivity(program: &Program, options: &AnalyzeOptions) -> Selectivity {
+    let options = options.normalized();
+    let gen_options = GenOptions {
+        max_iterations: options.max_iterations,
+    };
+    let inference = gen_predicate_constraints(program, &options.edb_constraints, &gen_options);
+    range_pass(program, &inference, &options)
+}
+
 /// Pass 4: range inference.  Conjoins the inferred predicate constraints
 /// with the QRP constraints (when the query-directed inference also
 /// converges) and extracts per-position interval bounds.
@@ -783,6 +862,66 @@ mod tests {
             .filter(|d| d.code == Code::UnreachableFromQuery)
             .count();
         assert_eq!(unreachable, 2);
+    }
+
+    #[test]
+    fn cross_product_joins_are_flagged_with_spans() {
+        let program =
+            parse_program("r1: q(X, Y) :- a(X), b(Y).\nr2: p(X) :- a(X).\n?- q(U, V).").unwrap();
+        let analysis = analyze(&program);
+        let cross: Vec<&Diagnostic> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::CrossProductJoin)
+            .collect();
+        // One finding per body literal (each is the probe-less side of the
+        // other's delta position), deduplicated across delta positions.
+        assert_eq!(cross.len(), 2);
+        assert_eq!(cross[0].severity, Severity::Warning);
+        assert_eq!(cross[0].rule, Some(0));
+        assert_eq!(cross[0].label.as_deref(), Some("r1"));
+        assert_eq!(cross[0].span.map(|s| s.line), Some(1));
+        assert!(!analysis.has_errors());
+    }
+
+    #[test]
+    fn planner_findings_use_the_inferred_selectivity() {
+        // p($1) is provably empty under the declared EDB constraint, which
+        // both the satisfiability pass (impossible-body) and the plan pass
+        // (degenerate-plan) report through their own lenses.
+        let program = parse_program("q(X) :- p(X), e(X).\n?- q(U).").unwrap();
+        let edb = BTreeMap::from([(
+            Pred::new("p"),
+            ConstraintSet::of(Conjunction::from_atoms([
+                Atom::var_le(Var::position(1), 0),
+                Atom::var_ge(Var::position(1), 1),
+            ])),
+        )]);
+        let analysis = analyze_with(&program, &AnalyzeOptions::new().with_edb_constraints(edb));
+        assert!(codes(&analysis).contains(&Code::DegeneratePlan));
+    }
+
+    #[test]
+    fn selectivity_hints_classify_inferred_intervals() {
+        let program = parse_program(
+            "exact(X) :- e(X), X = 2.\n\
+             boxed(X) :- e(X), X >= 0, X <= 9.\n\
+             open(X) :- e(X), X >= 0.",
+        )
+        .unwrap();
+        let analysis = analyze(&program);
+        assert!(analysis.converged);
+        let hints = selectivity_hints(&analysis.selectivity);
+        assert_eq!(hints.class(&Pred::new("exact"), 0), SelectivityClass::Point);
+        assert_eq!(
+            hints.class(&Pred::new("boxed"), 0),
+            SelectivityClass::Bounded
+        );
+        assert_eq!(
+            hints.class(&Pred::new("open"), 0),
+            SelectivityClass::Unbounded
+        );
+        assert_eq!(hints.class(&Pred::new("e"), 0), SelectivityClass::Unbounded);
     }
 
     #[test]

@@ -25,6 +25,8 @@ fn core_options(index: bool) -> EvalOptions {
     }
 }
 
+const PLANS: [(&str, bool); 2] = [("plan", true), ("noplan", false)];
+
 fn bench_program(
     group: &mut criterion::BenchmarkGroup<'_>,
     label: &str,
@@ -33,12 +35,14 @@ fn bench_program(
     db: &Database,
 ) {
     for (name, index) in CORES {
-        let evaluator = Evaluator::new(program, core_options(index));
-        group.bench_with_input(
-            BenchmarkId::new(format!("{label}_{name}"), size),
-            db,
-            |b, db| b.iter(|| black_box(&evaluator).evaluate(black_box(db))),
-        );
+        for (mode, plan) in PLANS {
+            let evaluator = Evaluator::new(program, core_options(index).with_plan(plan));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{label}_{name}_{mode}"), size),
+                db,
+                |b, db| b.iter(|| black_box(&evaluator).evaluate(black_box(db))),
+            );
+        }
     }
 }
 

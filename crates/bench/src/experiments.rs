@@ -682,6 +682,162 @@ pub fn bench6_json(rows: &[MemoryRow]) -> String {
     out
 }
 
+/// Default flights scales of the E8 join-planning experiment, matching the
+/// `joins` criterion bench.
+pub const JOINS_FLIGHTS_SCALES: &[(usize, usize)] = &[(60, 120), (100, 200)];
+
+/// Default Example 7.1 edge counts of the E8 join-planning experiment.
+pub const JOINS_7X_EDGES: &[usize] = &[400];
+
+/// One measured configuration of the join-planning experiment (also the
+/// row shape serialized into `BENCH_8.json`).
+pub struct JoinsRow {
+    /// Workload label, e.g. `flights 100c/200l`.
+    pub workload: String,
+    /// Join core under measurement: `indexed` or `legacy`.
+    pub core: &'static str,
+    /// Ordering mode: `static` (precompiled plans) or `dynamic` (the
+    /// `PCS_PLAN=off` per-fixpoint reordering path).
+    pub plan: &'static str,
+    /// Median wall-clock evaluation time over the timed runs, milliseconds.
+    pub median_ms: f64,
+    /// Stored facts at fixpoint (a live parity check across plan modes).
+    pub total_facts: usize,
+    /// Total derivations performed.
+    pub derivations: usize,
+    /// Iterations to fixpoint.
+    pub iterations: usize,
+}
+
+/// E8 (PR 8): precompiled static join plans versus the dynamic
+/// per-iteration ordering, on both join cores over the scaled-up `joins`
+/// bench workloads.  Every (workload × core) pair runs plan-on and
+/// plan-off on the same optimized program and EDB; the fact totals double
+/// as a live check that the planner changes no answers.
+pub fn joins_rows(flights_scales: &[(usize, usize)], ex71_edges: &[usize]) -> Vec<JoinsRow> {
+    use std::time::Instant;
+
+    let mut cases: Vec<(String, Program, Database)> = Vec::new();
+    for &(cities, legs) in flights_scales {
+        cases.push((
+            format!("flights {cities}c/{legs}l"),
+            programs::flights(),
+            crate::workload::random_flights_database(cities, legs, 0xC0FFEE),
+        ));
+    }
+    for &edges in ex71_edges {
+        cases.push((
+            format!("ex71 {edges}e"),
+            programs::example_71(),
+            crate::workload::random_7x_database(edges, 60, 50, 7),
+        ));
+    }
+    let mut rows = Vec::new();
+    for (workload, program, db) in cases {
+        let optimized = Optimizer::new(program)
+            .strategy(Strategy::Optimal)
+            .optimize()
+            .expect("optimization succeeds");
+        for (core, base) in [
+            ("indexed", EvalOptions::indexed()),
+            ("legacy", EvalOptions::legacy()),
+        ] {
+            let mut mode_facts = Vec::new();
+            for (plan_name, plan) in [("dynamic", false), ("static", true)] {
+                let mut times = Vec::new();
+                let (mut facts, mut derivations, mut iterations) = (0, 0, 0);
+                for _ in 0..5 {
+                    let start = Instant::now();
+                    let result = optimized.evaluate_with(&db, base.clone().with_plan(plan));
+                    times.push(start.elapsed());
+                    facts = result.total_facts();
+                    derivations = result.stats.total_derivations();
+                    iterations = result.stats.iterations.len();
+                }
+                times.sort();
+                mode_facts.push(facts);
+                rows.push(JoinsRow {
+                    workload: workload.clone(),
+                    core,
+                    plan: plan_name,
+                    median_ms: times[times.len() / 2].as_secs_f64() * 1e3,
+                    total_facts: facts,
+                    derivations,
+                    iterations,
+                });
+            }
+            assert_eq!(
+                mode_facts[0], mode_facts[1],
+                "dynamic and static orderings stored different fact counts"
+            );
+        }
+    }
+    rows
+}
+
+/// Renders already-measured join-planning rows as a printable table; the
+/// `static` rows carry a speedup column against their `dynamic` twin.
+pub fn render_joins(rows: &[JoinsRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Join planning: precompiled static plans vs dynamic reordering (median of 5)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:<8} {:<8} {:>10} {:>12} {:>10} {:>6} {:>8}",
+        "workload", "core", "plan", "median", "facts", "derivs", "iters", "speedup"
+    );
+    for row in rows {
+        let speedup = rows
+            .iter()
+            .find(|r| r.workload == row.workload && r.core == row.core && r.plan == "dynamic")
+            .filter(|_| row.plan == "static" && row.median_ms > 0.0)
+            .map_or_else(String::new, |dynamic| {
+                format!("{:.2}x", dynamic.median_ms / row.median_ms)
+            });
+        let _ = writeln!(
+            out,
+            "{:<22} {:<8} {:<8} {:>8.2}ms {:>12} {:>10} {:>6} {:>8}",
+            row.workload,
+            row.core,
+            row.plan,
+            row.median_ms,
+            row.total_facts,
+            row.derivations,
+            row.iterations,
+            speedup
+        );
+    }
+    out
+}
+
+/// Serializes join-planning rows as the `BENCH_8.json` artifact: one object
+/// per measured configuration, machine-readable for CI trend tracking.
+pub fn bench8_json(rows: &[JoinsRow]) -> String {
+    let mut out = String::from(
+        "{\n  \"experiment\": \"static_join_planning\",\n  \"issue\": 8,\n  \"rows\": [\n",
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"core\": \"{}\", \"plan\": \"{}\", \
+             \"median_ms\": {:.3}, \"total_facts\": {}, \"derivations\": {}, \
+             \"iterations\": {}}}",
+            row.workload,
+            row.core,
+            row.plan,
+            row.median_ms,
+            row.total_facts,
+            row.derivations,
+            row.iterations
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Analyzer overhead: wall-clock cost and findings of the static analysis
 /// pass (which `Optimizer::optimize` runs by default) over the paper's
 /// example programs.
@@ -784,6 +940,25 @@ mod tests {
         assert!(report.contains("retract"));
         assert!(report.contains("retracted legs"));
         assert!(report.contains("pred,qrp,mg (optimal)"));
+    }
+
+    #[test]
+    fn joins_rows_pair_static_with_dynamic_and_agree_on_facts() {
+        let rows = joins_rows(&[(6, 15)], &[40]);
+        // 2 workloads × 2 cores × 2 ordering modes.
+        assert_eq!(rows.len(), 8);
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].plan, "dynamic");
+            assert_eq!(pair[1].plan, "static");
+            assert_eq!(pair[0].total_facts, pair[1].total_facts);
+            assert_eq!(pair[0].derivations, pair[1].derivations);
+            assert_eq!(pair[0].iterations, pair[1].iterations);
+        }
+        let table = render_joins(&rows);
+        assert!(table.contains("speedup"));
+        let json = bench8_json(&rows);
+        assert!(json.contains("\"experiment\": \"static_join_planning\""));
+        assert!(json.contains("\"issue\": 8"));
     }
 
     #[test]

@@ -7,7 +7,10 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use pcs_analysis::{analyze_with, AnalyzeOptions, Diagnostic, ProgramAnalysis};
+use pcs_analysis::{
+    analyze_with, program_selectivity, selectivity_hints, AnalyzeOptions, Diagnostic,
+    ProgramAnalysis,
+};
 use pcs_constraints::ConstraintSet;
 use pcs_engine::{Database, EvalOptions, EvalResult, Evaluator};
 use pcs_lang::{Pred, Program};
@@ -220,6 +223,16 @@ impl Optimizer {
             Strategy::Sequence(steps) => self.run_sequence(&program, steps, rewrite_options)?,
         };
         optimized.diagnostics = diagnostics;
+        // Derive the plan compiler's selectivity hints from the *rewritten*
+        // program — its evaluators execute the rewritten rules, so the
+        // per-position intervals must describe the rewritten predicates
+        // (magic predicates included).  `PCS_ANALYZE=off` keeps the hints
+        // empty; the planner then falls back to the structural order.
+        if mode != AnalyzeMode::Off && optimized.eval.plan {
+            let options = AnalyzeOptions::new().with_edb_constraints(self.edb_constraints.clone());
+            optimized.eval.hints =
+                selectivity_hints(&program_selectivity(&optimized.program, &options));
+        }
         Ok(optimized)
     }
 
@@ -351,9 +364,27 @@ impl Optimized {
             .retract(relations, deletions, surviving_edb)
     }
 
-    /// Evaluates with explicit options (limits, tracing).
-    pub fn evaluate_with(&self, db: &Database, options: EvalOptions) -> EvalResult {
+    /// Evaluates with explicit options (limits, tracing).  Options that do
+    /// not carry their own selectivity hints inherit the analyzer-derived
+    /// hints of this optimized program, so an explicit-options evaluation
+    /// plans with the same cost model as [`Optimized::evaluate`].
+    pub fn evaluate_with(&self, db: &Database, mut options: EvalOptions) -> EvalResult {
+        if options.hints.is_empty() {
+            options.hints = self.eval.hints.clone();
+        }
         Evaluator::new(&self.program, options).evaluate(db)
+    }
+
+    /// Renders the compiled join plan of every (rule × delta-position) body
+    /// of the rewritten program, one deterministic line per plan with
+    /// per-literal cost annotations — the backing of the shell's `.explain`
+    /// command.  The plans are compiled with the same analyzer-derived hints
+    /// the evaluators use; with [`EvalOptions::plan`] off the rendered plans
+    /// describe what *would* run with plans on.
+    pub fn explain(&self) -> Vec<String> {
+        let flat = self.program.flattened();
+        let plans = pcs_engine::compile_plans(&flat, &self.eval.hints);
+        pcs_engine::render_plans(&flat, &plans)
     }
 
     /// Evaluates and returns the number of answers to the program's query.
@@ -437,6 +468,35 @@ mod tests {
         assert_eq!(parallel.eval.threads, 4);
         let a = sequential.evaluate(&db);
         let b = parallel.evaluate(&db);
+        assert_eq!(a.termination, b.termination);
+        assert_eq!(a.stats.facts_per_predicate, b.stats.facts_per_predicate);
+        assert_eq!(a.stats.total_derivations(), b.stats.total_derivations());
+    }
+
+    #[test]
+    fn optimize_derives_plan_hints_and_explain_renders_them() {
+        // The flights program constrains leg counts, so the analyzer infers
+        // intervals for the rewritten predicates and the hints are non-empty.
+        // Plan compilation is pinned on so the test is PCS_PLAN-independent.
+        let optimized = Optimizer::new(programs::flights())
+            .strategy(Strategy::ConstraintRewrite)
+            .eval_options(EvalOptions::default().with_plan(true))
+            .optimize()
+            .unwrap();
+        assert!(!optimized.eval.hints.is_empty());
+        let lines = optimized.explain();
+        assert!(!lines.is_empty());
+        assert!(
+            lines.iter().any(|l| l.starts_with("plan for rule ")),
+            "{lines:?}"
+        );
+        assert!(lines.iter().any(|l| l.contains("delta")), "{lines:?}");
+        // The rendering is deterministic.
+        assert_eq!(lines, optimized.explain());
+        // Plans off still evaluates identically (hints are inert then).
+        let db = programs::flights_database(6, 10);
+        let a = optimized.evaluate(&db);
+        let b = optimized.evaluate_with(&db, optimized.eval.clone().with_plan(false));
         assert_eq!(a.termination, b.termination);
         assert_eq!(a.stats.facts_per_predicate, b.stats.facts_per_predicate);
         assert_eq!(a.stats.total_derivations(), b.stats.total_derivations());

@@ -34,6 +34,7 @@ use pcs_lang::{Literal, Pred, Program, Query, Rule, Symbol, Term};
 use crate::database::{Database, UpdateBatch};
 use crate::fact::{Binding, Fact};
 use crate::limits::{EvalLimits, Termination};
+use crate::plan::{compile_plans, PlanStep, ProgramPlans, SelectivityHints};
 use crate::relation::{FactRef, InsertOutcome, Relation, Window};
 use crate::stats::{DerivationRecord, EvalStats, IterationStats};
 use crate::value::Value;
@@ -83,6 +84,24 @@ pub struct EvalOptions {
     /// nothing, so the computed answers are identical either way (the
     /// property `tests/analysis_differential.rs` checks).  Off by default.
     pub prune_dead: bool,
+    /// When `true` (the default), every (rule × delta-position) body is
+    /// compiled once into a static [`JoinPlan`](crate::plan::JoinPlan)
+    /// before the fixpoint starts
+    /// and both join cores execute the precompiled plans (the legacy core
+    /// takes the static literal order, the indexed core additionally the
+    /// static probe-column choices and existence shortcuts); when `false`,
+    /// the dynamic per-iteration ordering is kept.  Purely an optimization
+    /// knob — the computed relations, statistics, and termination are
+    /// identical either way (the property `tests/plan_differential.rs`
+    /// checks).  The default can be forced off by setting the `PCS_PLAN`
+    /// environment variable to `off`.
+    pub plan: bool,
+    /// Analyzer-derived per-position selectivity classes consumed by the
+    /// plan compiler (see [`SelectivityHints`]).  Empty by default — the
+    /// planner then falls back to the purely structural most-bound-first
+    /// order; `Optimizer::optimize()` fills the hints from the converged
+    /// constraint analysis.
+    pub hints: SelectivityHints,
 }
 
 impl Default for EvalOptions {
@@ -95,6 +114,8 @@ impl Default for EvalOptions {
             min_parallel_work: MIN_PARALLEL_ROUND_WORK,
             columnar: None,
             prune_dead: false,
+            plan: plan_enabled_by_default(),
+            hints: SelectivityHints::default(),
         }
     }
 }
@@ -142,6 +163,26 @@ fn parse_index_setting(value: &str) -> Option<bool> {
 /// Recognized values of the `PCS_EVAL_THREADS` worker-count override.
 fn parse_threads_setting(value: &str) -> Option<usize> {
     value.parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// Recognized spellings of the `PCS_PLAN` static-plan toggle.
+fn parse_plan_setting(value: &str) -> Option<bool> {
+    match value {
+        "on" | "1" | "true" => Some(true),
+        "off" | "0" | "false" => Some(false),
+        _ => None,
+    }
+}
+
+/// Reads the `PCS_PLAN` environment variable; unset (or invalid, with a
+/// warning) selects precompiled static join plans.
+fn plan_enabled_by_default() -> bool {
+    env_setting(
+        "PCS_PLAN",
+        "`on`/`1`/`true` or `off`/`0`/`false`",
+        || true,
+        parse_plan_setting,
+    )
 }
 
 /// Reads the `PCS_EVAL_INDEX` environment variable; unset (or invalid, with
@@ -228,6 +269,19 @@ impl EvalOptions {
     /// on or off (see [`EvalOptions::prune_dead`]).
     pub fn with_prune_dead(self, prune_dead: bool) -> Self {
         EvalOptions { prune_dead, ..self }
+    }
+
+    /// Returns these options with precompiled static join plans switched on
+    /// or off regardless of the process-wide `PCS_PLAN` setting (see
+    /// [`EvalOptions::plan`]).
+    pub fn with_plan(self, plan: bool) -> Self {
+        EvalOptions { plan, ..self }
+    }
+
+    /// Returns these options with the given analyzer-derived selectivity
+    /// hints for the plan compiler (see [`EvalOptions::hints`]).
+    pub fn with_hints(self, hints: SelectivityHints) -> Self {
+        EvalOptions { hints, ..self }
     }
 }
 
@@ -568,14 +622,26 @@ impl PartialMatch {
 pub struct Evaluator {
     program: Program,
     options: EvalOptions,
+    /// Static join plans, compiled once per evaluator when
+    /// [`EvalOptions::plan`] is on; `None` keeps the dynamic per-iteration
+    /// ordering.
+    plans: Option<ProgramPlans>,
 }
 
 impl Evaluator {
     /// Creates an evaluator for a program (which is flattened internally).
+    /// When [`EvalOptions::plan`] is on, every (rule × delta-position) body
+    /// is compiled into a validated static [`crate::plan::JoinPlan`] here,
+    /// once, instead of being re-ordered every fixpoint iteration.
     pub fn new(program: &Program, options: EvalOptions) -> Self {
+        let program = program.flattened();
+        let plans = options
+            .plan
+            .then(|| compile_plans(&program, &options.hints));
         Evaluator {
-            program: program.flattened(),
+            program,
             options,
+            plans,
         }
     }
 
@@ -1107,6 +1173,10 @@ impl Evaluator {
         };
         let termination;
         let mut iteration = 0usize;
+        // The dynamic ordering memo for this fixpoint run (plan-off only);
+        // with static plans on, the orders come from the precompiled plans
+        // instead.
+        let mut order_cache: BTreeMap<(usize, usize), Vec<(usize, Window)>> = BTreeMap::new();
         loop {
             if iteration >= limits.max_iterations {
                 termination = Termination::IterationLimit;
@@ -1132,8 +1202,14 @@ impl Evaluator {
             // facts fired (and the naive round ran) when the materialization
             // it resumes from was first computed.
             let naive_round = iteration == 0 && !resumed;
-            let (mut tasks, round_work) =
-                self.round_tasks(indexed, naive_round, &relations, &before_prev, &prev);
+            let (mut tasks, round_work) = self.round_tasks(
+                indexed,
+                naive_round,
+                &relations,
+                &before_prev,
+                &prev,
+                &mut order_cache,
+            );
             // Shard only rounds wide enough to amortize spawning the worker
             // pool; narrow rounds run on the calling thread with the exact
             // same results (the absorb order is the task order either way).
@@ -1234,6 +1310,7 @@ impl Evaluator {
         relations: &BTreeMap<Pred, Relation>,
         before_prev: &BTreeMap<Pred, usize>,
         prev: &BTreeMap<Pred, usize>,
+        order_cache: &mut BTreeMap<(usize, usize), Vec<(usize, Window)>>,
     ) -> (Vec<RoundTask<'_>>, usize) {
         let mut tasks = Vec::new();
         let mut work = 0usize;
@@ -1264,7 +1341,39 @@ impl Evaluator {
                     if !has_delta {
                         continue;
                     }
-                    let order = order_body(rule, delta_pos, relations);
+                    let plan = self
+                        .plans
+                        .as_ref()
+                        .and_then(|plans| plans.plan(rule_index, delta_pos));
+                    if let Some(plan) = plan {
+                        // Static plan: the delta candidates are enumerated
+                        // through the same entry point as the dynamic path
+                        // (the plan's first step is the delta literal), then
+                        // the precompiled steps drive the join.
+                        let first = (plan.steps[0].literal, plan.steps[0].window);
+                        let candidates = delta_candidates(rule, &[first], relations);
+                        if candidates.is_empty() {
+                            continue;
+                        }
+                        work += candidates.len();
+                        tasks.push(RoundTask {
+                            rule,
+                            label: label.clone(),
+                            kind: TaskKind::Planned {
+                                steps: plan.steps.clone(),
+                                candidates,
+                            },
+                        });
+                        continue;
+                    }
+                    // Dynamic path: the greedy ordering is memoized per
+                    // (rule × delta-position) for the duration of this
+                    // fixpoint run instead of being recomputed every
+                    // iteration.
+                    let order = order_cache
+                        .entry((rule_index, delta_pos))
+                        .or_insert_with(|| order_body(rule, delta_pos, relations))
+                        .clone();
                     let candidates = delta_candidates(rule, &order, relations);
                     if candidates.is_empty() {
                         continue;
@@ -1299,11 +1408,25 @@ impl Evaluator {
                     if lo == hi {
                         continue;
                     }
+                    // The legacy core takes the plan's static scan order
+                    // (greedy, but without hoisting the delta literal — a
+                    // nested loop pays full-scan cost per outer tuple, so
+                    // probe-biased orders do not transfer); its count slices
+                    // stay keyed by original positions, so a permuted visit
+                    // order enumerates the same fact combinations.
+                    let order: Vec<usize> = match self
+                        .plans
+                        .as_ref()
+                        .and_then(|plans| plans.plan(rule_index, delta_pos))
+                    {
+                        Some(plan) => plan.scan_order.clone(),
+                        None => (0..rule.body.len()).collect(),
+                    };
                     work += hi - lo;
                     tasks.push(RoundTask {
                         rule,
                         label: label.clone(),
-                        kind: TaskKind::Legacy { delta_pos },
+                        kind: TaskKind::Legacy { delta_pos, order },
                     });
                 }
             }
@@ -1345,6 +1468,30 @@ fn chunk_tasks(tasks: Vec<RoundTask<'_>>, threads: usize) -> Vec<RoundTask<'_>> 
                     }
                 }
             }
+            TaskKind::Planned { steps, candidates } => {
+                let chunk = candidates
+                    .len()
+                    .div_ceil(threads * TASK_CHUNKS_PER_THREAD)
+                    .max(1);
+                if chunk >= candidates.len() {
+                    out.push(RoundTask {
+                        rule,
+                        label,
+                        kind: TaskKind::Planned { steps, candidates },
+                    });
+                } else {
+                    for slice in candidates.chunks(chunk) {
+                        out.push(RoundTask {
+                            rule,
+                            label: label.clone(),
+                            kind: TaskKind::Planned {
+                                steps: steps.clone(),
+                                candidates: slice.to_vec(),
+                            },
+                        });
+                    }
+                }
+            }
             kind => out.push(RoundTask { rule, label, kind }),
         }
     }
@@ -1377,9 +1524,21 @@ enum TaskKind {
         order: Vec<(usize, Window)>,
         candidates: Vec<usize>,
     },
+    /// A precompiled-plan join: the static [`PlanStep`]s of this
+    /// (rule × delta-position) body and the chunk of delta-window fact
+    /// indices this task covers.  The steps carry the literal order, the
+    /// per-literal probe-column choice, and the existence-shortcut flags —
+    /// all fixed at plan-compilation time instead of per partial match.
+    Planned {
+        steps: Vec<PlanStep>,
+        candidates: Vec<usize>,
+    },
     /// A legacy nested-loop join over the count slices for one delta
-    /// position.
-    Legacy { delta_pos: usize },
+    /// position, visiting the literals in `order` (the identity order when
+    /// static plans are off, the precompiled plan order when they are on;
+    /// the count slices stay keyed by the literals' original positions, so
+    /// the enumerated fact combinations are the same either way).
+    Legacy { delta_pos: usize, order: Vec<usize> },
     /// A retraction re-derivation join: every literal reads [`Window::Known`]
     /// of the sealed survivor relations, starting from a partial match whose
     /// head bindings were pinned to an over-deleted target fact (or from an
@@ -1437,8 +1596,24 @@ fn run_task(task: &RoundTask<'_>, ctx: &RoundCtx<'_>, cap: usize) -> Vec<Fact> {
             &mut derived,
             cap,
         ),
-        TaskKind::Legacy { delta_pos } => join_legacy(
+        TaskKind::Planned { steps, candidates } => {
+            let literal = &rule.body[steps[0].literal];
+            let Some(relation) = ctx.relations.get(&literal.predicate) else {
+                return derived;
+            };
+            let start = PartialMatch::start(rule);
+            for &index in candidates {
+                if derived.len() >= cap {
+                    break;
+                }
+                if let Some(next) = match_literal(&start, literal, relation.fact_ref(index)) {
+                    join_planned(rule, steps, 1, next, ctx.relations, &mut derived, cap);
+                }
+            }
+        }
+        TaskKind::Legacy { delta_pos, order } => join_legacy(
             rule,
+            order,
             0,
             *delta_pos,
             ctx.naive_round,
@@ -1757,34 +1932,41 @@ fn overdelete_derivations(
     derived
 }
 
+/// The concrete [`Value`] a term resolves to under a partial match, if the
+/// match determines one: constants resolve to themselves, variables through
+/// the match's bindings, and linear expressions when every variable has a
+/// numeric binding.  A variable bound only through a matched constraint-fact
+/// interval (not to a concrete value) does *not* resolve.
+fn term_value(pm: &PartialMatch, term: &Term) -> Option<Value> {
+    match term {
+        Term::Sym(s) => Some(Value::Sym(*s)),
+        Term::Num(n) => Some(Value::num(*n)),
+        Term::Var(x) => pm
+            .sym
+            .get(x)
+            .map(|s| Value::Sym(*s))
+            .or_else(|| pm.num.get(x).map(|n| Value::num(*n))),
+        Term::Expr(e) => {
+            let mut expr = e.clone();
+            for v in e.vars() {
+                if let Some(value) = pm.num.get(v) {
+                    expr = expr.substitute(v, &LinearExpr::constant(*value));
+                }
+            }
+            expr.is_constant().then(|| Value::num(expr.constant_part()))
+        }
+    }
+}
+
 /// The argument positions of `literal` whose value is already determined by
 /// the partial match, with that value — the candidate index probes.
 fn bound_probes(pm: &PartialMatch, literal: &Literal) -> Vec<(usize, Value)> {
-    let mut probes = Vec::new();
-    for (i, term) in literal.args.iter().enumerate() {
-        let value = match term {
-            Term::Sym(s) => Some(Value::Sym(*s)),
-            Term::Num(n) => Some(Value::num(*n)),
-            Term::Var(x) => pm
-                .sym
-                .get(x)
-                .map(|s| Value::Sym(*s))
-                .or_else(|| pm.num.get(x).map(|n| Value::num(*n))),
-            Term::Expr(e) => {
-                let mut expr = e.clone();
-                for v in e.vars() {
-                    if let Some(value) = pm.num.get(v) {
-                        expr = expr.substitute(v, &LinearExpr::constant(*value));
-                    }
-                }
-                expr.is_constant().then(|| Value::num(expr.constant_part()))
-            }
-        };
-        if let Some(value) = value {
-            probes.push((i, value));
-        }
-    }
-    probes
+    literal
+        .args
+        .iter()
+        .enumerate()
+        .filter_map(|(i, term)| term_value(pm, term).map(|value| (i, value)))
+        .collect()
 }
 
 /// The delta-window fact indices the first (delta) literal of `order` can
@@ -1868,13 +2050,81 @@ fn join_indexed(
     }
 }
 
-/// Recursively joins the body literals of `rule` starting at `index` with the
-/// legacy nested-loop, count-sliced discipline, collecting at most `cap`
-/// derived facts.
+/// Recursively joins the body literals of `rule` along a precompiled plan
+/// from `step` onwards (step 0, the delta literal, is enumerated by
+/// [`delta_candidates`]), collecting at most `cap` derived facts.
+///
+/// Unlike [`join_indexed`], which re-scans every bound argument position per
+/// partial match to pick the shortest posting list, the probe column here was
+/// fixed at plan-compilation time; if a constraint-fact match left that
+/// column without a concrete value at run time, the step falls back to
+/// scanning its window.  A step the plan marked as an existence check stops
+/// at its first match — guarded to the case where every argument resolves to
+/// a concrete value and the relation holds no constraint facts, in which
+/// ground deduplication guarantees at most one matching row anyway, so the
+/// shortcut saves the rest of the scan without changing any statistics.
+fn join_planned(
+    rule: &Rule,
+    steps: &[PlanStep],
+    step: usize,
+    pm: PartialMatch,
+    relations: &BTreeMap<Pred, Relation>,
+    derived: &mut Vec<Fact>,
+    cap: usize,
+) {
+    if derived.len() >= cap {
+        return;
+    }
+    let Some(plan_step) = steps.get(step) else {
+        finish_derivation(rule, pm, derived);
+        return;
+    };
+    let literal = &rule.body[plan_step.literal];
+    let Some(relation) = relations.get(&literal.predicate) else {
+        return;
+    };
+    let exists_only = plan_step.existence
+        && relation.constraint_fact_count() == 0
+        && literal.args.iter().all(|t| term_value(&pm, t).is_some());
+    let probe = plan_step
+        .probe
+        .and_then(|pos| term_value(&pm, &literal.args[pos]).map(|value| (pos, value)));
+    match probe {
+        Some((pos, value)) => {
+            for fact in relation.probe(plan_step.window, pos, &value) {
+                if let Some(next) = match_literal(&pm, literal, fact) {
+                    join_planned(rule, steps, step + 1, next, relations, derived, cap);
+                    if exists_only {
+                        break;
+                    }
+                }
+            }
+        }
+        None => {
+            for fact in relation.window_refs(plan_step.window) {
+                if let Some(next) = match_literal(&pm, literal, fact) {
+                    join_planned(rule, steps, step + 1, next, relations, derived, cap);
+                    if exists_only {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Recursively joins the body literals of `rule` with the legacy nested-loop,
+/// count-sliced discipline, visiting the literals in `order` from position
+/// `step` onwards and collecting at most `cap` derived facts.  The count
+/// slices are keyed by each literal's *original* body position relative to
+/// `delta_pos`, so the set of fact combinations enumerated is the same for
+/// every visit order — a permuted `order` (from a static plan) only changes
+/// how early unmatched combinations are cut off.
 #[allow(clippy::too_many_arguments)]
 fn join_legacy(
     rule: &Rule,
-    index: usize,
+    order: &[usize],
+    step: usize,
     delta_pos: usize,
     naive_round: bool,
     pm: PartialMatch,
@@ -1887,10 +2137,10 @@ fn join_legacy(
     if derived.len() >= cap {
         return;
     }
-    if index == rule.body.len() {
+    let Some(&index) = order.get(step) else {
         finish_derivation(rule, pm, derived);
         return;
-    }
+    };
     let literal = &rule.body[index];
     let pred = &literal.predicate;
     let empty = Relation::new();
@@ -1917,7 +2167,8 @@ fn join_legacy(
         if let Some(next) = match_literal(&pm, literal, relation.fact_ref(fact_index)) {
             join_legacy(
                 rule,
-                index + 1,
+                order,
+                step + 1,
                 delta_pos,
                 naive_round,
                 next,
@@ -2195,6 +2446,14 @@ mod tests {
         assert_eq!(parse_threads_setting("4"), Some(4));
         assert_eq!(parse_threads_setting("0"), None);
         assert_eq!(parse_threads_setting("two"), None);
+        assert_eq!(parse_plan_setting("on"), Some(true));
+        assert_eq!(parse_plan_setting("1"), Some(true));
+        assert_eq!(parse_plan_setting("true"), Some(true));
+        assert_eq!(parse_plan_setting("off"), Some(false));
+        assert_eq!(parse_plan_setting("0"), Some(false));
+        assert_eq!(parse_plan_setting("false"), Some(false));
+        assert_eq!(parse_plan_setting("planned"), None);
+        assert_eq!(parse_plan_setting(""), None);
         // The shared reader warns and falls back on unrecognized values.
         assert!(env_setting("PCS_TEST_UNSET_VAR", "anything", || 7, |_| None) == 7);
     }

@@ -33,6 +33,7 @@ pub mod eval;
 pub mod fact;
 pub mod limits;
 pub mod naive;
+pub mod plan;
 pub mod relation;
 pub mod stats;
 pub mod value;
@@ -41,6 +42,10 @@ pub use database::{parse_facts, Database, FactsError, UpdateBatch};
 pub use eval::{EvalOptions, EvalResult, Evaluator};
 pub use fact::{Binding, Fact};
 pub use limits::{EvalLimits, Termination};
+pub use plan::{
+    compile_plans, render_plans, JoinPlan, PlanFinding, PlanFindingKind, PlanStep, ProgramPlans,
+    SelectivityClass, SelectivityHints,
+};
 pub use relation::{FactRef, InsertOutcome, Relation, Window};
 pub use stats::{DerivationRecord, EvalStats, IterationStats};
 pub use value::Value;

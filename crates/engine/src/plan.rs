@@ -1,0 +1,850 @@
+//! Static join plans: each (rule × delta-position) body compiled once into a
+//! verified, reusable [`JoinPlan`] instead of being re-ordered on every
+//! fixpoint iteration.
+//!
+//! The planner mirrors the greedy most-bound-first discipline of the dynamic
+//! ordering, but replaces its run-time window-size tie-break with a static
+//! selectivity estimate derived from the analyzer's per-position interval
+//! bounds ([`SelectivityHints`], produced by `pcs-analysis` from its
+//! `Selectivity` summary): a body literal whose positions are pinned or
+//! bounded by the inferred constraints is a cheap probe and joins early.
+//! Each [`PlanStep`] additionally fixes, at compile time, which argument
+//! position probes the relation's hash index (the dynamic core re-scans every
+//! bound position per partial match to pick the shortest posting list) and
+//! whether the step is a pure existence check — a literal whose bindings are
+//! fully determined by the time it is reached can stop at its first match.
+//!
+//! Plan compilation also reports structural join problems as
+//! [`PlanFinding`]s, which `pcs-analysis` converts into ordinary diagnostics:
+//! a step with no bound probe and no shared variables degrades to a cross
+//! product, a probe-less step over a predicate with no bounded position is an
+//! unbounded scan, and a body literal over a provably empty predicate makes
+//! the whole plan degenerate.
+//!
+//! Every compiled plan is checked by [`JoinPlan::validate`] before it can be
+//! executed: the steps must be a permutation of the body with the correct
+//! semi-naive window discipline, and the bound-variable frontier must cover
+//! every head variable the body can bind — a planner bug panics at compile
+//! time instead of silently dropping derivations.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use pcs_lang::{Pred, Program, Rule, Term};
+
+use crate::relation::Window;
+
+/// Static per-position selectivity classes handed to the planner.
+///
+/// This is deliberately plain data (no dependency on the analyzer): the
+/// engine only needs to know, per predicate argument position, whether the
+/// inferred interval pins the position to a point, bounds it on both sides,
+/// or leaves it unbounded.  `pcs-analysis` converts its `Selectivity`
+/// summary into these hints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SelectivityClass {
+    /// The position is pinned to a single value.
+    Point,
+    /// The position is bounded below and above.
+    Bounded,
+    /// No interval (or only a one-sided bound) is known.
+    Unbounded,
+}
+
+impl SelectivityClass {
+    /// A deterministic cost rank: lower is more selective.
+    fn rank(self) -> usize {
+        match self {
+            SelectivityClass::Point => 0,
+            SelectivityClass::Bounded => 1,
+            SelectivityClass::Unbounded => 2,
+        }
+    }
+
+    /// The kebab-case spelling used in `.explain` renderings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SelectivityClass::Point => "point",
+            SelectivityClass::Bounded => "bounded",
+            SelectivityClass::Unbounded => "unbounded",
+        }
+    }
+}
+
+/// Analyzer-derived selectivity estimates consumed by the plan compiler.
+///
+/// Empty hints are always valid: every position defaults to
+/// [`SelectivityClass::Unbounded`] and no predicate is provably empty, in
+/// which case the planner falls back to the purely structural
+/// most-bound-first order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelectivityHints {
+    classes: BTreeMap<Pred, Vec<SelectivityClass>>,
+    empty: BTreeSet<Pred>,
+}
+
+impl SelectivityHints {
+    /// Hints with no information (every position unbounded).
+    pub fn new() -> Self {
+        SelectivityHints::default()
+    }
+
+    /// Records the per-position classes of one predicate (0-based positions).
+    pub fn set_classes(&mut self, pred: Pred, classes: Vec<SelectivityClass>) {
+        self.classes.insert(pred, classes);
+    }
+
+    /// Marks a predicate as provably empty (its inferred constraint is
+    /// unsatisfiable): every plan joining it is degenerate.
+    pub fn mark_empty(&mut self, pred: Pred) {
+        self.empty.insert(pred);
+    }
+
+    /// The class of `pred`'s argument position `position` (0-based);
+    /// unanalyzed predicates and positions are unbounded.
+    pub fn class(&self, pred: &Pred, position: usize) -> SelectivityClass {
+        self.classes
+            .get(pred)
+            .and_then(|v| v.get(position))
+            .copied()
+            .unwrap_or(SelectivityClass::Unbounded)
+    }
+
+    /// Returns `true` if the predicate's inferred constraint is unsatisfiable.
+    pub fn is_provably_empty(&self, pred: &Pred) -> bool {
+        self.empty.contains(pred)
+    }
+
+    /// Returns `true` if the hints carry no information at all.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty() && self.empty.is_empty()
+    }
+
+    /// The class of a literal's most selective position: the static stand-in
+    /// for the dynamic ordering's window-size tie-break.
+    fn literal_class(&self, pred: &Pred, arity: usize) -> SelectivityClass {
+        (0..arity)
+            .map(|i| self.class(pred, i))
+            .min_by_key(|c| c.rank())
+            .unwrap_or(SelectivityClass::Unbounded)
+    }
+}
+
+/// One step of a compiled join plan: which body literal to join, through
+/// which semi-naive window, probing which index column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Index of the body literal (into [`Rule::body`]).
+    pub literal: usize,
+    /// The semi-naive window the step reads, fixed by the literal's original
+    /// position relative to the plan's delta position.
+    pub window: Window,
+    /// The statically chosen probe column (0-based argument position), when
+    /// some argument is a constant or is bound by the frontier at this step.
+    /// `None` means the step scans its window.  Execution resolves the
+    /// column's value from the partial match and falls back to a scan if an
+    /// earlier constraint-fact match left it undetermined.
+    pub probe: Option<usize>,
+    /// `true` when every argument of the literal is statically bound by the
+    /// time this step runs: the step can stop at its first match (an
+    /// existence check) provided the relation holds no constraint facts —
+    /// ground deduplication then guarantees at most one matching row anyway,
+    /// so stopping early changes no statistics.
+    pub existence: bool,
+    /// How many argument positions were statically bound when the planner
+    /// placed this literal (the primary greedy key; recorded for
+    /// `.explain`).
+    pub bound_args: usize,
+    /// The literal's most selective position class (the greedy tie-break;
+    /// recorded for `.explain`).
+    pub class: SelectivityClass,
+}
+
+/// The compiled plan of one (rule × delta-position) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// Rule index in the flattened program.
+    pub rule: usize,
+    /// The body position whose relation supplies the delta facts.
+    pub delta_pos: usize,
+    /// The join steps; `steps[0]` is always the delta literal.
+    pub steps: Vec<PlanStep>,
+    /// The literal visit order for the scan-only (legacy) core: the same
+    /// greedy cost model, but *without* hoisting the delta literal to the
+    /// front.  Hoisting only pays off when the later steps are O(1) index
+    /// probes; in a nested-loop core it turns every later literal into a
+    /// full window scan per delta tuple, so the scan order keeps the
+    /// binding-propagation order the greedy derives from the constraint
+    /// bindings alone (usually the author's original order).
+    pub scan_order: Vec<usize>,
+}
+
+/// The kinds of structural problems plan compilation reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PlanFindingKind {
+    /// A step has no bound probe column and shares no variables with the
+    /// frontier: the join degrades to a cross product for this delta
+    /// position.
+    CrossProductJoin,
+    /// A step has no bound probe column and the analyzer knows no bounded
+    /// position for its predicate: an unbounded scan.
+    UnboundedProbe,
+    /// A body literal's predicate is provably empty: the plan can never
+    /// produce a derivation.
+    DegeneratePlan,
+}
+
+/// One plan-compilation finding, converted into a `pcs-analysis` diagnostic
+/// by the planner pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanFinding {
+    /// Rule index in the program.
+    pub rule: usize,
+    /// Index of the body literal concerned.
+    pub literal: usize,
+    /// What kind of problem was found.
+    pub kind: PlanFindingKind,
+    /// The finding, in one sentence.
+    pub message: String,
+}
+
+/// Every compiled plan of a program, keyed by (rule, delta-position), plus
+/// the findings compilation produced.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramPlans {
+    plans: BTreeMap<(usize, usize), JoinPlan>,
+    findings: Vec<PlanFinding>,
+}
+
+impl ProgramPlans {
+    /// The plan compiled for a (rule, delta-position) pair, if the rule has
+    /// a body.
+    pub fn plan(&self, rule: usize, delta_pos: usize) -> Option<&JoinPlan> {
+        self.plans.get(&(rule, delta_pos))
+    }
+
+    /// The rule indices that have at least one plan, in order.
+    pub fn planned_rules(&self) -> Vec<usize> {
+        let mut rules: Vec<usize> = self.plans.keys().map(|&(rule, _)| rule).collect();
+        rules.dedup();
+        rules
+    }
+
+    /// All plans of one rule, by delta position.
+    pub fn plans_for(&self, rule: usize) -> Vec<&JoinPlan> {
+        self.plans
+            .range((rule, 0)..(rule + 1, 0))
+            .map(|(_, plan)| plan)
+            .collect()
+    }
+
+    /// The findings plan compilation produced, in (rule, literal) order.
+    pub fn findings(&self) -> &[PlanFinding] {
+        &self.findings
+    }
+}
+
+/// Compiles the join plans of every (rule × delta-position) body of a
+/// *flattened* program, using the analyzer-derived selectivity hints for the
+/// cost model.  Every plan is validated before it is returned; a validation
+/// failure is a planner bug and panics.
+pub fn compile_plans(program: &Program, hints: &SelectivityHints) -> ProgramPlans {
+    let mut plans = BTreeMap::new();
+    let mut findings = Vec::new();
+    let mut reported: BTreeSet<(usize, usize, PlanFindingKind)> = BTreeSet::new();
+    for (rule_index, rule) in program.rules().iter().enumerate() {
+        for (literal_index, literal) in rule.body.iter().enumerate() {
+            if hints.is_provably_empty(&literal.predicate)
+                && reported.insert((rule_index, literal_index, PlanFindingKind::DegeneratePlan))
+            {
+                findings.push(PlanFinding {
+                    rule: rule_index,
+                    literal: literal_index,
+                    kind: PlanFindingKind::DegeneratePlan,
+                    message: format!(
+                        "body literal {}@{} can never match: the analyzer proves predicate {} empty, so every plan for this rule is degenerate",
+                        literal.predicate,
+                        literal_index + 1,
+                        literal.predicate
+                    ),
+                });
+            }
+        }
+        for delta_pos in 0..rule.body.len() {
+            let plan = compile_plan(
+                rule,
+                rule_index,
+                delta_pos,
+                hints,
+                &mut findings,
+                &mut reported,
+            );
+            plan.validate(rule);
+            plans.insert((rule_index, delta_pos), plan);
+        }
+    }
+    findings.sort_by_key(|f| (f.rule, f.literal, f.kind));
+    ProgramPlans { plans, findings }
+}
+
+/// Compiles one (rule × delta-position) plan: the delta literal first, then
+/// greedily the literal with the most statically bound arguments, breaking
+/// ties by the hint class of its most selective position and then by original
+/// position — the static mirror of the dynamic `order_body` discipline, with
+/// the run-time window-size tie-break replaced by the selectivity estimate.
+fn compile_plan(
+    rule: &Rule,
+    rule_index: usize,
+    delta_pos: usize,
+    hints: &SelectivityHints,
+    findings: &mut Vec<PlanFinding>,
+    reported: &mut BTreeSet<(usize, usize, PlanFindingKind)>,
+) -> JoinPlan {
+    let window_of = |i: usize| match i.cmp(&delta_pos) {
+        std::cmp::Ordering::Less => Window::Stable,
+        std::cmp::Ordering::Equal => Window::Delta,
+        std::cmp::Ordering::Greater => Window::Known,
+    };
+    // Variables the rule's own constraints pin to a constant are bound before
+    // any literal is placed, exactly as in the dynamic ordering.
+    let mut frontier: BTreeSet<pcs_constraints::Var> = BTreeSet::new();
+    for atom in rule.constraint.atoms() {
+        if let Some((v, _)) = atom.as_ground_binding() {
+            frontier.insert(v);
+        }
+    }
+    let mut steps = Vec::with_capacity(rule.body.len());
+    let place = |i: usize, frontier: &BTreeSet<pcs_constraints::Var>| -> PlanStep {
+        let literal = &rule.body[i];
+        let bound_args = literal
+            .args
+            .iter()
+            .filter(|t| term_statically_bound(t, frontier))
+            .count();
+        // Probe the most selective bound column (by hint class, then lowest
+        // position) — chosen once here instead of per partial match.
+        let probe = literal
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| term_statically_bound(t, frontier))
+            .min_by_key(|&(pos, _)| (hints.class(&literal.predicate, pos).rank(), pos))
+            .map(|(pos, _)| pos);
+        PlanStep {
+            literal: i,
+            window: window_of(i),
+            probe,
+            existence: bound_args == literal.arity() && i != delta_pos,
+            bound_args,
+            class: hints.literal_class(&literal.predicate, literal.arity()),
+        }
+    };
+    let first = place(delta_pos, &frontier);
+    frontier.extend(rule.body[delta_pos].vars());
+    steps.push(first);
+    let mut remaining: Vec<usize> = (0..rule.body.len()).filter(|&i| i != delta_pos).collect();
+    while !remaining.is_empty() {
+        let (slot, &pick) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &i)| {
+                let bound_args = rule.body[i]
+                    .args
+                    .iter()
+                    .filter(|t| term_statically_bound(t, &frontier))
+                    .count();
+                (
+                    Reverse(bound_args),
+                    hints
+                        .literal_class(&rule.body[i].predicate, rule.body[i].arity())
+                        .rank(),
+                    i,
+                )
+            })
+            .expect("remaining is non-empty");
+        remaining.remove(slot);
+        let step = place(pick, &frontier);
+        let literal = &rule.body[pick];
+        if step.probe.is_none() && literal.arity() > 0 {
+            // Flattening moves arithmetic into the constraint conjunction, so
+            // two literals may be linked only through a constraint atom; close
+            // the frontier over constraint connectivity before calling a join
+            // a cross product.
+            let connected = constraint_connected(&frontier, rule);
+            let shares_frontier = literal.vars().iter().any(|v| connected.contains(v));
+            if !shares_frontier {
+                if reported.insert((rule_index, pick, PlanFindingKind::CrossProductJoin)) {
+                    findings.push(PlanFinding {
+                        rule: rule_index,
+                        literal: pick,
+                        kind: PlanFindingKind::CrossProductJoin,
+                        message: format!(
+                            "body literal {}@{} shares no variables with the literals joined before it (delta position {}): no indexed order exists and the join degrades to a cross product",
+                            literal.predicate,
+                            pick + 1,
+                            delta_pos + 1
+                        ),
+                    });
+                }
+            } else if (0..literal.arity())
+                .all(|i| hints.class(&literal.predicate, i) == SelectivityClass::Unbounded)
+                && reported.insert((rule_index, pick, PlanFindingKind::UnboundedProbe))
+            {
+                findings.push(PlanFinding {
+                    rule: rule_index,
+                    literal: pick,
+                    kind: PlanFindingKind::UnboundedProbe,
+                    message: format!(
+                        "body literal {}@{} is probed with no bound column and no constraint interval (delta position {}): the step scans the whole window",
+                        literal.predicate,
+                        pick + 1,
+                        delta_pos + 1
+                    ),
+                });
+            }
+        }
+        frontier.extend(literal.vars());
+        steps.push(step);
+    }
+    let scan_order = compile_scan_order(rule, hints);
+    JoinPlan {
+        rule: rule_index,
+        delta_pos,
+        steps,
+        scan_order,
+    }
+}
+
+/// The nested-loop visit order: the same greedy most-bound-first discipline,
+/// seeded only from the rule's ground constraint bindings and *not* forcing
+/// the delta literal first (the legacy core's count slices are keyed by
+/// original positions, so any permutation enumerates the same combinations).
+/// With no constraint bindings this degenerates to the original body order —
+/// for a scan-only core, the order the author (or the magic rewrite) wrote
+/// the guards in is the binding-propagation order.
+fn compile_scan_order(rule: &Rule, hints: &SelectivityHints) -> Vec<usize> {
+    let mut frontier: BTreeSet<pcs_constraints::Var> = BTreeSet::new();
+    for atom in rule.constraint.atoms() {
+        if let Some((v, _)) = atom.as_ground_binding() {
+            frontier.insert(v);
+        }
+    }
+    let mut order = Vec::with_capacity(rule.body.len());
+    let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+    while !remaining.is_empty() {
+        let (slot, &pick) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &i)| {
+                let bound_args = rule.body[i]
+                    .args
+                    .iter()
+                    .filter(|t| term_statically_bound(t, &frontier))
+                    .count();
+                (
+                    Reverse(bound_args),
+                    hints
+                        .literal_class(&rule.body[i].predicate, rule.body[i].arity())
+                        .rank(),
+                    i,
+                )
+            })
+            .expect("remaining is non-empty");
+        remaining.remove(slot);
+        frontier.extend(rule.body[pick].vars());
+        order.push(pick);
+    }
+    order
+}
+
+/// The frontier closed over constraint-atom connectivity: a variable that
+/// shares a constraint atom with a connected variable is itself connected.
+/// Used only to decide whether a probe-less join is a true cross product —
+/// probe selection still requires direct frontier membership, because only
+/// those bindings are resolvable from the partial match at run time.
+fn constraint_connected(
+    frontier: &BTreeSet<pcs_constraints::Var>,
+    rule: &Rule,
+) -> BTreeSet<pcs_constraints::Var> {
+    let mut connected = frontier.clone();
+    loop {
+        let mut changed = false;
+        for atom in rule.constraint.atoms() {
+            let vars: Vec<_> = atom.vars().collect();
+            if vars.iter().any(|v| connected.contains(v)) {
+                for v in vars {
+                    changed |= connected.insert(v.clone());
+                }
+            }
+        }
+        if !changed {
+            return connected;
+        }
+    }
+}
+
+/// Whether every variable of `term` is in the frontier (constants count as
+/// bound) — the static counterpart of the evaluator's run-time boundness
+/// check.
+fn term_statically_bound(term: &Term, frontier: &BTreeSet<pcs_constraints::Var>) -> bool {
+    match term {
+        Term::Sym(_) | Term::Num(_) => true,
+        Term::Var(v) => frontier.contains(v),
+        Term::Expr(e) => e.vars().all(|v| frontier.contains(v)),
+    }
+}
+
+impl JoinPlan {
+    /// Checks the plan against its rule: the steps must be a permutation of
+    /// the body literals, the delta literal must come first, every step's
+    /// window must match its literal's original position relative to the
+    /// delta position, every probe column must exist, and the bound-variable
+    /// frontier after all steps must cover every head variable the body can
+    /// bind.  A violation is a planner bug, not a user error — it panics so
+    /// it cannot silently drop derivations.
+    pub fn validate(&self, rule: &Rule) {
+        assert_eq!(
+            self.steps.len(),
+            rule.body.len(),
+            "plan for delta position {} must cover every body literal",
+            self.delta_pos
+        );
+        assert_eq!(
+            self.steps.first().map(|s| s.literal),
+            Some(self.delta_pos),
+            "the delta literal must be joined first"
+        );
+        let mut frontier: BTreeSet<pcs_constraints::Var> = BTreeSet::new();
+        for atom in rule.constraint.atoms() {
+            if let Some((v, _)) = atom.as_ground_binding() {
+                frontier.insert(v);
+            }
+        }
+        let mut seen = BTreeSet::new();
+        for (index, step) in self.steps.iter().enumerate() {
+            assert!(
+                step.literal < rule.body.len() && seen.insert(step.literal),
+                "plan step repeats or exceeds the body literals"
+            );
+            let expected = match step.literal.cmp(&self.delta_pos) {
+                std::cmp::Ordering::Less => Window::Stable,
+                std::cmp::Ordering::Equal => Window::Delta,
+                std::cmp::Ordering::Greater => Window::Known,
+            };
+            assert_eq!(
+                step.window, expected,
+                "plan step window violates the semi-naive discipline"
+            );
+            let literal = &rule.body[step.literal];
+            if let Some(pos) = step.probe {
+                assert!(
+                    pos < literal.arity(),
+                    "plan probe column exceeds the literal arity"
+                );
+                assert!(
+                    term_statically_bound(&literal.args[pos], &frontier),
+                    "plan probe column is not bound when its step runs"
+                );
+            }
+            if step.existence {
+                assert!(
+                    index > 0
+                        && literal
+                            .args
+                            .iter()
+                            .all(|t| term_statically_bound(t, &frontier)),
+                    "existence step has unbound arguments"
+                );
+            }
+            frontier.extend(literal.vars());
+        }
+        for var in rule.head_vars() {
+            if rule.body_literal_vars().contains(&var) {
+                assert!(
+                    frontier.contains(&var),
+                    "plan does not bind head variable {var}"
+                );
+            }
+        }
+        let mut scan_sorted = self.scan_order.clone();
+        scan_sorted.sort_unstable();
+        assert!(
+            scan_sorted.iter().copied().eq(0..rule.body.len()),
+            "scan order is not a permutation of the body literals"
+        );
+    }
+
+    /// Renders the plan as one deterministic line (no timings, no sizes), for
+    /// `.explain` and its golden tests: the delta literal and each join step
+    /// with its window, probe choice, and static cost annotation.
+    pub fn render(&self, rule: &Rule) -> String {
+        let mut out = String::new();
+        let delta = &rule.body[self.delta_pos];
+        let _ = write!(out, "delta {}@{}:", delta.predicate, self.delta_pos + 1);
+        for (i, step) in self.steps.iter().enumerate() {
+            let literal = &rule.body[step.literal];
+            let window = match step.window {
+                Window::Stable => "stable",
+                Window::Delta => "delta",
+                Window::Known => "known",
+            };
+            let access = match step.probe {
+                Some(pos) => format!("probe ${}", pos + 1),
+                None => "scan".to_string(),
+            };
+            let exists = if step.existence { " exists" } else { "" };
+            let _ = write!(
+                out,
+                "{} {}@{} {window} {access}{exists} [bound {}/{}, {}]",
+                if i == 0 { "" } else { " ->" },
+                literal.predicate,
+                step.literal + 1,
+                step.bound_args,
+                literal.arity(),
+                step.class,
+            );
+        }
+        // The legacy core visits in scan order; only worth a mention when it
+        // differs from the probe order above.
+        let probe_order: Vec<usize> = self.steps.iter().map(|s| s.literal).collect();
+        if self.scan_order != probe_order {
+            let rendered: Vec<String> = self
+                .scan_order
+                .iter()
+                .map(|&i| format!("{}@{}", rule.body[i].predicate, i + 1))
+                .collect();
+            let _ = write!(out, " | scan order {}", rendered.join(", "));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for SelectivityClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl PlanFindingKind {
+    /// The stable kebab-case name of the finding kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanFindingKind::CrossProductJoin => "cross-product-join",
+            PlanFindingKind::UnboundedProbe => "unbounded-probe",
+            PlanFindingKind::DegeneratePlan => "degenerate-plan",
+        }
+    }
+}
+
+/// Renders every plan of a program as indented, deterministic lines — the
+/// body of the shell's `.explain` command.  Rules are labeled like
+/// diagnostics (`r3`, or `#2` for unlabeled rules) with their source line
+/// when known.
+pub fn render_plans(program: &Program, plans: &ProgramPlans) -> Vec<String> {
+    let mut lines = Vec::new();
+    for rule_index in plans.planned_rules() {
+        let rule = &program.rules()[rule_index];
+        let name = rule
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("#{}", rule_index + 1));
+        let position = rule
+            .span
+            .map(|span| format!(" (line {})", span.line))
+            .unwrap_or_default();
+        lines.push(format!("plan for rule {name}{position}: {rule}"));
+        for plan in plans.plans_for(rule_index) {
+            lines.push(format!("  {}", plan.render(rule)));
+        }
+    }
+    if lines.is_empty() {
+        lines.push("no plans: the program has no rules with body literals".to_string());
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_lang::parse_program;
+
+    fn hints_with(pred: &str, classes: Vec<SelectivityClass>) -> SelectivityHints {
+        let mut hints = SelectivityHints::new();
+        hints.set_classes(Pred::new(pred), classes);
+        hints
+    }
+
+    #[test]
+    fn plans_cover_every_rule_and_delta_position() {
+        let program = parse_program(
+            "r1: q(X, Y) :- a(X, Y), X <= 4.\n\
+             r2: a(X, Y) :- b1(X, Z), b2(Z, Y).\n\
+             ?- q(U, V).",
+        )
+        .unwrap()
+        .flattened();
+        let plans = compile_plans(&program, &SelectivityHints::new());
+        assert!(plans.plan(0, 0).is_some());
+        assert!(plans.plan(1, 0).is_some());
+        assert!(plans.plan(1, 1).is_some());
+        assert!(plans.plan(0, 1).is_none());
+        assert_eq!(plans.planned_rules(), vec![0, 1]);
+        assert!(plans.findings().is_empty(), "{:?}", plans.findings());
+        // Delta literal first, shared-variable literal probed on the join
+        // column: delta b2 (position 1) binds Z, so b1 probes its second
+        // argument.
+        let plan = plans.plan(1, 1).unwrap();
+        assert_eq!(plan.steps[0].literal, 1);
+        assert_eq!(plan.steps[0].window, Window::Delta);
+        assert_eq!(plan.steps[1].literal, 0);
+        assert_eq!(plan.steps[1].window, Window::Stable);
+        assert_eq!(plan.steps[1].probe, Some(1));
+        assert!(!plan.steps[1].existence);
+    }
+
+    #[test]
+    fn selectivity_hints_break_ordering_ties() {
+        // Neither literal shares variables with the delta literal's X, both
+        // have zero bound arguments — the bounded one joins first.
+        let program = parse_program("q(X) :- a(X), wide(Y, X), narrow(Z, X).\n?- q(U).")
+            .unwrap()
+            .flattened();
+        let mut hints = hints_with(
+            "narrow",
+            vec![SelectivityClass::Bounded, SelectivityClass::Unbounded],
+        );
+        hints.set_classes(
+            Pred::new("wide"),
+            vec![SelectivityClass::Unbounded, SelectivityClass::Unbounded],
+        );
+        let plan_order = |hints: &SelectivityHints| -> Vec<usize> {
+            compile_plans(&program, hints)
+                .plan(0, 0)
+                .unwrap()
+                .steps
+                .iter()
+                .map(|s| s.literal)
+                .collect()
+        };
+        // Both literals have one bound argument (X); hints promote narrow.
+        assert_eq!(plan_order(&hints), vec![0, 2, 1]);
+        // Without hints the tie breaks by original position.
+        assert_eq!(plan_order(&SelectivityHints::new()), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fully_bound_literals_become_existence_checks() {
+        let program = parse_program("q(X, Y) :- e(X, Y), f(X, Y), g(Y).\n?- q(U, V).")
+            .unwrap()
+            .flattened();
+        let plans = compile_plans(&program, &SelectivityHints::new());
+        let plan = plans.plan(0, 0).unwrap();
+        // After e(X, Y), both f and g are fully bound.
+        assert!(plan.steps[1].existence);
+        assert!(plan.steps[2].existence);
+        assert!(!plan.steps[0].existence, "the delta step enumerates");
+    }
+
+    #[test]
+    fn cross_product_and_unbounded_probe_are_reported_once() {
+        let program = parse_program("q(X, Y) :- a(X), b(Y).\n?- q(U, V).")
+            .unwrap()
+            .flattened();
+        let plans = compile_plans(&program, &SelectivityHints::new());
+        // b is a cross product from delta position 0, a from position 1 —
+        // each reported once despite two delta positions.
+        let kinds: Vec<(usize, PlanFindingKind)> = plans
+            .findings()
+            .iter()
+            .map(|f| (f.literal, f.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (0, PlanFindingKind::CrossProductJoin),
+                (1, PlanFindingKind::CrossProductJoin)
+            ]
+        );
+        // A bounded hint does not silence a true cross product...
+        let bounded = hints_with("b", vec![SelectivityClass::Bounded]);
+        let plans = compile_plans(&program, &bounded);
+        assert_eq!(plans.findings().len(), 2);
+        // ...but a constraint link (flattening rewrites `b(X + Y)` into
+        // `b(_f)` with `X + Y - _f = 0`) downgrades the finding to
+        // unbounded-probe — each literal is scanned from the other's delta
+        // position — and a bounded hint silences the hinted side.
+        let chained = parse_program("q(X, Y) :- a(X), b(X + Y).\n?- q(U, V).")
+            .unwrap()
+            .flattened();
+        let plans = compile_plans(&chained, &SelectivityHints::new());
+        let kinds: Vec<(usize, PlanFindingKind)> = plans
+            .findings()
+            .iter()
+            .map(|f| (f.literal, f.kind))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                (0, PlanFindingKind::UnboundedProbe),
+                (1, PlanFindingKind::UnboundedProbe)
+            ]
+        );
+        let plans = compile_plans(&chained, &hints_with("b", vec![SelectivityClass::Bounded]));
+        assert_eq!(plans.findings().len(), 1);
+        assert_eq!(plans.findings()[0].literal, 0);
+    }
+
+    #[test]
+    fn empty_predicates_make_plans_degenerate() {
+        let program = parse_program("q(X) :- never(X), e(X).\n?- q(U).")
+            .unwrap()
+            .flattened();
+        let mut hints = SelectivityHints::new();
+        hints.mark_empty(Pred::new("never"));
+        let plans = compile_plans(&program, &hints);
+        let degenerate: Vec<&PlanFinding> = plans
+            .findings()
+            .iter()
+            .filter(|f| f.kind == PlanFindingKind::DegeneratePlan)
+            .collect();
+        assert_eq!(degenerate.len(), 1);
+        assert_eq!(degenerate[0].literal, 0);
+        assert!(degenerate[0].message.contains("never"));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_duration_free() {
+        let program = parse_program(
+            "r2: a(X, Y) :- b1(X, Z), b2(Z, Y).\n\
+             ?- a(U, V).",
+        )
+        .unwrap()
+        .flattened();
+        let plans = compile_plans(&program, &SelectivityHints::new());
+        let lines = render_plans(&program, &plans);
+        assert_eq!(
+            lines,
+            vec![
+                "plan for rule r2 (line 1): r2: a(X, Y) :- b1(X, Z), b2(Z, Y).".to_string(),
+                "  delta b1@1: b1@1 delta scan [bound 0/2, unbounded] -> b2@2 known probe $1 [bound 1/2, unbounded]"
+                    .to_string(),
+                "  delta b2@2: b2@2 delta scan [bound 0/2, unbounded] -> b1@1 stable probe $2 [bound 1/2, unbounded] | scan order b1@1, b2@2"
+                    .to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delta literal must be joined first")]
+    fn validation_rejects_misordered_plans() {
+        let program = parse_program("q(X) :- a(X), b(X).\n?- q(U).")
+            .unwrap()
+            .flattened();
+        let rule = &program.rules()[0];
+        let plans = compile_plans(&program, &SelectivityHints::new());
+        let mut plan = plans.plan(0, 0).unwrap().clone();
+        plan.steps.swap(0, 1);
+        plan.validate(rule);
+    }
+}

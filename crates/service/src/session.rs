@@ -272,6 +272,13 @@ impl Session {
         analyze(&self.source)
     }
 
+    /// Renders the compiled join plan of every (rule × delta-position) body
+    /// of this session's rewritten program, with the analyzer-derived cost
+    /// annotations — the shell's `.explain`.
+    pub fn explain(&self) -> Vec<String> {
+        self.optimized.explain()
+    }
+
     /// The current snapshot (cheap: one `Arc` clone under a read lock that
     /// is held only for the clone itself).
     pub fn snapshot(&self) -> Snapshot {

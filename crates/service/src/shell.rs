@@ -183,6 +183,7 @@ impl Shell {
             ".abort" => self.abort_batch(),
             ".stats" => self.stats(),
             ".check" => self.check(),
+            ".explain" => self.explain(),
             ".facts" => self.facts(arg),
             ".answers" => self.program_answers(),
             ".quit" | ".exit" => Response {
@@ -441,6 +442,17 @@ impl Shell {
         Response { lines, quit: false }
     }
 
+    fn explain(&mut self) -> Response {
+        let session = match self.session() {
+            Ok(session) => session,
+            Err(response) => return response,
+        };
+        Response {
+            lines: session.explain(),
+            quit: false,
+        }
+    }
+
     fn facts(&mut self, arg: &str) -> Response {
         if arg.is_empty() {
             return Response::error(".facts needs a predicate name");
@@ -557,6 +569,8 @@ const HELP: &str = "commands:
   .stats             materialization statistics
   .check             static analysis of the loaded program (safety,
                      satisfiability, dead rules, reachability)
+  .explain           the compiled join plan of every rule body, with
+                     per-literal cost annotations
   .help              this text
   .quit              close this session";
 

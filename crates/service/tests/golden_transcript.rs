@@ -161,6 +161,54 @@ fn golden_updates_against_a_partial_materialization() {
 }
 
 #[test]
+fn golden_explain_renders_the_compiled_plans() {
+    // `.explain` before any `.load` is a plain error; after a
+    // materialization it prints one header per rule and one plan line per
+    // delta position, with probe columns, existence shortcuts, and the
+    // analyzer's selectivity classes — all deterministic, no durations.
+    let mut shell = Shell::new();
+    let actual = transcript(
+        &mut shell,
+        &[
+            ".explain",
+            ".load",
+            "r1: p(X) :- b(X), c(X, Y), X >= 0.",
+            "+b(1).",
+            "+b(2).",
+            "+c(1, 5).",
+            "?- p(X).",
+            ".end",
+            ".explain",
+        ],
+    );
+    let expected = vec![
+        ">>> .explain",
+        "error: no session loaded; use .load first",
+        ">>> .load",
+        "loading program; finish with .end (`+fact.` lines feed the base database)",
+        ">>> r1: p(X) :- b(X), c(X, Y), X >= 0.",
+        ">>> +b(1).",
+        ">>> +b(2).",
+        ">>> +c(1, 5).",
+        ">>> ?- p(X).",
+        ">>> .end",
+        "ok: materialized 5 facts (0 constraint facts) across 4 relations in <t>; strategy \
+         optimal (pred,qrp,mg); answers in `p_f`",
+        ">>> .explain",
+        "plan for rule r1: r1: p_f(X) :- -X <= 0, m_p_f, b(X), c(X, Y).",
+        "  delta m_p_f@1: m_p_f@1 delta scan [bound 0/0, unbounded] -> b@2 known scan \
+         [bound 0/1, unbounded] -> c@3 known probe $1 [bound 1/2, unbounded]",
+        "  delta b@2: b@2 delta scan [bound 0/1, unbounded] -> c@3 known probe $1 \
+         [bound 1/2, unbounded] -> m_p_f@1 stable scan exists [bound 0/0, unbounded] \
+         | scan order m_p_f@1, b@2, c@3",
+        "  delta c@3: c@3 delta scan [bound 0/2, unbounded] -> b@2 stable probe $1 exists \
+         [bound 1/1, unbounded] -> m_p_f@1 stable scan exists [bound 0/0, unbounded] \
+         | scan order m_p_f@1, b@2, c@3",
+    ];
+    assert_eq!(actual, expected, "transcript diverged from the golden copy");
+}
+
+#[test]
 fn duration_masking_touches_only_duration_tokens() {
     assert_eq!(
         mask_durations("ok: materialized 5 facts across 3 relations in 688.526µs; x"),

@@ -1,0 +1,291 @@
+//! Differential tests for the static join planner.
+//!
+//! Precompiled join plans are the default execution mode; the dynamic
+//! per-iteration ordering survives as the `PCS_PLAN=off` toggle.  The plan
+//! must be *transparent*: for every rewriting strategy, both join cores,
+//! sequential and 4-thread evaluation, and both storage layouts, evaluating
+//! with `plan = true` must be bit-for-bit identical to `plan = false` —
+//! same relations, same termination, same per-iteration derivation/new/
+//! subsumed/delta statistics.  The statistics comparison is the strong half:
+//! a plan that visits body literals in a different order but enumerates a
+//! different *set* of candidate tuples, or an existence shortcut that prunes
+//! a derivation the dynamic path counts, would show up here even when the
+//! final relations agree.
+//!
+//! A second battery pins the planned evaluators against the naive reference
+//! interpreter (`pcs_engine::naive`), which shares nothing with the planner:
+//! with plans forced on, every production configuration must still compute a
+//! materialization denotationally identical to the oracle's.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use proptest::prelude::*;
+
+use pushing_constraint_selections::engine::naive::{self, NaiveResult};
+use pushing_constraint_selections::engine::EvalResult;
+use pushing_constraint_selections::prelude::*;
+// proptest's prelude also exports a `Strategy` trait; disambiguate the
+// optimizer's enum.
+use pushing_constraint_selections::Strategy as OptStrategy;
+
+fn all_strategies() -> Vec<OptStrategy> {
+    vec![
+        OptStrategy::None,
+        OptStrategy::ConstraintRewrite,
+        OptStrategy::MagicOnly,
+        OptStrategy::Optimal,
+        OptStrategy::Sequence(vec![Step::Qrp, Step::Magic]),
+        OptStrategy::Sequence(vec![Step::Magic, Step::Qrp]),
+        OptStrategy::Sequence(vec![Step::Magic, Step::Pred, Step::Qrp]),
+    ]
+}
+
+/// Every evaluator configuration the planner must be transparent for: both
+/// join cores, sequential and 4-thread, columnar and row-wise storage.
+fn evaluator_rows() -> Vec<(String, EvalOptions)> {
+    let mut rows = Vec::new();
+    for (core, base) in [
+        ("indexed", EvalOptions::indexed()),
+        ("legacy", EvalOptions::legacy()),
+    ] {
+        for threads in [1, 4] {
+            for columnar in [true, false] {
+                let layout = if columnar { "columnar" } else { "row-wise" };
+                rows.push((
+                    format!("{core} {threads}-thread {layout}"),
+                    base.clone()
+                        .with_columnar(columnar)
+                        .with_threads(threads)
+                        .with_min_parallel_work(0),
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Renders every relation as a sorted list of fact strings, keyed by
+/// predicate, so the stored fact sets of two evaluations can be compared
+/// independently of derivation order.
+fn rendered_relations(result: &EvalResult) -> BTreeMap<String, Vec<String>> {
+    result
+        .relations
+        .iter()
+        .map(|(pred, relation)| {
+            let mut facts: Vec<String> = relation.iter().map(|f| f.to_string()).collect();
+            facts.sort();
+            (pred.to_string(), facts)
+        })
+        .collect()
+}
+
+/// Asserts the planned evaluation is bit-for-bit identical to the dynamic
+/// one: relations, termination, and every per-iteration statistic.
+fn assert_identical(dynamic: &EvalResult, planned: &EvalResult, context: &str) {
+    assert_eq!(
+        dynamic.termination, planned.termination,
+        "termination diverged {context}"
+    );
+    assert_eq!(
+        rendered_relations(dynamic),
+        rendered_relations(planned),
+        "stored relations diverged {context}"
+    );
+    assert_eq!(
+        dynamic.stats.facts_per_predicate, planned.stats.facts_per_predicate,
+        "stats-level fact counts diverged {context}"
+    );
+    assert_eq!(
+        dynamic.stats.constraint_facts, planned.stats.constraint_facts,
+        "constraint fact counts diverged {context}"
+    );
+    assert_eq!(
+        dynamic.stats.iterations.len(),
+        planned.stats.iterations.len(),
+        "iteration counts diverged {context}"
+    );
+    for (i, (a, b)) in dynamic
+        .stats
+        .iterations
+        .iter()
+        .zip(&planned.stats.iterations)
+        .enumerate()
+    {
+        assert_eq!(
+            (a.derivations, a.new_facts, a.subsumed, a.delta_facts),
+            (b.derivations, b.new_facts, b.subsumed, b.delta_facts),
+            "iteration {i} statistics diverged {context}"
+        );
+    }
+}
+
+/// Evaluates `program` against `db` under every strategy and evaluator
+/// configuration, once with precompiled plans and once with the dynamic
+/// ordering, and asserts the two runs are identical down to the
+/// per-iteration statistics.
+fn assert_plan_transparent(program: &Program, db: &Database) {
+    for strategy in all_strategies() {
+        let optimized = Optimizer::new(program.clone())
+            .strategy(strategy.clone())
+            .optimize()
+            .expect("optimization succeeds");
+        for (label, options) in evaluator_rows() {
+            let dynamic = optimized.evaluate_with(db, options.clone().with_plan(false));
+            let planned = optimized.evaluate_with(db, options.with_plan(true));
+            assert_identical(
+                &dynamic,
+                &planned,
+                &format!("between plan-off and plan-on under {strategy:?} with the {label} core"),
+            );
+        }
+    }
+}
+
+/// Asserts the production result and the oracle result store the same
+/// denotations, predicate by predicate.
+fn assert_matches_oracle(production: &EvalResult, oracle: &NaiveResult, context: &str) {
+    assert_eq!(
+        production.termination.is_fixpoint(),
+        oracle.termination.is_fixpoint(),
+        "termination diverged {context}"
+    );
+    let preds: BTreeSet<&Pred> = production
+        .relations
+        .keys()
+        .chain(oracle.relations.keys())
+        .collect();
+    for pred in preds {
+        let prod_facts = production.facts_for(pred);
+        let oracle_facts = oracle.facts_for(pred);
+        for fact in &prod_facts {
+            assert!(
+                oracle_facts.iter().any(|o| o.subsumes(fact)),
+                "production fact `{fact}` of `{pred}` is not covered by the oracle {context}\n\
+                 oracle stores: {oracle_facts:?}"
+            );
+        }
+        for fact in oracle_facts {
+            assert!(
+                prod_facts.iter().any(|p| p.subsumes(fact)),
+                "oracle fact `{fact}` of `{pred}` is not covered by the production run {context}\n\
+                 production stores: {prod_facts:?}"
+            );
+        }
+    }
+}
+
+/// Runs every strategy and evaluator configuration with plans forced on
+/// against the naive oracle.
+fn assert_planned_conformance(program: &Program, db: &Database) {
+    for strategy in all_strategies() {
+        let optimized = Optimizer::new(program.clone())
+            .strategy(strategy.clone())
+            .optimize()
+            .expect("optimization succeeds");
+        let oracle = naive::evaluate(&optimized.program, db, &EvalLimits::default());
+        assert!(
+            oracle.termination.is_fixpoint(),
+            "oracle diverged under {strategy:?}; pick a terminating workload"
+        );
+        for (label, options) in evaluator_rows() {
+            let production = optimized.evaluate_with(db, options.with_plan(true));
+            assert_matches_oracle(
+                &production,
+                &oracle,
+                &format!("under {strategy:?} with the planned {label} core"),
+            );
+        }
+    }
+}
+
+#[test]
+fn plans_are_transparent_on_the_deterministic_paper_workloads() {
+    for (program, db) in [
+        (programs::flights(), programs::flights_database(6, 15)),
+        (programs::example_41(), programs::example_41_database(20)),
+        (
+            programs::example_71(),
+            programs::example_7x_database(15, 12),
+        ),
+        (
+            programs::example_72(),
+            programs::example_7x_database(15, 12),
+        ),
+    ] {
+        assert_plan_transparent(&program, &db);
+    }
+}
+
+#[test]
+fn plans_are_transparent_on_constraint_fact_edbs() {
+    // Constraint facts disable the existence shortcut for their relation
+    // (a fully bound probe can still match infinitely many points); this
+    // workload proves the gate by mixing ground and constraint facts.
+    let mut db = programs::example_7x_database(8, 6);
+    assert!(db.add_constrained(
+        "b1",
+        2,
+        Conjunction::from_atoms([
+            Atom::var_ge(Var::position(1), 0),
+            Atom::var_le(Var::position(1), 2),
+            Atom::var_eq(Var::position(2), 1_000),
+        ]),
+    ));
+    assert_plan_transparent(&programs::example_71(), &db);
+}
+
+#[test]
+fn planned_cores_conform_to_the_oracle() {
+    for (program, db) in [
+        (programs::flights(), programs::flights_database(5, 6)),
+        (programs::example_41(), programs::example_41_database(12)),
+        (programs::example_71(), programs::example_7x_database(8, 6)),
+        (programs::example_72(), programs::example_7x_database(8, 6)),
+    ] {
+        assert_planned_conformance(&program, &db);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn plans_are_transparent_on_random_7x_edbs(
+        edges in proptest::collection::vec((0i64..12, 0i64..12), 1..14)
+    ) {
+        let mut db = Database::new();
+        for (x, y) in &edges {
+            db.add_ground("b1", vec![Value::num(*x), Value::num(*y)]);
+            db.add_ground("b2", vec![Value::num(*y), Value::num(*x + *y)]);
+        }
+        assert_plan_transparent(&programs::example_71(), &db);
+        assert_plan_transparent(&programs::example_72(), &db);
+    }
+
+    #[test]
+    fn plans_are_transparent_on_random_flight_networks(
+        legs in proptest::collection::vec(
+            (0u8..8, 0u8..8, 30i64..240, 20i64..200),
+            1..12
+        )
+    ) {
+        // Acyclic (lower- to higher-numbered city) so every strategy
+        // terminates, on top of the deterministic madison–seattle chain.
+        let mut db = programs::flights_database(4, 0);
+        for (a, b, time, cost) in &legs {
+            if a == b {
+                continue;
+            }
+            db.add_ground(
+                "singleleg",
+                vec![
+                    Value::sym(format!("c{}", a.min(b))),
+                    Value::sym(format!("c{}", a.max(b))),
+                    Value::num(*time),
+                    Value::num(*cost),
+                ],
+            );
+        }
+        assert_plan_transparent(&programs::flights(), &db);
+    }
+}
