@@ -9,13 +9,14 @@
 //!
 //! Available experiment names: `table1`, `table2`, `flights`, `ex41`, `ex42`,
 //! `balbin`, `orderings`, `overlap`, `parallel`, `incremental`, `deletion`,
-//! `memory`, `joins`, `analyze`, `all`.
+//! `memory`, `joins`, `telemetry`, `analyze`, `all`.
 //!
 //! The `memory` experiment (and `all`, which includes it) additionally
 //! writes the machine-readable `BENCH_6.json` artifact to the current
 //! directory (override the path with `PCS_BENCH_JSON`); the `joins`
 //! experiment likewise writes `BENCH_8.json` (override with
-//! `PCS_BENCH_JOINS_JSON`).
+//! `PCS_BENCH_JOINS_JSON`) and the `telemetry` experiment `BENCH_9.json`
+//! (override with `PCS_BENCH_TELEMETRY_JSON`).
 
 use pcs_bench::experiments;
 
@@ -46,6 +47,22 @@ fn joins_with_artifact() -> String {
     experiments::render_joins(&rows)
 }
 
+/// Measures the telemetry-overhead experiment, writes `BENCH_9.json`, and
+/// returns the printable table.
+fn telemetry_with_artifact() -> String {
+    let rows = experiments::telemetry_rows(
+        experiments::TELEMETRY_FLIGHTS_SCALES,
+        experiments::TELEMETRY_7X_EDGES,
+    );
+    let path =
+        std::env::var("PCS_BENCH_TELEMETRY_JSON").unwrap_or_else(|_| "BENCH_9.json".to_string());
+    match std::fs::write(&path, experiments::bench9_json(&rows)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+    experiments::render_telemetry(&rows)
+}
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
     let report = match which.as_str() {
@@ -62,16 +79,18 @@ fn main() {
         "deletion" | "retract" => experiments::deletion(&[(60, 120, 4), (100, 200, 8)]),
         "memory" | "columnar" => memory_with_artifact(),
         "joins" | "plans" => joins_with_artifact(),
+        "telemetry" | "overhead" => telemetry_with_artifact(),
         "analyze" | "lint" => experiments::analyze(),
         "all" => format!(
-            "{}\n{}\n{}",
+            "{}\n{}\n{}\n{}",
             experiments::all(),
             memory_with_artifact(),
-            joins_with_artifact()
+            joins_with_artifact(),
+            telemetry_with_artifact()
         ),
         other => {
             eprintln!(
-                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, incremental, deletion, memory, joins, analyze, all"
+                "unknown experiment `{other}`; expected one of table1, table2, flights, ex41, ex42, balbin, orderings, overlap, parallel, incremental, deletion, memory, joins, telemetry, analyze, all"
             );
             std::process::exit(2);
         }

@@ -655,31 +655,67 @@ pub fn render_memory(rows: &[MemoryRow]) -> String {
     out
 }
 
-/// Serializes memory rows as the `BENCH_6.json` artifact: one object per
-/// measured configuration, machine-readable for CI trend tracking.
-pub fn bench6_json(rows: &[MemoryRow]) -> String {
-    let mut out = String::from(
-        "{\n  \"experiment\": \"memory_footprint_vs_throughput\",\n  \"issue\": 6,\n  \"rows\": [\n",
-    );
+/// A scalar cell of a machine-readable `BENCH_*.json` artifact row.
+pub enum BenchField {
+    /// Rendered as a quoted JSON string (the value must not need escaping).
+    Str(String),
+    /// Rendered as an unquoted integer.
+    Int(u64),
+    /// Rendered as a float with the given number of decimal places.
+    Float(f64, usize),
+}
+
+impl BenchField {
+    /// Shorthand for an integer field measured as a `usize`.
+    fn count(value: usize) -> Self {
+        Self::Int(value as u64)
+    }
+}
+
+/// Serializes experiment rows as a `BENCH_*.json` artifact: one object per
+/// measured configuration, machine-readable for CI trend tracking.  Shared
+/// by the `memory`, `joins`, and `telemetry` experiments so the artifact
+/// framing (experiment name, issue number, row list) stays uniform.
+pub fn bench_json(experiment: &str, issue: u32, rows: &[Vec<(&str, BenchField)>]) -> String {
+    let mut out =
+        format!("{{\n  \"experiment\": \"{experiment}\",\n  \"issue\": {issue},\n  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"workload\": \"{}\", \"strategy\": \"{}\", \"layout\": \"{}\", \
-             \"median_ms\": {:.3}, \"peak_fact_bytes\": {}, \"bytes_per_fact\": {:.2}, \
-             \"total_facts\": {}, \"derivations\": {}}}",
-            row.workload,
-            row.strategy,
-            row.layout,
-            row.median_ms,
-            row.peak_fact_bytes,
-            row.bytes_per_fact,
-            row.total_facts,
-            row.derivations
-        );
+        out.push_str("    {");
+        for (j, (name, field)) in row.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = match field {
+                BenchField::Str(value) => write!(out, "\"{name}\": \"{value}\""),
+                BenchField::Int(value) => write!(out, "\"{name}\": {value}"),
+                BenchField::Float(value, places) => write!(out, "\"{name}\": {value:.places$}"),
+            };
+        }
+        out.push('}');
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Serializes memory rows as the `BENCH_6.json` artifact via [`bench_json`].
+pub fn bench6_json(rows: &[MemoryRow]) -> String {
+    let rows: Vec<Vec<(&str, BenchField)>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                ("workload", BenchField::Str(row.workload.clone())),
+                ("strategy", BenchField::Str(row.strategy.to_string())),
+                ("layout", BenchField::Str(row.layout.to_string())),
+                ("median_ms", BenchField::Float(row.median_ms, 3)),
+                ("peak_fact_bytes", BenchField::count(row.peak_fact_bytes)),
+                ("bytes_per_fact", BenchField::Float(row.bytes_per_fact, 2)),
+                ("total_facts", BenchField::count(row.total_facts)),
+                ("derivations", BenchField::count(row.derivations)),
+            ]
+        })
+        .collect();
+    bench_json("memory_footprint_vs_throughput", 6, &rows)
 }
 
 /// Default flights scales of the E8 join-planning experiment, matching the
@@ -812,30 +848,181 @@ pub fn render_joins(rows: &[JoinsRow]) -> String {
     out
 }
 
-/// Serializes join-planning rows as the `BENCH_8.json` artifact: one object
-/// per measured configuration, machine-readable for CI trend tracking.
+/// Serializes join-planning rows as the `BENCH_8.json` artifact via
+/// [`bench_json`].
 pub fn bench8_json(rows: &[JoinsRow]) -> String {
-    let mut out = String::from(
-        "{\n  \"experiment\": \"static_join_planning\",\n  \"issue\": 8,\n  \"rows\": [\n",
-    );
-    for (i, row) in rows.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"workload\": \"{}\", \"core\": \"{}\", \"plan\": \"{}\", \
-             \"median_ms\": {:.3}, \"total_facts\": {}, \"derivations\": {}, \
-             \"iterations\": {}}}",
-            row.workload,
-            row.core,
-            row.plan,
-            row.median_ms,
-            row.total_facts,
-            row.derivations,
-            row.iterations
-        );
-        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    let rows: Vec<Vec<(&str, BenchField)>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                ("workload", BenchField::Str(row.workload.clone())),
+                ("core", BenchField::Str(row.core.to_string())),
+                ("plan", BenchField::Str(row.plan.to_string())),
+                ("median_ms", BenchField::Float(row.median_ms, 3)),
+                ("total_facts", BenchField::count(row.total_facts)),
+                ("derivations", BenchField::count(row.derivations)),
+                ("iterations", BenchField::count(row.iterations)),
+            ]
+        })
+        .collect();
+    bench_json("static_join_planning", 8, &rows)
+}
+
+/// Default flights scales of the telemetry-overhead experiment, matching
+/// the join-planning sweep so the two artifacts are comparable.
+pub const TELEMETRY_FLIGHTS_SCALES: &[(usize, usize)] = &[(60, 120), (100, 200)];
+
+/// Default Example 7.1 edge counts of the telemetry-overhead experiment.
+pub const TELEMETRY_7X_EDGES: &[usize] = &[400];
+
+/// One measured configuration of the telemetry-overhead experiment (also
+/// the row shape serialized into `BENCH_9.json`).
+pub struct TelemetryRow {
+    /// Workload label, e.g. `flights 100c/200l`.
+    pub workload: String,
+    /// Telemetry state under measurement: `off` (no-op fast path) or `on`
+    /// (global counter mode plus per-evaluation phase spans).
+    pub telemetry: &'static str,
+    /// Median wall-clock evaluation time over the timed runs, milliseconds.
+    pub median_ms: f64,
+    /// Stored facts at fixpoint (a live parity check across modes).
+    pub total_facts: usize,
+    /// Total derivations performed.
+    pub derivations: usize,
+    /// Percent slowdown of this row against its `off` twin; zero on the
+    /// `off` rows themselves.
+    pub overhead_pct: f64,
+}
+
+/// E9 (PR 9): wall-clock overhead of the telemetry layer — hot-path
+/// counters, phase spans, and per-iteration timing — on the default engine
+/// configuration over the join-planning workloads.  Every workload runs
+/// with telemetry fully off and fully on (`set_mode` plus
+/// `EvalOptions::with_telemetry`); the fact totals double as a live check
+/// that instrumentation changes no answers.
+pub fn telemetry_rows(
+    flights_scales: &[(usize, usize)],
+    ex71_edges: &[usize],
+) -> Vec<TelemetryRow> {
+    use std::time::Instant;
+
+    let mut cases: Vec<(String, Program, Database)> = Vec::new();
+    for &(cities, legs) in flights_scales {
+        cases.push((
+            format!("flights {cities}c/{legs}l"),
+            programs::flights(),
+            crate::workload::random_flights_database(cities, legs, 0xC0FFEE),
+        ));
     }
-    out.push_str("  ]\n}\n");
+    for &edges in ex71_edges {
+        cases.push((
+            format!("ex71 {edges}e"),
+            programs::example_71(),
+            crate::workload::random_7x_database(edges, 60, 50, 7),
+        ));
+    }
+    let previous = pcs_telemetry::mode();
+    let mut rows = Vec::new();
+    for (workload, program, db) in cases {
+        let optimized = Optimizer::new(program)
+            .strategy(Strategy::Optimal)
+            .optimize()
+            .expect("optimization succeeds");
+        let mut mode_facts = Vec::new();
+        let mut off_median_ms = 0.0;
+        for (mode_name, on) in [("off", false), ("on", true)] {
+            pcs_telemetry::set_mode(if on {
+                pcs_telemetry::TelemetryMode::On
+            } else {
+                pcs_telemetry::TelemetryMode::Off
+            });
+            let options = EvalOptions::default().with_telemetry(on);
+            let mut times = Vec::new();
+            let (mut facts, mut derivations) = (0, 0);
+            for _ in 0..5 {
+                let start = Instant::now();
+                let result = optimized.evaluate_with(&db, options.clone());
+                times.push(start.elapsed());
+                facts = result.total_facts();
+                derivations = result.stats.total_derivations();
+            }
+            times.sort();
+            let median_ms = times[times.len() / 2].as_secs_f64() * 1e3;
+            let overhead_pct = if on && off_median_ms > 0.0 {
+                (median_ms - off_median_ms) / off_median_ms * 100.0
+            } else {
+                off_median_ms = median_ms;
+                0.0
+            };
+            mode_facts.push(facts);
+            rows.push(TelemetryRow {
+                workload: workload.clone(),
+                telemetry: mode_name,
+                median_ms,
+                total_facts: facts,
+                derivations,
+                overhead_pct,
+            });
+        }
+        assert_eq!(
+            mode_facts[0], mode_facts[1],
+            "telemetry on and off stored different fact counts"
+        );
+    }
+    pcs_telemetry::set_mode(previous);
+    rows
+}
+
+/// Renders [`telemetry_rows`] as a printable table.
+pub fn telemetry(flights_scales: &[(usize, usize)], ex71_edges: &[usize]) -> String {
+    render_telemetry(&telemetry_rows(flights_scales, ex71_edges))
+}
+
+/// Renders already-measured telemetry-overhead rows as a printable table;
+/// the `on` rows carry the percent overhead against their `off` twin.
+pub fn render_telemetry(rows: &[TelemetryRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Telemetry overhead: counters, spans and iteration timing on vs off (median of 5)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:<10} {:>10} {:>12} {:>10} {:>9}",
+        "workload", "telemetry", "median", "facts", "derivs", "overhead"
+    );
+    for row in rows {
+        let overhead = if row.telemetry == "on" {
+            format!("{:+.2}%", row.overhead_pct)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:<10} {:>8.2}ms {:>12} {:>10} {:>9}",
+            row.workload, row.telemetry, row.median_ms, row.total_facts, row.derivations, overhead
+        );
+    }
     out
+}
+
+/// Serializes telemetry-overhead rows as the `BENCH_9.json` artifact via
+/// [`bench_json`].
+pub fn bench9_json(rows: &[TelemetryRow]) -> String {
+    let rows: Vec<Vec<(&str, BenchField)>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                ("workload", BenchField::Str(row.workload.clone())),
+                ("telemetry", BenchField::Str(row.telemetry.to_string())),
+                ("median_ms", BenchField::Float(row.median_ms, 3)),
+                ("total_facts", BenchField::count(row.total_facts)),
+                ("derivations", BenchField::count(row.derivations)),
+                ("overhead_pct", BenchField::Float(row.overhead_pct, 2)),
+            ]
+        })
+        .collect();
+    bench_json("telemetry_overhead", 9, &rows)
 }
 
 /// Analyzer overhead: wall-clock cost and findings of the static analysis
@@ -959,6 +1146,43 @@ mod tests {
         let json = bench8_json(&rows);
         assert!(json.contains("\"experiment\": \"static_join_planning\""));
         assert!(json.contains("\"issue\": 8"));
+    }
+
+    #[test]
+    fn telemetry_rows_pair_on_with_off_and_agree_on_facts() {
+        let rows = telemetry_rows(&[(6, 15)], &[40]);
+        // 2 workloads × 2 telemetry modes.
+        assert_eq!(rows.len(), 4);
+        for pair in rows.chunks(2) {
+            assert_eq!(pair[0].telemetry, "off");
+            assert_eq!(pair[1].telemetry, "on");
+            assert_eq!(pair[0].total_facts, pair[1].total_facts);
+            assert_eq!(pair[0].derivations, pair[1].derivations);
+            assert!((pair[0].overhead_pct - 0.0).abs() < f64::EPSILON);
+        }
+        let table = render_telemetry(&rows);
+        assert!(table.contains("overhead"));
+        let json = bench9_json(&rows);
+        assert!(json.contains("\"experiment\": \"telemetry_overhead\""));
+        assert!(json.contains("\"issue\": 9"));
+        assert!(json.contains("\"overhead_pct\":"));
+    }
+
+    #[test]
+    fn bench_json_frames_rows_uniformly() {
+        let rows = vec![
+            vec![
+                ("name", BenchField::Str("a".to_string())),
+                ("n", BenchField::Int(3)),
+            ],
+            vec![("x", BenchField::Float(1.5, 3))],
+        ];
+        let json = bench_json("demo", 42, &rows);
+        assert_eq!(
+            json,
+            "{\n  \"experiment\": \"demo\",\n  \"issue\": 42,\n  \"rows\": [\n    \
+             {\"name\": \"a\", \"n\": 3},\n    {\"x\": 1.500}\n  ]\n}\n"
+        );
     }
 
     #[test]

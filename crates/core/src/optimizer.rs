@@ -175,7 +175,11 @@ impl Optimizer {
         let mut diagnostics = Vec::new();
         let mut program = self.program.clone();
         if mode != AnalyzeMode::Off || self.eval.prune_dead {
-            let analysis = self.analyze();
+            let analysis = {
+                let _span =
+                    pcs_telemetry::span_if(self.eval.telemetry, pcs_telemetry::Phase::Analyze);
+                self.analyze()
+            };
             if mode == AnalyzeMode::Strict && analysis.has_errors() {
                 let details = analysis
                     .errors()
@@ -200,6 +204,8 @@ impl Optimizer {
             .query()
             .and_then(|q| q.literals.first())
             .map(|l| l.predicate.clone());
+        let rewrite_span =
+            pcs_telemetry::span_if(self.eval.telemetry, pcs_telemetry::Phase::Rewrite);
         let mut optimized = match &self.strategy {
             Strategy::None => Optimized {
                 program: program.clone(),
@@ -222,6 +228,7 @@ impl Optimizer {
             }
             Strategy::Sequence(steps) => self.run_sequence(&program, steps, rewrite_options)?,
         };
+        drop(rewrite_span);
         optimized.diagnostics = diagnostics;
         // Derive the plan compiler's selectivity hints from the *rewritten*
         // program — its evaluators execute the rewritten rules, so the
@@ -229,6 +236,7 @@ impl Optimizer {
         // (magic predicates included).  `PCS_ANALYZE=off` keeps the hints
         // empty; the planner then falls back to the structural order.
         if mode != AnalyzeMode::Off && optimized.eval.plan {
+            let _span = pcs_telemetry::span_if(self.eval.telemetry, pcs_telemetry::Phase::Analyze);
             let options = AnalyzeOptions::new().with_edb_constraints(self.edb_constraints.clone());
             optimized.eval.hints =
                 selectivity_hints(&program_selectivity(&optimized.program, &options));

@@ -27,6 +27,9 @@ use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use pcs_telemetry as telemetry;
 
 use pcs_constraints::{Atom, CmpOp, Conjunction, LinearExpr, Rational, Var};
 use pcs_lang::{Literal, Pred, Program, Query, Rule, Symbol, Term};
@@ -102,6 +105,18 @@ pub struct EvalOptions {
     /// order; `Optimizer::optimize()` fills the hints from the converged
     /// constraint analysis.
     pub hints: SelectivityHints,
+    /// When `true`, this evaluator records phase spans (plan-compile,
+    /// fixpoint, resume, retract) and per-iteration wall time into the
+    /// process-wide `pcs-telemetry` registry.  Purely observational — the
+    /// computed relations, the non-timing statistics, and the termination
+    /// are identical either way (the property
+    /// `tests/telemetry_differential.rs` checks).  Defaults to the
+    /// process-wide `PCS_TELEMETRY` setting (`off` unless set to `on` or
+    /// `trace`).  The deep join-loop counters (index probes, probe
+    /// hits/misses, subsumption checks, FM satisfiability calls) are gated
+    /// on the global mode alone, so flipping only this flag affects spans
+    /// and iteration timing.
+    pub telemetry: bool,
 }
 
 impl Default for EvalOptions {
@@ -116,6 +131,7 @@ impl Default for EvalOptions {
             prune_dead: false,
             plan: plan_enabled_by_default(),
             hints: SelectivityHints::default(),
+            telemetry: pcs_telemetry::enabled(),
         }
     }
 }
@@ -282,6 +298,13 @@ impl EvalOptions {
     /// hints for the plan compiler (see [`EvalOptions::hints`]).
     pub fn with_hints(self, hints: SelectivityHints) -> Self {
         EvalOptions { hints, ..self }
+    }
+
+    /// Returns these options with phase spans and per-iteration wall-time
+    /// recording switched on or off regardless of the process-wide
+    /// `PCS_TELEMETRY` setting (see [`EvalOptions::telemetry`]).
+    pub fn with_telemetry(self, telemetry: bool) -> Self {
+        EvalOptions { telemetry, ..self }
     }
 }
 
@@ -504,6 +527,7 @@ fn fact_matches_pattern(fact: &Fact, query: &Literal, side: &Conjunction) -> boo
         }
         constraint.push(current);
     }
+    telemetry::bump(telemetry::Counter::FmSatCalls);
     constraint.is_satisfiable()
 }
 
@@ -614,6 +638,7 @@ impl PartialMatch {
 
     /// Final satisfiability check over the residual (non-ground) constraints.
     fn is_consistent(&self) -> bool {
+        telemetry::bump(telemetry::Counter::FmSatCalls);
         self.extra.is_satisfiable()
     }
 }
@@ -635,9 +660,10 @@ impl Evaluator {
     /// once, instead of being re-ordered every fixpoint iteration.
     pub fn new(program: &Program, options: EvalOptions) -> Self {
         let program = program.flattened();
-        let plans = options
-            .plan
-            .then(|| compile_plans(&program, &options.hints));
+        let plans = options.plan.then(|| {
+            let _span = telemetry::span_if(options.telemetry, telemetry::Phase::PlanCompile);
+            compile_plans(&program, &options.hints)
+        });
         Evaluator {
             program,
             options,
@@ -790,6 +816,14 @@ impl Evaluator {
         surviving_edb: &Database,
         mark_retracted: bool,
     ) -> EvalResult {
+        let _phase_span = telemetry::span_if(
+            self.options.telemetry,
+            if mark_retracted {
+                telemetry::Phase::Retract
+            } else {
+                telemetry::Phase::Resume
+            },
+        );
         let limits = self.options.limits;
         for pred in self.program.all_predicates() {
             relations.entry(pred).or_insert_with(|| self.new_relation());
@@ -1024,6 +1058,7 @@ impl Evaluator {
                 removed_facts: removed_total,
                 ..EvalStats::default()
             };
+            telemetry::flush_thread();
             return Evaluator::finalize(relations, stats, limit);
         }
         let mut result = self.run_fixpoint(
@@ -1117,6 +1152,12 @@ impl Evaluator {
         let limits = self.options.limits;
         let threads = self.options.threads.max(1);
         let resumed = matches!(start, Start::Resume(_));
+        // A resumed run's wall time is already covered by the enclosing
+        // resume/retract span recorded in `apply_impl`.
+        let _phase_span = telemetry::span_if(
+            self.options.telemetry && !resumed,
+            telemetry::Phase::Fixpoint,
+        );
         let mut relations = match start {
             Start::Scratch(db) => {
                 let mut relations = self.seed_relations(db);
@@ -1186,6 +1227,7 @@ impl Evaluator {
                 termination = Termination::FactLimit;
                 break;
             }
+            let iter_start = self.options.telemetry.then(Instant::now);
             let mut iter_stats = IterationStats {
                 delta_facts: if indexed {
                     relations
@@ -1274,6 +1316,10 @@ impl Evaluator {
             }
 
             let new_facts = iter_stats.new_facts;
+            if let Some(started) = iter_start {
+                iter_stats.wall_nanos =
+                    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
             stats.iterations.push(iter_stats);
             if indexed {
                 for relation in relations.values_mut() {
@@ -1293,6 +1339,7 @@ impl Evaluator {
                 break;
             }
         }
+        telemetry::flush_thread();
         Evaluator::finalize(relations, stats, termination)
     }
 
@@ -1665,6 +1712,9 @@ fn run_tasks_parallel(
                         progress.record(ordinal, derived.len());
                         local.push((ordinal, derived));
                     }
+                    // Fold this worker's thread-local telemetry counters into
+                    // the shared registry before the thread exits.
+                    telemetry::flush_thread();
                     local
                 })
             })
@@ -1994,7 +2044,10 @@ fn delta_candidates(
         .iter()
         .min_by_key(|(pos, value)| relation.probe_len(window, *pos, value));
     match best {
-        Some((pos, value)) => relation.probe_indices(window, *pos, value).collect(),
+        Some((pos, value)) => {
+            telemetry::bump(telemetry::Counter::IndexProbes);
+            relation.probe_indices(window, *pos, value).collect()
+        }
         None => relation.window_range(window).collect(),
     }
 }
@@ -2034,9 +2087,13 @@ fn join_indexed(
         .min_by_key(|(pos, value)| relation.probe_len(window, *pos, value));
     match best {
         Some((pos, value)) => {
+            telemetry::bump(telemetry::Counter::IndexProbes);
             for fact in relation.probe(window, *pos, value) {
                 if let Some(next) = match_literal(&pm, literal, fact) {
+                    telemetry::bump(telemetry::Counter::ProbeHits);
                     join_indexed(rule, order, step + 1, next, relations, derived, cap);
+                } else {
+                    telemetry::bump(telemetry::Counter::ProbeMisses);
                 }
             }
         }
@@ -2091,12 +2148,17 @@ fn join_planned(
         .and_then(|pos| term_value(&pm, &literal.args[pos]).map(|value| (pos, value)));
     match probe {
         Some((pos, value)) => {
+            telemetry::bump(telemetry::Counter::IndexProbes);
             for fact in relation.probe(plan_step.window, pos, &value) {
                 if let Some(next) = match_literal(&pm, literal, fact) {
+                    telemetry::bump(telemetry::Counter::ProbeHits);
                     join_planned(rule, steps, step + 1, next, relations, derived, cap);
                     if exists_only {
+                        telemetry::bump(telemetry::Counter::ExistenceShortcuts);
                         break;
                     }
+                } else {
+                    telemetry::bump(telemetry::Counter::ProbeMisses);
                 }
             }
         }
@@ -2105,6 +2167,7 @@ fn join_planned(
                 if let Some(next) = match_literal(&pm, literal, fact) {
                     join_planned(rule, steps, step + 1, next, relations, derived, cap);
                     if exists_only {
+                        telemetry::bump(telemetry::Counter::ExistenceShortcuts);
                         break;
                     }
                 }

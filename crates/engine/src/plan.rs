@@ -285,6 +285,7 @@ pub fn compile_plans(program: &Program, hints: &SelectivityHints) -> ProgramPlan
         }
     }
     findings.sort_by_key(|f| (f.rule, f.literal, f.kind));
+    pcs_telemetry::add(pcs_telemetry::Counter::PlansCompiled, plans.len() as u64);
     ProgramPlans { plans, findings }
 }
 

@@ -354,6 +354,7 @@ impl Relation {
     /// duplicate), which keeps insertion linear in the number of constraint
     /// facts instead of the relation size.
     pub fn covers(&self, fact: &Fact) -> bool {
+        pcs_telemetry::bump(pcs_telemetry::Counter::SubsumptionChecks);
         if let Some(values) = fact.ground_values() {
             if self.find_ground_row(&values).is_some() {
                 return true;

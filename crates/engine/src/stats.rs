@@ -35,6 +35,14 @@ pub struct IterationStats {
     /// (populated by the indexed join core only; the legacy core slices on
     /// fact counts and leaves it at zero).
     pub delta_facts: usize,
+    /// Wall-clock time of this iteration in nanoseconds, measured only when
+    /// telemetry is enabled ([`EvalOptions::telemetry`]) and zero otherwise.
+    /// Purely observational: every other field is identical with telemetry
+    /// on or off (the property `tests/telemetry_differential.rs` checks), so
+    /// comparisons between runs should ignore this field.
+    ///
+    /// [`EvalOptions::telemetry`]: crate::EvalOptions::telemetry
+    pub wall_nanos: u64,
     /// The individual derivations (only when tracing is enabled).
     pub records: Vec<DerivationRecord>,
 }

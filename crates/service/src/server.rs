@@ -239,6 +239,29 @@ mod tests {
             "{out:?}"
         );
 
+        // The process-wide telemetry registry is reachable over the wire in
+        // both renderings, and `.stats` carries the service gauges.
+        let out = reader.send(".metrics");
+        assert!(out[0].starts_with("telemetry:"), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("index_probes")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("slow queries")), "{out:?}");
+        let out = reader.send(".metrics prom");
+        assert!(
+            out.iter().any(|l| l.starts_with("pcs_queries_total")),
+            "{out:?}"
+        );
+        let out = reader.send(".metrics csv");
+        assert!(
+            out[0].starts_with("error: unknown .metrics mode"),
+            "{out:?}"
+        );
+        let out = reader.send(".stats");
+        assert!(
+            out.iter().any(|l| l.starts_with("update queue depth:")),
+            "{out:?}"
+        );
+        assert!(out.iter().any(|l| l.starts_with("epoch lag:")), "{out:?}");
+
         // Clean quits, then shutdown.
         assert_eq!(loader.send(".quit"), vec!["bye".to_string()]);
         assert_eq!(reader.send(".quit"), vec!["bye".to_string()]);

@@ -29,6 +29,7 @@ use pcs_engine::{
     parse_facts, Database, EvalResult, Evaluator, Fact, FactsError, Termination, UpdateBatch,
 };
 use pcs_lang::{Literal, Pred, Program, Query, Term};
+use pcs_telemetry as telemetry;
 
 /// Errors reported by a [`Session`].
 #[derive(Debug)]
@@ -181,6 +182,40 @@ pub struct SessionStats {
     pub termination: Termination,
     /// The predicate holding the program's own query answers.
     pub query_pred: String,
+    /// Update batches currently waiting for (or holding) the update lock,
+    /// from the process-wide telemetry registry (zero when telemetry is
+    /// off).
+    pub update_queue_depth: i64,
+    /// Epochs the last completed query's snapshot trailed the session head
+    /// by, from the process-wide telemetry registry (zero when telemetry is
+    /// off).
+    pub epoch_lag: i64,
+}
+
+/// Holds one unit of the update-queue-depth gauge for as long as an update
+/// batch is waiting for or holding the update lock.  The increment/decrement
+/// pair is unconditional inside the guard so a mode flip mid-update cannot
+/// wedge the gauge; entering is skipped entirely when telemetry is off.
+struct QueueDepthGuard {
+    armed: bool,
+}
+
+impl QueueDepthGuard {
+    fn enter() -> Self {
+        let armed = telemetry::enabled();
+        if armed {
+            telemetry::gauge_add(telemetry::Gauge::UpdateQueueDepth, 1);
+        }
+        QueueDepthGuard { armed }
+    }
+}
+
+impl Drop for QueueDepthGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            telemetry::gauge_add(telemetry::Gauge::UpdateQueueDepth, -1);
+        }
+    }
 }
 
 /// A long-lived materialized query session over one optimized program.
@@ -353,9 +388,25 @@ impl Session {
     /// it was answered from, and the matching facts (cloned out so the
     /// caller does not borrow the snapshot).
     pub fn query(&self, query: &Query) -> Result<(Query, Snapshot, Vec<Fact>), SessionError> {
+        let start = telemetry::enabled().then(Instant::now);
         let resolved = self.resolve_query(query)?;
         let snapshot = self.snapshot();
         let answers = snapshot.answers(&resolved);
+        if let Some(start) = start {
+            let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            telemetry::add(telemetry::Counter::Queries, 1);
+            telemetry::observe(telemetry::Hist::QueryLatency, nanos);
+            // How many epochs were published while this query was running
+            // against its (then-current) snapshot.
+            let lag = self.snapshot().epoch().saturating_sub(snapshot.epoch());
+            telemetry::gauge_set(
+                telemetry::Gauge::EpochLag,
+                i64::try_from(lag).unwrap_or(i64::MAX),
+            );
+            if nanos >= telemetry::slow_query_threshold_nanos() {
+                telemetry::slow_query(&resolved.to_string(), nanos);
+            }
+        }
         Ok((resolved, snapshot, answers))
     }
 
@@ -391,6 +442,10 @@ impl Session {
                 return Err(SessionError::NotAnEdbPredicate(fact.predicate().clone()));
             }
         }
+        // Count this batch in the queue-depth gauge from the moment it
+        // starts waiting for the update lock until it finishes (every exit
+        // path decrements via the guard's drop).
+        let _depth = QueueDepthGuard::enter();
         let _guard = self.update_lock.lock().expect("update lock poisoned");
         let base = self.snapshot();
         // `Evaluator::apply` is only sound on a *completed* materialization:
@@ -466,6 +521,11 @@ impl Session {
             epoch: outcome.epoch,
             result: Arc::new(result),
         };
+        telemetry::add(telemetry::Counter::Updates, 1);
+        telemetry::observe(
+            telemetry::Hist::UpdateLatency,
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+        );
         Ok(outcome)
     }
 
@@ -520,6 +580,8 @@ impl Session {
                 .collect(),
             termination: result.termination,
             query_pred: self.optimized.query_pred.to_string(),
+            update_queue_depth: telemetry::gauge(telemetry::Gauge::UpdateQueueDepth),
+            epoch_lag: telemetry::gauge(telemetry::Gauge::EpochLag),
         }
     }
 }

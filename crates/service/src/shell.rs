@@ -182,6 +182,7 @@ impl Shell {
             ".commit" => self.commit_batch(),
             ".abort" => self.abort_batch(),
             ".stats" => self.stats(),
+            ".metrics" => metrics(arg),
             ".check" => self.check(),
             ".explain" => self.explain(),
             ".facts" => self.facts(arg),
@@ -414,6 +415,8 @@ impl Shell {
             ),
             format!("termination: {:?}", stats.termination),
             format!("query predicate: {}", stats.query_pred),
+            format!("update queue depth: {}", stats.update_queue_depth),
+            format!("epoch lag: {}", stats.epoch_lag),
         ];
         for (pred, count) in &stats.relations {
             lines.push(format!("  {pred}: {count}"));
@@ -484,6 +487,26 @@ impl Shell {
             Ok(answered) => answers_response(answered),
             Err(e) => Response::error(e),
         }
+    }
+}
+
+/// Renders the process-wide telemetry registry (`.metrics`): the human
+/// table by default, the Prometheus text exposition with `.metrics prom`.
+/// The registry is shared by every shell and session of the process, so the
+/// command needs no loaded session.
+fn metrics(arg: &str) -> Response {
+    let rendered = match arg {
+        "" | "table" => pcs_telemetry::render_table(),
+        "prom" | "prometheus" => pcs_telemetry::render_prometheus(),
+        other => {
+            return Response::error(format!(
+                "unknown .metrics mode `{other}`; expected no argument (table) or `prom`"
+            ))
+        }
+    };
+    Response {
+        lines: rendered.lines().map(str::to_string).collect(),
+        quit: false,
     }
 }
 
@@ -567,6 +590,8 @@ const HELP: &str = "commands:
   .answers           answer the loaded program's own query
   .facts <pred>      list the stored facts of one predicate
   .stats             materialization statistics
+  .metrics [prom]    process-wide telemetry (counters, phase timers, latency
+                     histograms); `prom` renders Prometheus text exposition
   .check             static analysis of the loaded program (safety,
                      satisfiability, dead rules, reachability)
   .explain           the compiled join plan of every rule body, with

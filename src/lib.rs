@@ -22,7 +22,10 @@
 //!   programs,
 //! * [`service`] — long-lived incremental materialized query sessions
 //!   ([`Session`]), the interactive shell, and the REPL/TCP front-ends
-//!   (`pcs-repl`, `pcs-serve`).
+//!   (`pcs-repl`, `pcs-serve`),
+//! * [`telemetry`] — the process-wide metrics registry (engine counters,
+//!   phase timers, latency histograms) behind the shell's `.metrics`
+//!   command and the `PCS_TELEMETRY`/`PCS_TRACE_JSON` environment knobs.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the reproduction of every table and figure.
@@ -45,6 +48,7 @@ pub use pcs_core as core;
 pub use pcs_engine as engine;
 pub use pcs_lang as lang;
 pub use pcs_service as service;
+pub use pcs_telemetry as telemetry;
 pub use pcs_transform as transform;
 
 pub use pcs_core::{Optimized, Optimizer, Strategy};
