@@ -1025,6 +1025,75 @@ pub fn bench9_json(rows: &[TelemetryRow]) -> String {
     bench_json("telemetry_overhead", 9, &rows)
 }
 
+/// One measured operation class of the E10 concurrent-load experiment (the
+/// row shape serialized into `BENCH_10.json`): per-class counts and
+/// latency percentiles from the telemetry histograms plus the overall
+/// sustained throughput.
+pub struct LoadRow {
+    /// The operation class (`query` or `update`).
+    pub op: String,
+    /// Concurrent client connections driving the server.
+    pub clients: usize,
+    /// Operations of this class completed over the run.
+    pub count: u64,
+    /// Operations per second of this class, over the run's wall-clock.
+    pub throughput_per_sec: f64,
+    /// Median latency in microseconds (upper bucket bound).
+    pub p50_us: f64,
+    /// 95th-percentile latency in microseconds (upper bucket bound).
+    pub p95_us: f64,
+    /// 99th-percentile latency in microseconds (upper bucket bound).
+    pub p99_us: f64,
+}
+
+/// Renders load-generator rows as the printable table `pcs-load` reports
+/// (also quoted in `EXPERIMENTS.md`).
+pub fn render_load(rows: &[LoadRow]) -> String {
+    let mut out = String::from("concurrent load (pcs-load):\n");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "op", "clients", "count", "ops/s", "p50", "p95", "p99"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8} {:>10} {:>12.1} {:>8.0}us {:>8.0}us {:>8.0}us",
+            row.op,
+            row.clients,
+            row.count,
+            row.throughput_per_sec,
+            row.p50_us,
+            row.p95_us,
+            row.p99_us
+        );
+    }
+    out
+}
+
+/// Serializes load-generator rows as the `BENCH_10.json` artifact via
+/// [`bench_json`].
+pub fn bench10_json(rows: &[LoadRow]) -> String {
+    let rows: Vec<Vec<(&str, BenchField)>> = rows
+        .iter()
+        .map(|row| {
+            vec![
+                ("op", BenchField::Str(row.op.clone())),
+                ("clients", BenchField::count(row.clients)),
+                ("count", BenchField::Int(row.count)),
+                (
+                    "throughput_per_sec",
+                    BenchField::Float(row.throughput_per_sec, 1),
+                ),
+                ("p50_us", BenchField::Float(row.p50_us, 1)),
+                ("p95_us", BenchField::Float(row.p95_us, 1)),
+                ("p99_us", BenchField::Float(row.p99_us, 1)),
+            ]
+        })
+        .collect();
+    bench_json("concurrent_load", 10, &rows)
+}
+
 /// Analyzer overhead: wall-clock cost and findings of the static analysis
 /// pass (which `Optimizer::optimize` runs by default) over the paper's
 /// example programs.

@@ -120,6 +120,13 @@ impl Optimizer {
         self
     }
 
+    /// The rewriting strategy currently configured.  Long-lived sessions
+    /// record it so a persisted session can be re-optimized identically on
+    /// recovery.
+    pub fn configured_strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
     /// Sets the evaluation options the [`Optimized`] program will use (e.g.
     /// `EvalOptions::legacy()` to evaluate with the nested-loop join core
     /// instead of the default indexed one).

@@ -19,6 +19,9 @@ pub enum FactsError {
     /// ground facts at all — almost certainly a typo worth surfacing rather
     /// than silently loading nothing.
     Unsatisfiable(String),
+    /// A line of signed update text ([`UpdateBatch::parse`]) carried neither
+    /// a `+` nor a `-` sign, so its direction is ambiguous.
+    Unsigned(String),
 }
 
 impl fmt::Display for FactsError {
@@ -28,6 +31,9 @@ impl fmt::Display for FactsError {
             FactsError::Unsatisfiable(rule) => {
                 write!(f, "constraint fact `{rule}` is unsatisfiable")
             }
+            FactsError::Unsigned(line) => {
+                write!(f, "update line `{line}` must start with `+` or `-`")
+            }
         }
     }
 }
@@ -36,7 +42,7 @@ impl std::error::Error for FactsError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FactsError::Parse(e) => Some(e),
-            FactsError::Unsatisfiable(_) => None,
+            FactsError::Unsatisfiable(_) | FactsError::Unsigned(_) => None,
         }
     }
 }
@@ -167,6 +173,47 @@ impl UpdateBatch {
     pub fn retract_str(mut self, source: &str) -> Result<Self, FactsError> {
         self.retracts.extend(parse_facts(source)?);
         Ok(self)
+    }
+
+    /// Renders the batch as signed fact lines — `-fact.` retractions first
+    /// (matching the retracts-then-inserts apply order), then `+fact.`
+    /// insertions.  [`UpdateBatch::parse`] reads the rendering back; the
+    /// `pcs-service` write-ahead log stores batches in exactly this form so
+    /// replay re-seeds updates from the logged text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for fact in &self.retracts {
+            out.push('-');
+            out.push_str(&fact.rule_text());
+            out.push_str(".\n");
+        }
+        for fact in &self.inserts {
+            out.push('+');
+            out.push_str(&fact.rule_text());
+            out.push_str(".\n");
+        }
+        out
+    }
+
+    /// Parses signed fact lines (`+fact.` / `-fact.`, one update per line,
+    /// blank lines ignored) back into a batch — the inverse of
+    /// [`UpdateBatch::render`].
+    pub fn parse(text: &str) -> Result<UpdateBatch, FactsError> {
+        let mut batch = UpdateBatch::new();
+        for line in text.lines() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix('+') {
+                batch.inserts.extend(parse_facts(rest)?);
+            } else if let Some(rest) = trimmed.strip_prefix('-') {
+                batch.retracts.extend(parse_facts(rest)?);
+            } else {
+                return Err(FactsError::Unsigned(trimmed.to_string()));
+            }
+        }
+        Ok(batch)
     }
 
     /// Total number of updates in the batch.
@@ -454,6 +501,37 @@ mod tests {
         assert!(err.to_string().contains("unsatisfiable"));
         // Nothing was added by the failed calls.
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn update_batches_round_trip_through_signed_text() {
+        let batch = UpdateBatch::new()
+            .retract_str("leg(a, b, 3).")
+            .unwrap()
+            .insert_str("leg(a, c, 5).\nspan(X) :- X >= 0, X <= 10.")
+            .unwrap();
+        let rendered = batch.render();
+        let reparsed = UpdateBatch::parse(&rendered).unwrap();
+        assert_eq!(reparsed.inserts.len(), batch.inserts.len());
+        assert_eq!(reparsed.retracts.len(), batch.retracts.len());
+        for (round, original) in reparsed
+            .inserts
+            .iter()
+            .zip(&batch.inserts)
+            .chain(reparsed.retracts.iter().zip(&batch.retracts))
+        {
+            assert!(round.equivalent(original), "{round} vs {original}");
+        }
+        // Rendering is stable under a second round trip.
+        assert_eq!(reparsed.render(), rendered);
+        // Empty batches render to nothing and parse back empty.
+        assert!(UpdateBatch::parse(&UpdateBatch::new().render())
+            .unwrap()
+            .is_empty());
+        // Unsigned lines are refused, not guessed at.
+        let err = UpdateBatch::parse("leg(a, b, 3).").unwrap_err();
+        assert!(matches!(err, FactsError::Unsigned(_)));
+        assert!(err.to_string().contains("`+` or `-`"));
     }
 
     #[test]

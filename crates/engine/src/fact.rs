@@ -252,6 +252,23 @@ impl Fact {
             self.constraint.clone(),
         )
     }
+
+    /// The *parseable* rule form of the fact (no trailing period): `p(a, 1)`
+    /// for ground facts, `p($1) :- $1 >= 0, $1 <= 10` for constraint facts.
+    ///
+    /// [`Fact`]'s `Display` (`lit; constraint`) is a listing format the fact
+    /// parser does not accept; this form feeds back through
+    /// [`crate::parse_facts`] unchanged, which is what the service layer's
+    /// write-ahead log and snapshots persist.
+    pub fn rule_text(&self) -> String {
+        let (literal, constraint) = self.to_literal_and_constraint();
+        if constraint.is_trivially_true() {
+            literal.to_string()
+        } else {
+            let atoms: Vec<String> = constraint.atoms().iter().map(ToString::to_string).collect();
+            format!("{literal} :- {}", atoms.join(", "))
+        }
+    }
 }
 
 impl fmt::Display for Fact {

@@ -1,23 +1,138 @@
 //! The line-protocol TCP front-end of `pcs-service`.
 //!
-//! Usage: `pcs-serve [ADDR]` (default `127.0.0.1:7474`; use port `0` for an
-//! ephemeral port).  All client connections share one session hub: a
-//! `.load` performed by any client installs the materialization every other
-//! client queries and updates.  Each response frame ends with a lone `.`
-//! line.
+//! ```text
+//! pcs-serve [ADDR] [--data-dir DIR] [--workers N] [--read-timeout-secs N]
+//!           [--queue-depth N] [--max-sessions N] [--max-facts N]
+//!           [--snapshot-every N]
+//! ```
+//!
+//! `ADDR` defaults to `127.0.0.1:7474`; use port `0` for an ephemeral port.
+//! All client connections share one session hub: a `.load` performed by any
+//! client installs the materialization every other client attached to the
+//! same named session queries and updates (`.session` switches).  Each
+//! response frame ends with a lone `.` line (payload lines starting with
+//! `.` are dot-stuffed).
+//!
+//! With `--data-dir`, every session persists a snapshot plus write-ahead
+//! log under `DIR/<session>/`, and startup replays whatever a previous
+//! process left there — a killed server restarted on the same directory
+//! answers exactly as if it had never died.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
-use pcs_service::Server;
+use pcs_service::{Server, ServerOptions, SessionHub, SessionLimits};
+
+struct Args {
+    addr: String,
+    data_dir: Option<String>,
+    options: ServerOptions,
+    limits: SessionLimits,
+    snapshot_every: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7474".to_string(),
+        data_dir: None,
+        options: ServerOptions::default(),
+        limits: SessionLimits::default(),
+        snapshot_every: 64,
+    };
+    let mut argv = std::env::args().skip(1);
+    let mut positional = 0usize;
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--data-dir" => args.data_dir = Some(value("--data-dir")?),
+            "--workers" => {
+                args.options.workers = parse_number(&value("--workers")?, "--workers")?;
+            }
+            "--read-timeout-secs" => {
+                let secs: u64 =
+                    parse_number(&value("--read-timeout-secs")?, "--read-timeout-secs")?;
+                args.options.read_timeout = if secs == 0 {
+                    None
+                } else {
+                    Some(Duration::from_secs(secs))
+                };
+            }
+            "--queue-depth" => {
+                args.options.queue_depth = parse_number(&value("--queue-depth")?, "--queue-depth")?;
+            }
+            "--max-sessions" => {
+                args.limits.max_sessions =
+                    parse_number(&value("--max-sessions")?, "--max-sessions")?;
+            }
+            "--max-facts" => {
+                args.limits.max_facts = parse_number(&value("--max-facts")?, "--max-facts")?;
+            }
+            "--snapshot-every" => {
+                args.snapshot_every =
+                    parse_number(&value("--snapshot-every")?, "--snapshot-every")?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            addr => {
+                positional += 1;
+                if positional > 1 {
+                    return Err(format!("unexpected extra argument `{addr}`"));
+                }
+                args.addr = addr.to_string();
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn parse_number<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag} needs a number, got `{text}`"))
+}
 
 fn main() -> ExitCode {
-    let addr = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "127.0.0.1:7474".to_string());
-    let server = match Server::bind(&addr) {
-        Ok(server) => server,
+    let args = match parse_args() {
+        Ok(args) => args,
         Err(e) => {
-            eprintln!("pcs-serve: cannot bind {addr}: {e}");
+            eprintln!("pcs-serve: {e}");
+            eprintln!(
+                "usage: pcs-serve [ADDR] [--data-dir DIR] [--workers N] \
+                 [--read-timeout-secs N] [--queue-depth N] [--max-sessions N] \
+                 [--max-facts N] [--snapshot-every N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let hub = match &args.data_dir {
+        Some(dir) => match SessionHub::with_store(dir, args.snapshot_every, args.limits) {
+            Ok(hub) => {
+                let hub = Arc::new(hub);
+                match hub.recover() {
+                    Ok(lines) => {
+                        for line in lines {
+                            println!("pcs-serve: {line}");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("pcs-serve: recovery scan of {dir} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                hub
+            }
+            Err(e) => {
+                eprintln!("pcs-serve: cannot open data dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arc::new(SessionHub::with_limits(args.limits)),
+    };
+
+    let server = match Server::bind_with_hub(&args.addr, hub) {
+        Ok(server) => server.with_options(args.options),
+        Err(e) => {
+            eprintln!("pcs-serve: cannot bind {}: {e}", args.addr);
             return ExitCode::FAILURE;
         }
     };

@@ -1,0 +1,549 @@
+//! The named-session registry shared by every front-end of one process.
+//!
+//! A [`SessionHub`] holds a map of *named slots*, each optionally occupied
+//! by a materialized [`Session`].  The REPL and every TCP connection share
+//! one hub; which slot a given shell talks to is per-shell state (the
+//! `.session` command), so two clients can serve different materializations
+//! from one process while a third `.load` replaces one of them for
+//! everybody attached to that name.
+//!
+//! The slot named [`DEFAULT_SESSION`] always exists — shells start attached
+//! to it, which keeps the single-session workflows of earlier releases
+//! working unchanged.
+//!
+//! A hub built with [`SessionHub::with_store`] is durable: installing a
+//! session under a name initializes `<data-dir>/<name>/` (snapshot + WAL,
+//! see [`crate::wal`]), and [`SessionHub::recover`] rebuilds every persisted
+//! session at startup by replaying snapshot + WAL and re-running the
+//! fixpoint.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use pcs_core::Optimizer;
+use pcs_lang::parse_program;
+
+use crate::session::Session;
+use crate::shell::{parse_strategy, strategy_token};
+use crate::wal::{self, Persistence};
+
+/// The always-present session slot shells start attached to.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// Per-hub resource limits, applied when sessions are created or installed.
+/// `0` means unlimited.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionLimits {
+    /// Maximum number of named session slots (the default slot included).
+    pub max_sessions: usize,
+    /// Per-session cap on extensional-database facts
+    /// ([`Session::set_fact_limit`]).
+    pub max_facts: usize,
+}
+
+/// Errors reported by the [`SessionHub`] registry.
+#[derive(Debug)]
+pub enum HubError {
+    /// The named slot does not exist (`.session new` it first).
+    UnknownSession(String),
+    /// Creating another slot would exceed [`SessionLimits::max_sessions`].
+    SessionLimit(usize),
+    /// Session names are `[A-Za-z0-9_-]{1,32}` (they become directory
+    /// names under the data dir).
+    InvalidName(String),
+    /// The slot already exists (`.session new` twice).
+    AlreadyExists(String),
+    /// The hub's data directory could not be written.
+    Persistence(io::Error),
+}
+
+impl fmt::Display for HubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HubError::UnknownSession(name) => {
+                write!(f, "no session named `{name}`; try .session list")
+            }
+            HubError::SessionLimit(limit) => {
+                write!(f, "session limit reached ({limit} sessions)")
+            }
+            HubError::InvalidName(name) => write!(
+                f,
+                "invalid session name `{name}`; use 1-32 characters from [A-Za-z0-9_-]"
+            ),
+            HubError::AlreadyExists(name) => write!(f, "session `{name}` already exists"),
+            HubError::Persistence(e) => write!(f, "session data directory unwritable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HubError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HubError::Persistence(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HubError {
+    fn from(e: io::Error) -> Self {
+        HubError::Persistence(e)
+    }
+}
+
+/// The durability configuration of a store-backed hub.
+struct Store {
+    data_dir: PathBuf,
+    snapshot_every: u64,
+}
+
+/// The shared registry of named sessions all shells of one front-end
+/// operate on.  The TCP server hands one hub to every connection; the REPL
+/// owns a private one.
+pub struct SessionHub {
+    slots: RwLock<BTreeMap<String, Option<Arc<Session>>>>,
+    limits: SessionLimits,
+    store: Option<Store>,
+}
+
+impl Default for SessionHub {
+    fn default() -> Self {
+        SessionHub::with_limits(SessionLimits::default())
+    }
+}
+
+fn validate_name(name: &str) -> Result<(), HubError> {
+    let ok = !name.is_empty()
+        && name.len() <= 32
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if ok {
+        Ok(())
+    } else {
+        Err(HubError::InvalidName(name.to_string()))
+    }
+}
+
+impl SessionHub {
+    /// Creates an in-memory hub (no limits, no persistence) holding the
+    /// empty default slot.
+    pub fn new() -> SessionHub {
+        SessionHub::default()
+    }
+
+    /// Creates an in-memory hub with resource limits.
+    pub fn with_limits(limits: SessionLimits) -> SessionHub {
+        let mut slots = BTreeMap::new();
+        slots.insert(DEFAULT_SESSION.to_string(), None);
+        SessionHub {
+            slots: RwLock::new(slots),
+            limits,
+            store: None,
+        }
+    }
+
+    /// Creates a durable hub over `data_dir` (created if missing): every
+    /// installed session persists a snapshot plus write-ahead log under
+    /// `<data_dir>/<name>/`, checkpointing every `snapshot_every` update
+    /// batches.  Call [`SessionHub::recover`] afterwards to rebuild what a
+    /// previous process persisted there.
+    pub fn with_store(
+        data_dir: impl Into<PathBuf>,
+        snapshot_every: u64,
+        limits: SessionLimits,
+    ) -> io::Result<SessionHub> {
+        let data_dir = data_dir.into();
+        fs::create_dir_all(&data_dir)?;
+        let mut hub = SessionHub::with_limits(limits);
+        hub.store = Some(Store {
+            data_dir,
+            snapshot_every: snapshot_every.max(1),
+        });
+        Ok(hub)
+    }
+
+    /// The hub's resource limits.
+    pub fn limits(&self) -> SessionLimits {
+        self.limits
+    }
+
+    /// The data directory, when the hub is durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.data_dir.as_path())
+    }
+
+    /// Installs a freshly materialized session into the **default** slot,
+    /// replacing any previous one for every shell sharing this hub — the
+    /// single-session entry point earlier releases exposed.
+    ///
+    /// On a store-backed hub prefer [`SessionHub::install_named`], which
+    /// surfaces data-directory errors instead of panicking on them.
+    pub fn install(&self, session: Session) -> Arc<Session> {
+        self.install_named(DEFAULT_SESSION, session)
+            .expect("installing into the default slot of a store-less hub cannot fail")
+    }
+
+    /// Installs a freshly materialized session under `name`, creating the
+    /// slot if needed (subject to [`SessionLimits::max_sessions`]) and —
+    /// on a durable hub — initializing its data directory (fresh snapshot,
+    /// empty WAL) unless the session already carries a persistence handle
+    /// (the recovery path).
+    pub fn install_named(&self, name: &str, session: Session) -> Result<Arc<Session>, HubError> {
+        validate_name(name)?;
+        if self.limits.max_facts > 0 {
+            session.set_fact_limit(self.limits.max_facts);
+        }
+        if let (Some(store), None) = (&self.store, session.persistence()) {
+            let snapshot = session.snapshot();
+            let persistence = Persistence::create(
+                &store.data_dir.join(name),
+                strategy_token(session.strategy()),
+                session.source().to_string(),
+                store.snapshot_every,
+                snapshot.epoch(),
+                snapshot.base(),
+            )?;
+            session
+                .attach_persistence(persistence)
+                .map_err(|_| ())
+                .expect("a session without a persistence handle accepts one");
+        }
+        let session = Arc::new(session);
+        let mut slots = self.write_slots();
+        if !slots.contains_key(name) {
+            if self.limits.max_sessions > 0 && slots.len() >= self.limits.max_sessions {
+                return Err(HubError::SessionLimit(self.limits.max_sessions));
+            }
+            slots.insert(name.to_string(), None);
+        }
+        slots.insert(name.to_string(), Some(session.clone()));
+        Ok(session)
+    }
+
+    /// Declares a new, empty slot named `name` (the `.session new`
+    /// command); a later `.load` by a shell attached to it fills it.
+    pub fn create(&self, name: &str) -> Result<(), HubError> {
+        validate_name(name)?;
+        let mut slots = self.write_slots();
+        if slots.contains_key(name) {
+            return Err(HubError::AlreadyExists(name.to_string()));
+        }
+        if self.limits.max_sessions > 0 && slots.len() >= self.limits.max_sessions {
+            return Err(HubError::SessionLimit(self.limits.max_sessions));
+        }
+        slots.insert(name.to_string(), None);
+        Ok(())
+    }
+
+    /// The session in the **default** slot, if any (back-compat accessor).
+    pub fn session(&self) -> Option<Arc<Session>> {
+        self.read_slots().get(DEFAULT_SESSION).cloned().flatten()
+    }
+
+    /// The session under `name`: `Err` if the slot does not exist,
+    /// `Ok(None)` if it exists but nothing is loaded into it yet.
+    pub fn named(&self, name: &str) -> Result<Option<Arc<Session>>, HubError> {
+        self.read_slots()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| HubError::UnknownSession(name.to_string()))
+    }
+
+    /// Whether the slot `name` exists.
+    pub fn has_slot(&self, name: &str) -> bool {
+        self.read_slots().contains_key(name)
+    }
+
+    /// Drops the session under `name`.  The default slot is emptied but
+    /// kept (shells must always have somewhere to attach); other slots are
+    /// removed entirely.  On a durable hub the session's data directory is
+    /// deleted with it.
+    pub fn drop_session(&self, name: &str) -> Result<(), HubError> {
+        let mut slots = self.write_slots();
+        if !slots.contains_key(name) {
+            return Err(HubError::UnknownSession(name.to_string()));
+        }
+        if name == DEFAULT_SESSION {
+            slots.insert(name.to_string(), None);
+        } else {
+            slots.remove(name);
+        }
+        drop(slots);
+        if let Some(store) = &self.store {
+            let dir = store.data_dir.join(name);
+            if dir.exists() {
+                fs::remove_dir_all(&dir)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Every slot with a summary of what it holds: `(name, Some((epoch,
+    /// total facts)))` for loaded sessions, `(name, None)` for empty slots.
+    pub fn list(&self) -> Vec<(String, Option<(u64, usize)>)> {
+        self.read_slots()
+            .iter()
+            .map(|(name, slot)| {
+                let summary = slot.as_ref().map(|session| {
+                    let snapshot = session.snapshot();
+                    (snapshot.epoch(), snapshot.result().total_facts())
+                });
+                (name.clone(), summary)
+            })
+            .collect()
+    }
+
+    /// Rebuilds every session a previous process persisted under the data
+    /// directory: for each `<data_dir>/<name>/` holding a snapshot, replays
+    /// snapshot + WAL into an EDB, re-optimizes the recorded program with
+    /// the recorded strategy, re-runs the fixpoint at the recorded epoch,
+    /// and installs the session under `name` with a fresh checkpoint.
+    ///
+    /// Returns one human-readable line per recovered session (and per
+    /// warning), for the server to print at startup.  A directory that
+    /// fails to recover is reported and skipped — one corrupt session must
+    /// not keep the others from serving.
+    pub fn recover(&self) -> io::Result<Vec<String>> {
+        let Some(store) = &self.store else {
+            return Ok(Vec::new());
+        };
+        let mut lines = Vec::new();
+        let mut entries: Vec<PathBuf> = fs::read_dir(&store.data_dir)?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| path.is_dir())
+            .collect();
+        entries.sort();
+        for dir in entries {
+            let name = dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if validate_name(&name).is_err() {
+                continue;
+            }
+            match self.recover_one(&dir, &name) {
+                Ok(Some(line)) => lines.push(line),
+                Ok(None) => {}
+                Err(e) => lines.push(format!("warning: session `{name}` not recovered: {e}")),
+            }
+        }
+        Ok(lines)
+    }
+
+    /// Recovers one session directory; `Ok(None)` when it holds no
+    /// snapshot.  Errors are strings so parse failures and I/O failures
+    /// report uniformly.
+    fn recover_one(&self, dir: &Path, name: &str) -> Result<Option<String>, String> {
+        let store = self.store.as_ref().expect("recover_one needs a store");
+        let Some(recovered) = wal::recover_dir(dir).map_err(|e| e.to_string())? else {
+            return Ok(None);
+        };
+        let strategy = parse_strategy(&recovered.strategy)
+            .ok_or_else(|| format!("unknown strategy token `{}`", recovered.strategy))?;
+        let program = parse_program(&recovered.program)
+            .map_err(|e| format!("persisted program does not parse: {e}"))?;
+        let optimizer = Optimizer::new(program).strategy(strategy);
+        let session = Session::materialize_at(&optimizer, &recovered.db, recovered.epoch)
+            .map_err(|e| format!("re-materialization failed: {e}"))?;
+        // Fresh checkpoint at the recovered epoch: snapshot current, WAL
+        // empty — replayed records must not replay twice.
+        let persistence = Persistence::create(
+            dir,
+            strategy_token(session.strategy()),
+            session.source().to_string(),
+            store.snapshot_every,
+            recovered.epoch,
+            &recovered.db,
+        )
+        .map_err(|e| e.to_string())?;
+        session
+            .attach_persistence(persistence)
+            .map_err(|_| ())
+            .expect("a freshly materialized session accepts a persistence handle");
+        let snapshot = session.snapshot();
+        let facts = snapshot.result().total_facts();
+        self.install_named(name, session)
+            .map_err(|e| e.to_string())?;
+        let mut line = format!(
+            "recovered session `{name}` at epoch {} ({facts} facts)",
+            recovered.epoch
+        );
+        if let Some(warning) = recovered.warning {
+            line.push_str(&format!("; {warning}"));
+        }
+        Ok(Some(line))
+    }
+
+    fn read_slots(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Option<Arc<Session>>>> {
+        // A poisoned registry lock is recovered, not propagated: the map is
+        // only ever mutated by single insert/remove operations on `Arc`ed
+        // values, so whatever a panicking thread left behind is a
+        // consistent registry.
+        self.slots.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_slots(
+        &self,
+    ) -> std::sync::RwLockWriteGuard<'_, BTreeMap<String, Option<Arc<Session>>>> {
+        self.slots.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcs_core::{programs, Strategy};
+    use pcs_lang::parse_query;
+
+    fn flights_session(strategy: Strategy) -> Session {
+        let optimizer = Optimizer::new(programs::flights()).strategy(strategy);
+        Session::materialize(&optimizer, &programs::flights_database(6, 10)).unwrap()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pcs-hub-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn named_slots_are_registered_and_dropped() {
+        let hub = SessionHub::new();
+        assert!(hub.has_slot(DEFAULT_SESSION));
+        assert!(hub.session().is_none());
+        hub.create("alpha").unwrap();
+        assert!(matches!(
+            hub.create("alpha"),
+            Err(HubError::AlreadyExists(_))
+        ));
+        assert!(hub.named("alpha").unwrap().is_none());
+        assert!(matches!(
+            hub.named("beta"),
+            Err(HubError::UnknownSession(_))
+        ));
+        hub.install_named("alpha", flights_session(Strategy::ConstraintRewrite))
+            .unwrap();
+        assert!(hub.named("alpha").unwrap().is_some());
+        // The default slot is independent.
+        assert!(hub.session().is_none());
+        let listed = hub.list();
+        assert_eq!(listed.len(), 2);
+        assert_eq!(listed[0].0, "alpha");
+        assert!(listed[0].1.is_some());
+        assert_eq!(listed[1], (DEFAULT_SESSION.to_string(), None));
+        // Dropping a named slot removes it; dropping default only empties.
+        hub.drop_session("alpha").unwrap();
+        assert!(!hub.has_slot("alpha"));
+        hub.drop_session(DEFAULT_SESSION).unwrap();
+        assert!(hub.has_slot(DEFAULT_SESSION));
+    }
+
+    #[test]
+    fn limits_cap_slots_and_facts() {
+        let hub = SessionHub::with_limits(SessionLimits {
+            max_sessions: 2,
+            max_facts: 5,
+        });
+        hub.create("one").unwrap();
+        assert!(matches!(hub.create("two"), Err(HubError::SessionLimit(2))));
+        let session = hub
+            .install_named("one", flights_session(Strategy::None))
+            .unwrap();
+        assert_eq!(session.fact_limit(), 5);
+        // The flights EDB already exceeds the cap, so growth is refused.
+        let err = session.insert_str("singleleg(a, b, 1, 1).").unwrap_err();
+        assert!(err.to_string().contains("fact limit"), "{err}");
+    }
+
+    #[test]
+    fn invalid_names_are_refused() {
+        let hub = SessionHub::new();
+        for bad in ["", "has space", "dot.dot", "a/b", &"x".repeat(33)] {
+            assert!(
+                matches!(hub.create(bad), Err(HubError::InvalidName(_))),
+                "{bad:?}"
+            );
+        }
+        hub.create("ok_name-1").unwrap();
+    }
+
+    #[test]
+    fn durable_hubs_recover_sessions_across_restarts() {
+        let dir = temp_dir("recover");
+        let query = parse_query("?- cheaporshort(madison, seattle, T, C).").unwrap();
+        let expected = {
+            let hub = SessionHub::with_store(&dir, 2, SessionLimits::default()).unwrap();
+            let session = hub
+                .install_named("flights", flights_session(Strategy::ConstraintRewrite))
+                .unwrap();
+            // Three epochs: checkpoint after two, the third left in the WAL.
+            session
+                .insert_str("singleleg(madison, newhub, 10, 10).")
+                .unwrap();
+            session
+                .insert_str("singleleg(newhub, seattle, 10, 10).")
+                .unwrap();
+            session
+                .remove_str("singleleg(madison, newhub, 10, 10).")
+                .unwrap();
+            assert_eq!(session.snapshot().epoch(), 3);
+            session.query(&query).unwrap().2.len()
+        };
+
+        // A second hub over the same directory (a new process, in effect).
+        let hub = SessionHub::with_store(&dir, 2, SessionLimits::default()).unwrap();
+        let lines = hub.recover().unwrap();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].contains("recovered session `flights` at epoch 3"));
+        let session = hub.named("flights").unwrap().expect("recovered");
+        assert_eq!(session.snapshot().epoch(), 3);
+        assert_eq!(session.query(&query).unwrap().2.len(), expected);
+        // Updates keep working and keep persisting after recovery.
+        let outcome = session
+            .insert_str("singleleg(madison, direct, 10, 10).")
+            .unwrap();
+        assert_eq!(outcome.epoch, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dropping_a_durable_session_removes_its_directory() {
+        let dir = temp_dir("drop");
+        let hub = SessionHub::with_store(&dir, 8, SessionLimits::default()).unwrap();
+        hub.install_named("gone", flights_session(Strategy::None))
+            .unwrap();
+        assert!(dir.join("gone").join(wal::SNAPSHOT_FILE).exists());
+        hub.drop_session("gone").unwrap();
+        assert!(!dir.join("gone").exists());
+        // Nothing to recover afterwards.
+        let hub = SessionHub::with_store(&dir, 8, SessionLimits::default()).unwrap();
+        assert!(hub.recover().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poisoned_registry_locks_recover() {
+        let hub = Arc::new(SessionHub::new());
+        hub.install(flights_session(Strategy::None));
+        let poisoner = hub.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.slots.write().unwrap();
+            panic!("poison the registry lock");
+        })
+        .join();
+        // The registry still answers after a writer died holding the lock.
+        assert!(hub.session().is_some());
+        hub.create("after").unwrap();
+        assert!(hub.named("after").unwrap().is_none());
+    }
+}

@@ -50,10 +50,14 @@
 #![forbid(unsafe_code)]
 #![deny(deprecated)]
 
+pub mod hub;
 pub mod server;
 pub mod session;
 pub mod shell;
+pub mod wal;
 
-pub use server::{Server, ServerHandle};
+pub use hub::{HubError, SessionHub, SessionLimits};
+pub use server::{Server, ServerHandle, ServerOptions};
 pub use session::{Session, SessionError, SessionStats, Snapshot, UpdateOutcome};
-pub use shell::{parse_strategy, strategy_label, Response, SessionHub, Shell};
+pub use shell::{parse_strategy, strategy_label, strategy_token, Response, Shell};
+pub use wal::Persistence;

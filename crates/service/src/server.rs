@@ -2,35 +2,77 @@
 //!
 //! The wire protocol is the shell's command language, framed for machines:
 //! after the greeting, every request line produces the shell's response
-//! lines followed by a lone `.` terminator line.  All connections share one
-//! [`SessionHub`] — a `.load` performed by one client installs the session
-//! every other client queries — while each connection keeps its own
-//! [`Shell`] (strategy selection and `.load` blocks stay per-client).
+//! lines followed by a lone `.` terminator line.  Response *payload* lines
+//! that themselves begin with `.` are dot-stuffed (an extra leading `.` is
+//! prepended, SMTP-style) so the terminator is unambiguous; clients strip
+//! one leading `.` from any line starting with `..`.  All connections share
+//! one [`SessionHub`] — a `.load` performed by one client installs the
+//! session every other client queries — while each connection keeps its own
+//! [`Shell`] (strategy selection, attached session, and `.load` blocks stay
+//! per-client).
+//!
+//! Connections are served by a **bounded worker pool**
+//! ([`ServerOptions::workers`]) with a bounded accept queue
+//! ([`ServerOptions::queue_depth`]): a flood of connections cannot spawn an
+//! unbounded number of threads, and clients beyond capacity get an explicit
+//! `busy:` frame instead of an unacknowledged hang.  Sockets carry a read
+//! timeout ([`ServerOptions::read_timeout`]), so a stalled or vanished
+//! client releases its worker with an `idle:` frame instead of pinning it
+//! forever.
 //!
 //! Queries from other connections proceed while one connection's insert
 //! materializes: the session publishes epochs via immutable snapshots, so
 //! the server needs no global lock around evaluation.
 
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crate::shell::{SessionHub, Shell};
+use crate::hub::SessionHub;
+use crate::shell::Shell;
 
 /// The response terminator line of the wire protocol.
 pub const TERMINATOR: &str = ".";
+
+/// Tuning knobs of the serving layer.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads, i.e. the maximum number of concurrently *served*
+    /// connections (clamped to at least 1).
+    pub workers: usize,
+    /// Per-socket read timeout: a connection that sends no complete command
+    /// for this long is disconnected with an `idle:` frame.  `None`
+    /// disables the timeout.
+    pub read_timeout: Option<Duration>,
+    /// Accepted connections waiting for a free worker beyond this depth are
+    /// refused with a `busy:` frame.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: 8,
+            read_timeout: Some(Duration::from_secs(300)),
+            queue_depth: 32,
+        }
+    }
+}
 
 /// A bound-but-not-yet-serving TCP front-end.
 pub struct Server {
     listener: TcpListener,
     hub: Arc<SessionHub>,
+    options: ServerOptions,
 }
 
 impl Server {
     /// Binds to `addr` (e.g. `127.0.0.1:7474`, or port `0` for an ephemeral
-    /// port) over a fresh hub.
+    /// port) over a fresh hub with default options.
     pub fn bind(addr: impl ToSocketAddrs) -> io::Result<Server> {
         Server::bind_with_hub(addr, Arc::new(SessionHub::new()))
     }
@@ -41,7 +83,15 @@ impl Server {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             hub,
+            options: ServerOptions::default(),
         })
+    }
+
+    /// Replaces the serving options (worker count, read timeout, queue
+    /// depth); call before [`Server::run`] or [`Server::spawn`].
+    pub fn with_options(mut self, options: ServerOptions) -> Server {
+        self.options = options;
+        self
     }
 
     /// The address the server is listening on.
@@ -54,33 +104,126 @@ impl Server {
         &self.hub
     }
 
-    /// Serves connections on the calling thread until accept fails.
+    /// Serves connections on the calling thread until accept fails; workers
+    /// run on background threads.
     pub fn run(self) -> io::Result<()> {
-        accept_loop(self.listener, self.hub, None)
+        let pool = Pool::start(self.hub, &self.options);
+        accept_loop(self.listener, &pool, None)
     }
 
-    /// Serves connections on a background thread; the returned handle stops
-    /// the accept loop on [`ServerHandle::shutdown`].
+    /// Serves connections on background threads; the returned handle stops
+    /// the accept loop and the idle workers on [`ServerHandle::shutdown`].
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let accept_stop = stop.clone();
-        let hub = self.hub.clone();
+        let pool = Pool::start(self.hub, &self.options);
+        let accept_pool = pool.clone();
         let listener = self.listener;
         let thread = std::thread::spawn(move || {
-            let _ = accept_loop(listener, hub, Some(accept_stop));
+            let _ = accept_loop(listener, &accept_pool, Some(accept_stop));
         });
-        Ok(ServerHandle { addr, stop, thread })
+        Ok(ServerHandle {
+            addr,
+            stop,
+            pool,
+            thread,
+        })
     }
 }
 
-/// The shared connection-accept loop: one thread per client, all sharing
-/// `hub`.  With a `stop` flag the loop exits cleanly after the next accepted
-/// connection once the flag is set ([`ServerHandle::shutdown`] sets it and
+/// The worker pool shared between the accept loop and the worker threads:
+/// a bounded queue of accepted-but-unserved connections plus the condvar
+/// idle workers sleep on.
+struct Pool {
+    hub: Arc<SessionHub>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    stop: AtomicBool,
+    queue_depth: usize,
+    read_timeout: Option<Duration>,
+}
+
+impl Pool {
+    /// Spawns the worker threads and returns the shared pool state.
+    fn start(hub: Arc<SessionHub>, options: &ServerOptions) -> Arc<Pool> {
+        let pool = Arc::new(Pool {
+            hub,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+            queue_depth: options.queue_depth,
+            read_timeout: options.read_timeout,
+        });
+        for _ in 0..options.workers.max(1) {
+            let pool = pool.clone();
+            std::thread::spawn(move || pool.work());
+        }
+        pool
+    }
+
+    /// Hands an accepted connection to the pool, or refuses it with a
+    /// `busy:` frame when the wait queue is full.
+    fn submit(&self, stream: TcpStream) {
+        let mut queue = self.lock_queue();
+        if queue.len() >= self.queue_depth.max(1) {
+            drop(queue);
+            // Refusal is a best-effort courtesy; the close is the message.
+            let mut writer = BufWriter::new(stream);
+            let _ = writeln!(writer, "busy: server at connection capacity; retry later");
+            let _ = writeln!(writer, "{TERMINATOR}");
+            let _ = writer.flush();
+            return;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        self.available.notify_one();
+    }
+
+    /// One worker thread: serve queued connections until told to stop.
+    fn work(&self) {
+        loop {
+            let stream = {
+                let mut queue = self.lock_queue();
+                loop {
+                    if let Some(stream) = queue.pop_front() {
+                        break stream;
+                    }
+                    if self.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    queue = self
+                        .available
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            // Client I/O errors just end that connection.
+            let _ = serve_client(stream, self.hub.clone(), self.read_timeout);
+        }
+    }
+
+    /// Wakes every idle worker so it can observe the stop flag.  Workers
+    /// mid-connection finish their client first, as before.
+    fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.available.notify_all();
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<TcpStream>> {
+        // A worker that panics while *holding* the queue lock has already
+        // popped its connection; the queue itself is still consistent.
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The shared connection-accept loop, feeding the worker pool.  With a
+/// `stop` flag the loop exits cleanly after the next accepted connection
+/// once the flag is set ([`ServerHandle::shutdown`] sets it and
 /// self-connects to unblock the accept).
 fn accept_loop(
     listener: TcpListener,
-    hub: Arc<SessionHub>,
+    pool: &Arc<Pool>,
     stop: Option<Arc<AtomicBool>>,
 ) -> io::Result<()> {
     loop {
@@ -91,11 +234,7 @@ fn accept_loop(
         {
             return Ok(());
         }
-        let hub = hub.clone();
-        std::thread::spawn(move || {
-            // Client I/O errors just end that connection.
-            let _ = serve_client(stream, hub);
-        });
+        pool.submit(stream);
     }
 }
 
@@ -104,6 +243,7 @@ fn accept_loop(
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    pool: Arc<Pool>,
     thread: JoinHandle<()>,
 }
 
@@ -113,47 +253,86 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Stops the accept loop and joins the server thread.  Connections that
-    /// are already established keep their threads until the client
-    /// disconnects.
+    /// Stops the accept loop, joins the server thread, and releases the
+    /// idle workers.  Connections that are already established keep their
+    /// workers until the client disconnects (or times out).
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         let _ = self.thread.join();
+        self.pool.shutdown();
     }
 }
 
-/// Runs the shell loop over one client connection.
-fn serve_client(stream: TcpStream, hub: Arc<SessionHub>) -> io::Result<()> {
-    let mut shell = Shell::with_hub(hub);
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    writeln!(
-        writer,
-        "pcs-service ready; one command per line, .help for help"
-    )?;
-    writeln!(writer, "{TERMINATOR}")?;
-    writer.flush()?;
-    for line in reader.lines() {
-        let response = shell.execute(&line?);
-        for out in &response.lines {
-            writeln!(writer, "{out}")?;
-        }
-        writeln!(writer, "{TERMINATOR}")?;
-        writer.flush()?;
-        if response.quit {
-            break;
+/// Writes one framed response: payload lines dot-stuffed, then the
+/// terminator.
+fn write_frame(writer: &mut impl Write, lines: &[String]) -> io::Result<()> {
+    for line in lines {
+        if line.starts_with('.') {
+            // Dot-stuffing: a payload line may *be* `.` (e.g. `.echo .`),
+            // which unstuffed would read as the end of the frame.
+            writeln!(writer, ".{line}")?;
+        } else {
+            writeln!(writer, "{line}")?;
         }
     }
-    Ok(())
+    writeln!(writer, "{TERMINATOR}")?;
+    writer.flush()
+}
+
+/// Runs the shell loop over one client connection.
+fn serve_client(
+    stream: TcpStream,
+    hub: Arc<SessionHub>,
+    read_timeout: Option<Duration>,
+) -> io::Result<()> {
+    stream.set_read_timeout(read_timeout)?;
+    let mut shell = Shell::with_hub(hub);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(
+        &mut writer,
+        &["pcs-service ready; one command per line, .help for help".to_string()],
+    )?;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The read timeout elapsed without a complete command: free
+                // the worker for a client that is actually talking.
+                let timeout = read_timeout.unwrap_or_default();
+                write_frame(
+                    &mut writer,
+                    &[format!(
+                        "idle: no complete command in {timeout:?}; disconnecting"
+                    )],
+                )?;
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+        let response = shell.execute(line.trim_end_matches(['\n', '\r']));
+        write_frame(&mut writer, &response.lines)?;
+        if response.quit {
+            return Ok(());
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// A minimal line-protocol client for the tests.
+    /// A minimal line-protocol client for the tests; `read_frame` reverses
+    /// the server's dot-stuffing.
     struct Client {
         reader: BufReader<TcpStream>,
         writer: BufWriter<TcpStream>,
@@ -161,15 +340,21 @@ mod tests {
 
     impl Client {
         fn connect(addr: SocketAddr) -> Client {
-            let stream = TcpStream::connect(addr).expect("connect");
-            let reader = BufReader::new(stream.try_clone().expect("clone stream"));
-            let mut client = Client {
-                reader,
-                writer: BufWriter::new(stream),
-            };
+            let mut client = Client::connect_raw(addr);
             // Consume the greeting frame.
             client.read_frame();
             client
+        }
+
+        /// Connects without consuming the greeting (it is not sent until a
+        /// worker picks the connection up).
+        fn connect_raw(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+            Client {
+                reader,
+                writer: BufWriter::new(stream),
+            }
         }
 
         fn read_frame(&mut self) -> Vec<String> {
@@ -178,11 +363,14 @@ mod tests {
                 let mut line = String::new();
                 let n = self.reader.read_line(&mut line).expect("read line");
                 assert!(n > 0, "server closed mid-frame: {lines:?}");
-                let line = line.trim_end_matches('\n').to_string();
+                let line = line.trim_end_matches('\n');
                 if line == TERMINATOR {
                     return lines;
                 }
-                lines.push(line);
+                // Undo dot-stuffing: any non-terminator line starting with
+                // `.` was stuffed by the server; drop one leading dot.
+                let line = line.strip_prefix('.').unwrap_or(line);
+                lines.push(line.to_string());
             }
         }
 
@@ -190,6 +378,13 @@ mod tests {
             writeln!(self.writer, "{line}").expect("write");
             self.writer.flush().expect("flush");
             self.read_frame()
+        }
+
+        /// Reads until EOF, asserting the server closed the connection.
+        fn expect_eof(&mut self) {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line).expect("read line");
+            assert_eq!(n, 0, "expected EOF, got {line:?}");
         }
     }
 
@@ -265,6 +460,87 @@ mod tests {
         // Clean quits, then shutdown.
         assert_eq!(loader.send(".quit"), vec!["bye".to_string()]);
         assert_eq!(reader.send(".quit"), vec!["bye".to_string()]);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn dot_payload_lines_are_stuffed_not_terminating() {
+        let server = Server::bind("127.0.0.1:0").expect("bind");
+        let handle = server.spawn().expect("spawn");
+        let mut client = Client::connect(handle.addr());
+
+        // A payload line that IS the terminator character: without
+        // dot-stuffing the frame would end early (the pre-fix bug) and this
+        // frame would come back empty, desynchronizing every later frame.
+        let out = client.send(".echo .");
+        assert_eq!(out, vec![".".to_string()]);
+        // Payload lines merely *starting* with `.` survive too.
+        let out = client.send(".echo .load me not");
+        assert_eq!(out, vec![".load me not".to_string()]);
+        // The stream is still in sync: an ordinary command works after.
+        let out = client.send(".strategy");
+        assert!(out[0].starts_with("strategy:"), "{out:?}");
+        assert_eq!(client.send(".quit"), vec!["bye".to_string()]);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn stalled_clients_are_disconnected_after_the_read_timeout() {
+        let server = Server::bind("127.0.0.1:0")
+            .expect("bind")
+            .with_options(ServerOptions {
+                read_timeout: Some(Duration::from_millis(150)),
+                ..ServerOptions::default()
+            });
+        let handle = server.spawn().expect("spawn");
+
+        // Connect and hang without sending anything.
+        let mut stalled = Client::connect(handle.addr());
+        let frame = stalled.read_frame();
+        assert!(
+            frame[0].starts_with("idle: no complete command"),
+            "{frame:?}"
+        );
+        stalled.expect_eof();
+
+        // The freed worker serves the next client normally.
+        let mut live = Client::connect(handle.addr());
+        assert_eq!(live.send(".quit"), vec!["bye".to_string()]);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connections_beyond_the_queue_depth_are_refused() {
+        let server = Server::bind("127.0.0.1:0")
+            .expect("bind")
+            .with_options(ServerOptions {
+                workers: 1,
+                queue_depth: 1,
+                read_timeout: None,
+            });
+        let handle = server.spawn().expect("spawn");
+        let addr = handle.addr();
+
+        // `first` owns the single worker (greeting received = being served).
+        let mut first = Client::connect(addr);
+        // `second` occupies the whole wait queue; no worker is free to greet
+        // it yet.
+        let second = Client::connect_raw(addr);
+        // `third` finds the queue full and is refused outright.
+        let mut third = Client::connect_raw(addr);
+        let frame = third.read_frame();
+        assert!(
+            frame[0].starts_with("busy: server at connection capacity"),
+            "{frame:?}"
+        );
+        third.expect_eof();
+
+        // When `first` leaves, the worker picks `second` up.
+        assert_eq!(first.send(".quit"), vec!["bye".to_string()]);
+        let mut second = second;
+        let greeting = second.read_frame();
+        assert!(greeting[0].starts_with("pcs-service ready"), "{greeting:?}");
+        assert_eq!(second.send(".quit"), vec!["bye".to_string()]);
         handle.shutdown();
     }
 }

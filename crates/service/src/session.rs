@@ -17,19 +17,47 @@
 //! swap at the end is a pointer store.  Updates are serialized among
 //! themselves.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
-use std::sync::{Arc, Mutex, RwLock};
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{
+    Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
 use std::time::{Duration, Instant};
 
 use pcs_core::analysis::{analyze, ProgramAnalysis};
 use pcs_core::transform::TransformError;
-use pcs_core::{Optimized, Optimizer};
+use pcs_core::{Optimized, Optimizer, Strategy};
 use pcs_engine::{
     parse_facts, Database, EvalResult, Evaluator, Fact, FactsError, Termination, UpdateBatch,
 };
 use pcs_lang::{Literal, Pred, Program, Query, Term};
 use pcs_telemetry as telemetry;
+
+use crate::wal::Persistence;
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Every mutable structure a panicking update thread could have been holding
+/// is either rebuilt from scratch by the next holder (the coalescing queue,
+/// whose slots the leader always fills) or only ever mutated by a single
+/// non-panicking pointer store (the published snapshot), so the data behind
+/// a poisoned lock is consistent and the next client can proceed instead of
+/// inheriting the panic forever.
+fn lock_recovered<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks an `RwLock`, recovering from poisoning (see [`lock_recovered`]).
+fn read_recovered<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks an `RwLock`, recovering from poisoning (see [`lock_recovered`]).
+fn write_recovered<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Errors reported by a [`Session`].
 #[derive(Debug)]
@@ -58,6 +86,13 @@ pub enum SessionError {
     /// partial materialization would silently drop derivations the
     /// interrupted run never attempted.
     PartialMaterialization(Termination),
+    /// The update would grow the extensional database past the session's
+    /// configured fact limit; the batch is refused.
+    FactLimit(usize),
+    /// The session's write-ahead log could not be written; the batch was
+    /// not applied (write-ahead: nothing is published that was not first
+    /// logged).
+    Persistence(io::Error),
 }
 
 impl fmt::Display for SessionError {
@@ -82,6 +117,16 @@ impl fmt::Display for SessionError {
                 "cannot apply updates: the current materialization is partial ({termination:?}); \
                  resuming would silently drop derivations the interrupted run never attempted"
             ),
+            SessionError::FactLimit(limit) => write!(
+                f,
+                "the update would exceed this session's fact limit ({limit} EDB facts); \
+                 nothing was applied"
+            ),
+            SessionError::Persistence(e) => write!(
+                f,
+                "cannot apply updates: the write-ahead log is unwritable ({e}); \
+                 nothing was applied"
+            ),
         }
     }
 }
@@ -91,6 +136,7 @@ impl std::error::Error for SessionError {
         match self {
             SessionError::Optimize(e) => Some(e),
             SessionError::Facts(e) => Some(e),
+            SessionError::Persistence(e) => Some(e),
             _ => None,
         }
     }
@@ -111,6 +157,15 @@ impl From<FactsError> for SessionError {
 pub struct Snapshot {
     epoch: u64,
     result: Arc<EvalResult>,
+    /// The extensional database as of this epoch — the multiset of base
+    /// facts *before* materialization-time subsumption.  Retractions need
+    /// it twice: to refuse retracting a fact that was never inserted, and
+    /// to resurrect facts a retracted subsuming fact swallowed at seed
+    /// time.  Living inside the snapshot (rather than behind a separate
+    /// lock) makes the epoch, the materialization, and the EDB commit in
+    /// one atomic pointer store — which is what makes recovering a
+    /// poisoned lock sound: the published triple is always consistent.
+    base: Arc<Database>,
 }
 
 impl Snapshot {
@@ -123,6 +178,12 @@ impl Snapshot {
     /// The materialized evaluation result.
     pub fn result(&self) -> &EvalResult {
         &self.result
+    }
+
+    /// The extensional database as of this epoch (base facts before
+    /// subsumption) — what durability snapshots persist.
+    pub fn base(&self) -> &Database {
+        &self.base
     }
 
     /// Answers a resolved single-literal query (with optional side
@@ -165,6 +226,11 @@ pub struct UpdateOutcome {
     /// Wall-clock time of the resumed evaluation (cloning the relations for
     /// the new epoch included).
     pub elapsed: Duration,
+    /// How many concurrently queued batches this epoch's single evaluation
+    /// pass applied (server-side coalescing); `1` for a solo update.  When
+    /// greater than one, the counts above describe the whole coalesced
+    /// group, not this batch alone.
+    pub coalesced: usize,
 }
 
 /// A point-in-time description of a session, for `.stats`-style displays.
@@ -239,18 +305,70 @@ pub struct Session {
     /// The rewritten program's own query literal (where the optimizer left
     /// the program's answers).
     rewritten_query: Option<Literal>,
+    /// The session's configured strategy, kept so durability snapshots can
+    /// record a token that re-optimizes identically on recovery.
+    strategy: Strategy,
     current: RwLock<Snapshot>,
     /// Serializes update batches; queries never take it.  The epoch lives
     /// in the published [`Snapshot`] — updates derive the next epoch from
     /// the snapshot they resumed, which the lock makes race-free.
+    ///
+    /// Updates that queue behind the lock do not each pay their own
+    /// evaluation pass: the holder drains [`Session::queue`] and applies
+    /// the waiters' batches together (see [`Session::apply`]).
     update_lock: Mutex<()>,
-    /// The extensional database as currently updated — the multiset of base
-    /// facts, *before* materialization-time subsumption.  Retractions need
-    /// it twice: to refuse retracting a fact that was never inserted, and to
-    /// resurrect facts a retracted subsuming fact swallowed at seed time
-    /// (such facts are not stored anywhere in the materialization).
-    /// Mutated only under `update_lock`.
-    base: Mutex<Database>,
+    /// Concurrently submitted batches waiting to be coalesced: each entry
+    /// pairs the batch with the slot its submitter is watching.  Drained by
+    /// whichever submitter wins `update_lock` (flat combining).
+    queue: Mutex<VecDeque<QueuedUpdate>>,
+    /// Cap on the extensional database size (`0` = unlimited); updates that
+    /// would grow past it are refused with [`SessionError::FactLimit`].
+    max_facts: AtomicUsize,
+    /// The durability handle, attached once by the hub when the session is
+    /// installed over a data directory; sessions without one persist
+    /// nothing.
+    persist: OnceLock<Persistence>,
+}
+
+/// One queued update batch and the slot its submitting thread will read the
+/// result from.
+struct QueuedUpdate {
+    batch: UpdateBatch,
+    slot: Arc<UpdateSlot>,
+}
+
+/// The per-batch result slot of the coalescing queue.  Filled exactly once
+/// by whichever thread leads the batch's group; no condvar is needed
+/// because every submitter also queues on `update_lock` and re-checks its
+/// slot as soon as it acquires the lock.
+#[derive(Default)]
+struct UpdateSlot {
+    result: Mutex<Option<Result<UpdateOutcome, SessionError>>>,
+}
+
+impl UpdateSlot {
+    fn fill(&self, result: Result<UpdateOutcome, SessionError>) {
+        *lock_recovered(&self.result) = Some(result);
+    }
+
+    fn take(&self) -> Option<Result<UpdateOutcome, SessionError>> {
+        lock_recovered(&self.result).take()
+    }
+}
+
+/// Whether `next` must not join a coalesced group already holding `group`:
+/// a later batch retracting what the group inserts (or re-inserting what it
+/// retracts) depends on the group's epoch being published first — one
+/// combined retracts-then-inserts pass would reorder them.  Such a batch
+/// flushes the open group and starts the next epoch.
+fn conflicts(group: &UpdateBatch, next: &UpdateBatch) -> bool {
+    next.retracts
+        .iter()
+        .any(|r| group.inserts.iter().any(|i| i.equivalent(r)))
+        || next
+            .inserts
+            .iter()
+            .any(|i| group.retracts.iter().any(|r| r.equivalent(i)))
 }
 
 impl Session {
@@ -261,6 +379,18 @@ impl Session {
     /// on the optimizer (join core, threads, limits) carry over to both the
     /// base materialization and every resumed update.
     pub fn materialize(optimizer: &Optimizer, db: &Database) -> Result<Session, SessionError> {
+        Session::materialize_at(optimizer, db, 0)
+    }
+
+    /// Like [`Session::materialize`], but numbering epochs from `epoch`
+    /// instead of 0 — recovery re-materializes a replayed EDB and resumes
+    /// the epoch sequence where the persisted session left off, so clients
+    /// see epochs continue across a restart.
+    pub fn materialize_at(
+        optimizer: &Optimizer,
+        db: &Database,
+        epoch: u64,
+    ) -> Result<Session, SessionError> {
         let original_query = optimizer
             .program()
             .query()
@@ -278,16 +408,20 @@ impl Session {
         Ok(Session {
             optimized,
             source: optimizer.program().clone(),
+            strategy: optimizer.configured_strategy().clone(),
             evaluator,
             edb,
             original_query,
             rewritten_query,
             current: RwLock::new(Snapshot {
-                epoch: 0,
+                epoch,
                 result: Arc::new(result),
+                base: Arc::new(db.clone()),
             }),
             update_lock: Mutex::new(()),
-            base: Mutex::new(db.clone()),
+            queue: Mutex::new(VecDeque::new()),
+            max_facts: AtomicUsize::new(0),
+            persist: OnceLock::new(),
         })
     }
 
@@ -299,6 +433,35 @@ impl Session {
     /// The source program the session was materialized from.
     pub fn source(&self) -> &Program {
         &self.source
+    }
+
+    /// The rewriting strategy the session was materialized with.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// Caps the extensional database size (`0` = unlimited).  Updates that
+    /// would grow the EDB past the cap are refused with
+    /// [`SessionError::FactLimit`].
+    pub fn set_fact_limit(&self, max_facts: usize) {
+        self.max_facts.store(max_facts, Ordering::Relaxed);
+    }
+
+    /// The configured EDB fact cap (`0` = unlimited).
+    pub fn fact_limit(&self) -> usize {
+        self.max_facts.load(Ordering::Relaxed)
+    }
+
+    /// Attaches the durability handle (write-ahead log + snapshots); at
+    /// most one per session, normally done by the hub right after install
+    /// or recovery.  Returns the handle back if one is already attached.
+    pub fn attach_persistence(&self, persistence: Persistence) -> Result<(), Persistence> {
+        self.persist.set(persistence)
+    }
+
+    /// The attached durability handle, if any.
+    pub fn persistence(&self) -> Option<&Persistence> {
+        self.persist.get()
     }
 
     /// Runs the static analyzer over the source program (safety,
@@ -316,8 +479,13 @@ impl Session {
 
     /// The current snapshot (cheap: one `Arc` clone under a read lock that
     /// is held only for the clone itself).
+    ///
+    /// A poisoned lock is recovered, not propagated: the snapshot is only
+    /// ever replaced by a single pointer store of a fully built value, so
+    /// whatever a panicking writer left behind is the last consistently
+    /// published epoch.
     pub fn snapshot(&self) -> Snapshot {
-        self.current.read().expect("session lock poisoned").clone()
+        read_recovered(&self.current).clone()
     }
 
     /// Resolves an interactive query against this session's materialization:
@@ -436,6 +604,19 @@ impl Session {
     /// An update evaluation that itself hits a limit is still published
     /// (its facts are sound, and `.stats`/[`Session::stats`] show the
     /// termination), but further updates then error until re-materialized.
+    ///
+    /// # Coalescing
+    ///
+    /// Batches submitted concurrently do not each pay their own incremental
+    /// pass.  Every submitter enqueues its batch and then competes for the
+    /// update lock; the winner (*leader*) drains the queue, validates each
+    /// batch in arrival order against an evolving EDB mirror (so refusal
+    /// semantics are exactly those of sequential application), concatenates
+    /// the survivors into conflict-free groups, and runs **one** evaluation
+    /// pass per group — one epoch shared by every batch in it
+    /// ([`UpdateOutcome::coalesced`]).  A batch that retracts what an
+    /// earlier queued batch inserts (or re-inserts what it retracts) starts
+    /// a new group, preserving order-sensitive semantics.
     pub fn apply(&self, batch: UpdateBatch) -> Result<UpdateOutcome, SessionError> {
         for fact in batch.inserts.iter().chain(&batch.retracts) {
             if !self.edb.contains(fact.predicate()) {
@@ -443,61 +624,172 @@ impl Session {
             }
         }
         // Count this batch in the queue-depth gauge from the moment it
-        // starts waiting for the update lock until it finishes (every exit
-        // path decrements via the guard's drop).
+        // enqueues until it finishes (every exit path decrements via the
+        // guard's drop).
         let _depth = QueueDepthGuard::enter();
-        let _guard = self.update_lock.lock().expect("update lock poisoned");
-        let base = self.snapshot();
-        // `Evaluator::apply` is only sound on a *completed* materialization:
-        // a run that stopped on a resource limit left derivations unattempted
-        // that no delta-driven pass will replay.
-        if !base.result.termination.is_fixpoint() {
-            return Err(SessionError::PartialMaterialization(
-                base.result.termination,
-            ));
+        let slot = Arc::new(UpdateSlot::default());
+        lock_recovered(&self.queue).push_back(QueuedUpdate {
+            batch,
+            slot: slot.clone(),
+        });
+        let guard = lock_recovered(&self.update_lock);
+        if let Some(result) = slot.take() {
+            // A previous leader drained our batch while we waited for the
+            // lock; nothing left to do.
+            drop(guard);
+            return result;
         }
-        // Build the surviving EDB aside; the mirror is committed only after
-        // the update succeeds, so a refused or panicking batch changes
-        // nothing.  The clone is O(|EDB|), but the copy-on-update clone of
-        // the (strictly larger) materialized relations below already
-        // dominates the per-batch cost.  The evaluator wants the EDB after
-        // the retractions but *without* the insertions (it seeds those as
-        // delta facts itself); the committed mirror gets both.
-        let surviving = {
-            let edb = self.base.lock().expect("base database poisoned");
-            let mut surviving = edb.clone();
-            for fact in &batch.retracts {
-                if !surviving.remove(fact) {
-                    return Err(SessionError::NoSuchFact(fact.to_string()));
+        // We are the leader: serve everything queued right now (our own
+        // batch included).
+        let drained: Vec<QueuedUpdate> = lock_recovered(&self.queue).drain(..).collect();
+        self.lead(drained);
+        drop(guard);
+        slot.take().expect("the leader fills every drained slot")
+    }
+
+    /// Applies a drained run of queued batches (leader side of the
+    /// coalescing protocol).  Called with `update_lock` held; fills every
+    /// drained slot exactly once.
+    fn lead(&self, drained: Vec<QueuedUpdate>) {
+        let mut published = self.snapshot();
+        // The EDB mirror evolves batch by batch so refusals (absent
+        // retractions, the fact cap) behave exactly as if the batches had
+        // arrived one at a time.
+        let mut mirror = (*published.base).clone();
+        let mut combined = UpdateBatch::new();
+        let mut group: Vec<Arc<UpdateSlot>> = Vec::new();
+        // Once the write-ahead log fails nothing further may publish;
+        // remember the failure and refuse the rest of the drain with it.
+        let mut wal_failure: Option<(io::ErrorKind, String)> = None;
+        for QueuedUpdate { batch, slot } in drained {
+            if let Some((kind, message)) = &wal_failure {
+                slot.fill(Err(SessionError::Persistence(io::Error::new(
+                    *kind,
+                    message.clone(),
+                ))));
+                continue;
+            }
+            // `Evaluator::apply` is only sound on a *completed*
+            // materialization: a run that stopped on a resource limit left
+            // derivations unattempted that no delta-driven pass will
+            // replay.  A group published mid-drain can itself go partial,
+            // so this is re-checked per batch, not once per drain.
+            if !published.result.termination.is_fixpoint() {
+                slot.fill(Err(SessionError::PartialMaterialization(
+                    published.result.termination,
+                )));
+                continue;
+            }
+            if conflicts(&combined, &batch) {
+                // The mirror holds exactly the open group's effects (this
+                // batch has not touched it yet), which is what the flush
+                // publishes.
+                self.flush_group(
+                    &mut published,
+                    &mirror,
+                    std::mem::take(&mut combined),
+                    std::mem::take(&mut group),
+                    &mut wal_failure,
+                );
+                // Re-run the refusal checks against the new epoch.
+                if let Some((kind, message)) = &wal_failure {
+                    slot.fill(Err(SessionError::Persistence(io::Error::new(
+                        *kind,
+                        message.clone(),
+                    ))));
+                    continue;
+                }
+                if !published.result.termination.is_fixpoint() {
+                    slot.fill(Err(SessionError::PartialMaterialization(
+                        published.result.termination,
+                    )));
+                    continue;
                 }
             }
-            surviving
-        };
+            let limit = self.max_facts.load(Ordering::Relaxed);
+            if limit > 0 && mirror.len() + batch.inserts.len() > limit {
+                slot.fill(Err(SessionError::FactLimit(limit)));
+                continue;
+            }
+            // Per-batch all-or-nothing validation *and* mirror evolution in
+            // one step: a refused batch (absent retraction) leaves the
+            // mirror untouched, inserts included.
+            if let Err(fact) = mirror.apply(&batch) {
+                slot.fill(Err(SessionError::NoSuchFact(fact.to_string())));
+                continue;
+            }
+            combined.retracts.extend(batch.retracts);
+            combined.inserts.extend(batch.inserts);
+            group.push(slot);
+        }
+        if !group.is_empty() {
+            self.flush_group(&mut published, &mirror, combined, group, &mut wal_failure);
+        }
+    }
+
+    /// Publishes one coalesced group as one epoch: write-ahead log first,
+    /// then a single incremental evaluation pass, then the atomic snapshot
+    /// store, then the snapshot-cadence checkpoint.  `mirror` must be the
+    /// EDB after exactly this group's batches.
+    fn flush_group(
+        &self,
+        published: &mut Snapshot,
+        mirror: &Database,
+        combined: UpdateBatch,
+        group: Vec<Arc<UpdateSlot>>,
+        wal_failure: &mut Option<(io::ErrorKind, String)>,
+    ) {
+        let epoch = published.epoch + 1;
+        if let Some(persistence) = self.persist.get() {
+            if let Err(e) = persistence.record(epoch, &combined) {
+                let kind = e.kind();
+                let message = e.to_string();
+                for slot in group {
+                    slot.fill(Err(SessionError::Persistence(io::Error::new(
+                        kind,
+                        message.clone(),
+                    ))));
+                }
+                *wal_failure = Some((kind, message));
+                return;
+            }
+        }
+        // The evaluator wants the EDB after the retractions but *without*
+        // the insertions (it seeds those as delta facts itself).  Every
+        // removal must succeed: the mirror validated each batch and group
+        // conflicts were flushed, so the combined retractions are all
+        // present in the published base.
+        let mut surviving = (*published.base).clone();
+        for fact in &combined.retracts {
+            let removed = surviving.remove(fact);
+            debug_assert!(removed, "validated retraction `{fact}` vanished");
+        }
         let start = Instant::now();
-        // Copy-on-update: the new epoch is built aside so readers of `base`
-        // are undisturbed; the incremental pass then only touches what the
-        // batch can reach.
-        let relations = base.result.relations.clone();
-        let pure_insert = batch.retracts.is_empty();
-        let inserts = batch.inserts.clone();
-        let result = self.evaluator.apply(relations, batch, &surviving);
+        // Copy-on-update: the new epoch is built aside so readers of the
+        // published snapshot are undisturbed; the incremental pass then
+        // only touches what the batch can reach.
+        let relations = published.result.relations.clone();
+        let pure_insert = combined.retracts.is_empty();
+        let insert_count = combined.inserts.len();
+        let result = self.evaluator.apply(relations, combined, &surviving);
         let elapsed = start.elapsed();
         let removed = result.stats.removed_facts;
         // Batch insertions and resurrected EDB facts enter the relations
         // outside the iteration statistics, so the facts stored that way are
         // recovered from the totals: the net growth (over-deletion removals
         // added back) minus what the iterations account for.
-        let new_facts = (result.total_facts() + removed).saturating_sub(base.result.total_facts());
+        let new_facts =
+            (result.total_facts() + removed).saturating_sub(published.result.total_facts());
         let inserted = if pure_insert {
             new_facts.saturating_sub(result.stats.total_new_facts())
         } else {
             // Mixed batches cannot split the unaccounted growth between
             // surviving insertions and resurrections; report the batch's
             // nominal insertion count instead.
-            inserts.len()
+            insert_count
         };
         let outcome = UpdateOutcome {
-            epoch: base.epoch + 1,
+            epoch,
             inserted,
             removed,
             new_facts,
@@ -506,27 +798,35 @@ impl Session {
             termination: result.termination,
             total_facts: result.total_facts(),
             elapsed,
+            coalesced: group.len(),
         };
-        {
-            // Keep the EDB mirror in step with the published epoch: every
-            // inserted fact is a base fact, whether or not subsumption
-            // stored it.
-            let mut edb = self.base.lock().expect("base database poisoned");
-            *edb = surviving;
-            for fact in inserts {
-                edb.add(fact);
-            }
-        }
-        *self.current.write().expect("session lock poisoned") = Snapshot {
-            epoch: outcome.epoch,
+        let next = Snapshot {
+            epoch,
             result: Arc::new(result),
+            base: Arc::new(mirror.clone()),
         };
-        telemetry::add(telemetry::Counter::Updates, 1);
+        *write_recovered(&self.current) = next.clone();
+        *published = next;
+        telemetry::add(telemetry::Counter::Updates, group.len() as u64);
+        telemetry::add(
+            telemetry::Counter::CoalescedUpdates,
+            group.len().saturating_sub(1) as u64,
+        );
         telemetry::observe(
             telemetry::Hist::UpdateLatency,
             u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
         );
-        Ok(outcome)
+        if let Some(persistence) = self.persist.get() {
+            // A failed checkpoint is not fatal: the WAL still holds every
+            // record since the last good snapshot, so recovery stays
+            // correct — just slower.  Surface it and keep serving.
+            if let Err(e) = persistence.maybe_checkpoint(epoch, published.base()) {
+                eprintln!("warning: session checkpoint failed: {e}");
+            }
+        }
+        for slot in group {
+            slot.fill(Ok(outcome.clone()));
+        }
     }
 
     /// Inserts one batch of EDB facts: a thin wrapper over
@@ -905,5 +1205,252 @@ mod tests {
         assert!(matches!(err, SessionError::UnsupportedQuery(_)));
         // Errors leave the epoch untouched.
         assert_eq!(session.snapshot().epoch(), 0);
+    }
+
+    #[test]
+    fn sessions_survive_a_panic_while_locks_are_held() {
+        // A worker thread that dies holding any session lock must not take
+        // the session down with it: the locks guard state that is committed
+        // atomically (the snapshot pointer store), so recovery is sound.
+        let session = Arc::new(flights_session(Strategy::ConstraintRewrite));
+        let query = parse_query("?- cheaporshort(madison, seattle, T, C).").unwrap();
+        let before = session.query(&query).unwrap().2.len();
+
+        let poisoner = session.clone();
+        let _ = std::thread::spawn(move || {
+            let _current = poisoner.current.write().unwrap();
+            panic!("die holding the snapshot lock");
+        })
+        .join();
+        let poisoner = session.clone();
+        let _ = std::thread::spawn(move || {
+            let _update = poisoner.update_lock.lock().unwrap();
+            panic!("die holding the update lock");
+        })
+        .join();
+        let poisoner = session.clone();
+        let _ = std::thread::spawn(move || {
+            let _queue = poisoner.queue.lock().unwrap();
+            panic!("die holding the queue lock");
+        })
+        .join();
+
+        // Queries and updates both still work after all three poisonings.
+        assert_eq!(session.query(&query).unwrap().2.len(), before);
+        let outcome = session
+            .insert_str("singleleg(madison, seattle, 45, 30).")
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(session.query(&query).unwrap().2.len(), before + 1);
+    }
+
+    #[test]
+    fn queued_batches_coalesce_into_one_epoch() {
+        // Stage three compatible batches in the queue by hand, then run one
+        // `apply`: the leader must drain all four into a single epoch.
+        let session = flights_session(Strategy::ConstraintRewrite);
+        let staged: Vec<Arc<UpdateSlot>> = (0..3)
+            .map(|i| {
+                let slot = Arc::new(UpdateSlot::default());
+                let batch = UpdateBatch::inserting(
+                    parse_facts(&format!("singleleg(madison, stage{i}, 10, 10).")).unwrap(),
+                );
+                lock_recovered(&session.queue).push_back(QueuedUpdate {
+                    batch,
+                    slot: slot.clone(),
+                });
+                slot
+            })
+            .collect();
+        let outcome = session
+            .insert_str("singleleg(madison, leader, 10, 10).")
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.coalesced, 4);
+        for slot in staged {
+            let staged_outcome = slot.take().expect("drained").unwrap();
+            assert_eq!(staged_outcome.epoch, 1);
+            assert_eq!(staged_outcome.coalesced, 4);
+        }
+        assert_eq!(session.snapshot().epoch(), 1);
+        // All four inserts landed.
+        let query = parse_query("?- flight(madison, X, T, C).").unwrap();
+        let answers = session.query(&query).unwrap().2;
+        for name in ["stage0", "stage1", "stage2", "leader"] {
+            assert!(
+                answers.iter().any(|f| f.to_string().contains(name)),
+                "{name} missing from {answers:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_queued_batches_split_into_ordered_epochs() {
+        // Batch 2 retracts what batch 1 inserts: order-sensitive, so the
+        // leader must flush batch 1 as its own epoch before applying
+        // batch 2, not merge them (merged, the insert+retract would cancel
+        // into a refusal or the wrong final state).
+        let session = flights_session(Strategy::ConstraintRewrite);
+        let slot = Arc::new(UpdateSlot::default());
+        lock_recovered(&session.queue).push_back(QueuedUpdate {
+            batch: UpdateBatch::inserting(
+                parse_facts("singleleg(madison, transient, 10, 10).").unwrap(),
+            ),
+            slot: slot.clone(),
+        });
+        let outcome = session
+            .remove_str("singleleg(madison, transient, 10, 10).")
+            .unwrap();
+        let staged_outcome = slot.take().expect("drained").unwrap();
+        assert_eq!(staged_outcome.epoch, 1);
+        assert_eq!(staged_outcome.coalesced, 1);
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(outcome.coalesced, 1);
+        // The net effect is a no-op: the transient leg is gone.
+        let query = parse_query("?- flight(madison, transient, T, C).").unwrap();
+        assert!(session.query(&query).unwrap().2.is_empty());
+    }
+
+    #[test]
+    fn sequential_refusal_semantics_survive_coalescing() {
+        // A queued batch retracting a fact that only a *later* queued batch
+        // inserts is refused, exactly as sequential application would.
+        let session = flights_session(Strategy::ConstraintRewrite);
+        let early = Arc::new(UpdateSlot::default());
+        lock_recovered(&session.queue).push_back(QueuedUpdate {
+            batch: UpdateBatch::retracting(
+                parse_facts("singleleg(madison, future, 10, 10).").unwrap(),
+            ),
+            slot: early.clone(),
+        });
+        let outcome = session
+            .insert_str("singleleg(madison, future, 10, 10).")
+            .unwrap();
+        assert!(matches!(
+            early.take().expect("drained"),
+            Err(SessionError::NoSuchFact(_))
+        ));
+        // The refused batch did not consume an epoch or poison the group.
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.coalesced, 1);
+        let query = parse_query("?- flight(madison, future, T, C).").unwrap();
+        assert_eq!(session.query(&query).unwrap().2.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_updates_from_many_threads_converge() {
+        // End-to-end hammer: many threads apply disjoint inserts through the
+        // public API; every update must succeed, land in *some* epoch, and
+        // the final state must equal a fresh materialization of base + all
+        // inserts.  Coalescing makes the epoch count ≤ the thread count.
+        let session = Arc::new(flights_session(Strategy::ConstraintRewrite));
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let session = session.clone();
+                std::thread::spawn(move || {
+                    session
+                        .insert_str(&format!("singleleg(madison, hammer{i}, 10, 10)."))
+                        .unwrap()
+                })
+            })
+            .collect();
+        let outcomes: Vec<UpdateOutcome> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let last_epoch = session.snapshot().epoch();
+        assert!((1..=8).contains(&last_epoch), "{last_epoch}");
+        let total_coalesced: usize = outcomes.iter().map(|o| o.coalesced).sum::<usize>();
+        assert!(total_coalesced >= 8, "every batch counted somewhere");
+
+        let mut db = programs::flights_database(6, 10);
+        for i in 0..8 {
+            db.add_facts_str(&format!("singleleg(madison, hammer{i}, 10, 10)."))
+                .unwrap();
+        }
+        let optimizer = Optimizer::new(programs::flights()).strategy(Strategy::ConstraintRewrite);
+        let fresh = Session::materialize(&optimizer, &db).unwrap();
+        assert_eq!(fresh.stats().total_facts, session.stats().total_facts);
+        assert_eq!(fresh.stats().relations, session.stats().relations);
+    }
+
+    #[test]
+    fn fact_limits_refuse_growth_but_not_retractions() {
+        let session = flights_session(Strategy::ConstraintRewrite);
+        let edb_size = session.snapshot().base().len();
+        session.set_fact_limit(edb_size + 1);
+        assert_eq!(session.fact_limit(), edb_size + 1);
+        // One insert fits...
+        session
+            .insert_str("singleleg(madison, cap1, 10, 10).")
+            .unwrap();
+        // ...the next would exceed the cap.
+        let err = session
+            .insert_str("singleleg(madison, cap2, 10, 10).")
+            .unwrap_err();
+        assert!(matches!(err, SessionError::FactLimit(_)), "{err}");
+        assert_eq!(session.snapshot().epoch(), 1);
+        // Retractions still work at the cap, and free room for new inserts.
+        session
+            .remove_str("singleleg(madison, cap1, 10, 10).")
+            .unwrap();
+        session
+            .insert_str("singleleg(madison, cap2, 10, 10).")
+            .unwrap();
+    }
+
+    #[test]
+    fn persistence_records_updates_and_checkpoints_on_cadence() {
+        let dir = std::env::temp_dir().join(format!(
+            "pcs-session-persist-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = flights_session(Strategy::ConstraintRewrite);
+        let persistence = Persistence::create(
+            &dir,
+            "constraint",
+            session.source().to_string(),
+            2,
+            0,
+            session.snapshot().base(),
+        )
+        .unwrap();
+        session.attach_persistence(persistence).unwrap();
+        assert!(session.persistence().is_some());
+
+        // Epoch 1 lands in the WAL; epoch 2 hits the cadence and
+        // checkpoints (snapshot rewritten, WAL truncated); epoch 3 starts
+        // refilling the WAL.
+        session
+            .insert_str("singleleg(madison, wal1, 10, 10).")
+            .unwrap();
+        let (records, _) = crate::wal::read_wal(&dir.join(crate::wal::WAL_FILE)).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].epoch, 1);
+        session
+            .insert_str("singleleg(madison, wal2, 10, 10).")
+            .unwrap();
+        let (records, _) = crate::wal::read_wal(&dir.join(crate::wal::WAL_FILE)).unwrap();
+        assert!(records.is_empty(), "cadence checkpoint truncates the WAL");
+        session
+            .remove_str("singleleg(madison, wal1, 10, 10).")
+            .unwrap();
+        let (records, _) = crate::wal::read_wal(&dir.join(crate::wal::WAL_FILE)).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].epoch, 3);
+
+        // What is on disk reconstructs the live EDB exactly.
+        let recovered = crate::wal::recover_dir(&dir).unwrap().expect("snapshot");
+        assert_eq!(recovered.epoch, 3);
+        assert!(recovered.warning.is_none());
+        let live = session.snapshot();
+        let live_facts: Vec<&Fact> = live.base().all_facts().collect();
+        assert_eq!(recovered.db.len(), live.base().len());
+        for fact in recovered.db.all_facts() {
+            assert!(
+                live_facts.iter().any(|f| f.equivalent(fact)),
+                "recovered fact `{fact}` missing from the live EDB"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

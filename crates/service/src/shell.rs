@@ -26,42 +26,15 @@
 //! session: a `.load` in one client is visible to all of them, which is how
 //! the TCP server exposes one materialization to many connections.
 
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::Instant;
 
 use pcs_core::{Optimizer, Strategy};
 use pcs_engine::{parse_facts, Database, UpdateBatch};
 use pcs_lang::{parse_program, parse_query};
 
+use crate::hub::{SessionHub, DEFAULT_SESSION};
 use crate::session::Session;
-
-/// The shared slot holding the session all shells of one front-end operate
-/// on.  The TCP server hands one hub to every connection; the REPL owns a
-/// private one.
-#[derive(Default)]
-pub struct SessionHub {
-    current: RwLock<Option<Arc<Session>>>,
-}
-
-impl SessionHub {
-    /// Creates an empty hub (no session loaded yet).
-    pub fn new() -> SessionHub {
-        SessionHub::default()
-    }
-
-    /// Installs a freshly materialized session, replacing any previous one
-    /// for every shell sharing this hub.
-    pub fn install(&self, session: Session) -> Arc<Session> {
-        let session = Arc::new(session);
-        *self.current.write().expect("hub lock poisoned") = Some(session.clone());
-        session
-    }
-
-    /// The currently installed session, if any.
-    pub fn session(&self) -> Option<Arc<Session>> {
-        self.current.read().expect("hub lock poisoned").clone()
-    }
-}
 
 /// The response to one command line.
 #[derive(Debug, Clone, Default)]
@@ -100,6 +73,10 @@ struct LoadBuffer {
 /// TCP connection), sharing a [`SessionHub`] with its siblings.
 pub struct Shell {
     hub: Arc<SessionHub>,
+    /// The hub slot this shell reads and loads into (`.session attach`);
+    /// starts at [`DEFAULT_SESSION`], so single-session scripts are
+    /// unchanged.
+    session_name: String,
     strategy: Strategy,
     loading: Option<LoadBuffer>,
     /// An update batch being accumulated between `.batch` and `.commit`:
@@ -125,6 +102,7 @@ impl Shell {
     pub fn with_hub(hub: Arc<SessionHub>) -> Shell {
         Shell {
             hub,
+            session_name: DEFAULT_SESSION.to_string(),
             strategy: Strategy::Optimal,
             loading: None,
             batch: None,
@@ -134,6 +112,11 @@ impl Shell {
     /// The hub this shell operates on.
     pub fn hub(&self) -> &Arc<SessionHub> {
         &self.hub
+    }
+
+    /// The hub slot this shell is attached to.
+    pub fn session_name(&self) -> &str {
+        &self.session_name
     }
 
     /// Executes one command line and returns its response.
@@ -164,6 +147,8 @@ impl Shell {
                 quit: false,
             },
             ".strategy" => self.set_strategy(arg),
+            ".session" => self.session_command(arg),
+            ".echo" => Response::say(arg.to_string()),
             ".load" => {
                 self.loading = Some(LoadBuffer::default());
                 Response::say(
@@ -227,7 +212,10 @@ impl Shell {
             Ok(session) => session,
             Err(e) => return Response::error(e),
         };
-        let session = self.hub.install(session);
+        let session = match self.hub.install_named(&self.session_name, session) {
+            Ok(session) => session,
+            Err(e) => return Response::error(e),
+        };
         let stats = session.stats();
         Response::say(format!(
             "ok: materialized {} facts ({} constraint facts) across {} relations in {:?}; strategy {}; answers in `{}`",
@@ -259,9 +247,69 @@ impl Shell {
     }
 
     fn session(&self) -> Result<Arc<Session>, Response> {
-        self.hub
-            .session()
-            .ok_or_else(|| Response::error("no session loaded; use .load first"))
+        match self.hub.named(&self.session_name) {
+            Ok(Some(session)) => Ok(session),
+            Ok(None) => Err(Response::error("no session loaded; use .load first")),
+            Err(e) => Err(Response::error(e)),
+        }
+    }
+
+    /// The `.session` command: `list` (default), `new <name>`,
+    /// `attach <name>`, `drop <name>`.
+    fn session_command(&mut self, arg: &str) -> Response {
+        let (verb, name) = match arg.split_once(char::is_whitespace) {
+            Some((verb, name)) => (verb, name.trim()),
+            None => (arg, ""),
+        };
+        match (verb, name) {
+            ("" | "list", "") => {
+                let mut lines = Vec::new();
+                for (slot, summary) in self.hub.list() {
+                    let marker = if slot == self.session_name { "*" } else { " " };
+                    let detail = match summary {
+                        Some((epoch, facts)) => {
+                            format!("epoch {epoch}, {facts} facts")
+                        }
+                        None => "empty".to_string(),
+                    };
+                    lines.push(format!("{marker} {slot}: {detail}"));
+                }
+                Response { lines, quit: false }
+            }
+            ("new", name) if !name.is_empty() => match self.hub.create(name) {
+                Ok(()) => {
+                    self.session_name = name.to_string();
+                    Response::say(format!(
+                        "ok: created session `{name}` and attached (it is empty; .load fills it)"
+                    ))
+                }
+                Err(e) => Response::error(e),
+            },
+            ("attach", name) if !name.is_empty() => {
+                if !self.hub.has_slot(name) {
+                    return Response::error(format!(
+                        "no session named `{name}`; try .session list"
+                    ));
+                }
+                self.session_name = name.to_string();
+                Response::say(format!("ok: attached to session `{name}`"))
+            }
+            ("drop", name) if !name.is_empty() => match self.hub.drop_session(name) {
+                Ok(()) => {
+                    if self.session_name == name && !self.hub.has_slot(name) {
+                        self.session_name = DEFAULT_SESSION.to_string();
+                    }
+                    Response::say(format!(
+                        "ok: dropped session `{name}` (now attached to `{}`)",
+                        self.session_name
+                    ))
+                }
+                Err(e) => Response::error(e),
+            },
+            _ => Response::error(
+                "usage: .session [list] | .session new <name> | .session attach <name> | .session drop <name>",
+            ),
+        }
     }
 
     fn query(&mut self, text: &str) -> Response {
@@ -305,7 +353,7 @@ impl Shell {
         match session.apply(batch) {
             Ok(outcome) => Response::say(format!(
                 "ok: epoch {}; batch of +{}/-{} applied, -{} removed, +{} new facts \
-                 ({} derivations over {} iterations, {:?}, {:?})",
+                 ({} derivations over {} iterations, {:?}, {:?}){}",
                 outcome.epoch,
                 inserts,
                 retracts,
@@ -315,6 +363,7 @@ impl Shell {
                 outcome.iterations,
                 outcome.termination,
                 outcome.elapsed,
+                coalesce_suffix(outcome.coalesced),
             )),
             Err(e) => Response::error(e),
         }
@@ -362,7 +411,7 @@ impl Shell {
         };
         match session.insert_str(text) {
             Ok(outcome) => Response::say(format!(
-                "ok: epoch {}; +{} inserted, +{} new facts ({} derivations over {} iterations, {:?}, {:?})",
+                "ok: epoch {}; +{} inserted, +{} new facts ({} derivations over {} iterations, {:?}, {:?}){}",
                 outcome.epoch,
                 outcome.inserted,
                 outcome.new_facts,
@@ -370,6 +419,7 @@ impl Shell {
                 outcome.iterations,
                 outcome.termination,
                 outcome.elapsed,
+                coalesce_suffix(outcome.coalesced),
             )),
             Err(e) => Response::error(e),
         }
@@ -385,7 +435,7 @@ impl Shell {
         };
         match session.remove_str(text) {
             Ok(outcome) => Response::say(format!(
-                "ok: epoch {}; -{} removed, +{} re-derived ({} derivations over {} iterations, {:?}, {:?})",
+                "ok: epoch {}; -{} removed, +{} re-derived ({} derivations over {} iterations, {:?}, {:?}){}",
                 outcome.epoch,
                 outcome.removed,
                 outcome.new_facts,
@@ -393,6 +443,7 @@ impl Shell {
                 outcome.iterations,
                 outcome.termination,
                 outcome.elapsed,
+                coalesce_suffix(outcome.coalesced),
             )),
             Err(e) => Response::error(e),
         }
@@ -490,6 +541,17 @@ impl Shell {
     }
 }
 
+/// The suffix update responses carry when server-side coalescing folded
+/// more than one queued batch into the reported epoch; solo updates (the
+/// common, uncontended case) keep their historical message byte-for-byte.
+fn coalesce_suffix(coalesced: usize) -> String {
+    if coalesced > 1 {
+        format!("; coalesced {coalesced} batches")
+    } else {
+        String::new()
+    }
+}
+
 /// Renders the process-wide telemetry registry (`.metrics`): the human
 /// table by default, the Prometheus text exposition with `.metrics prom`.
 /// The registry is shared by every shell and session of the process, so the
@@ -575,11 +637,40 @@ pub fn strategy_label(strategy: &Strategy) -> String {
     }
 }
 
+/// The canonical, machine-readable token of a strategy, chosen so that
+/// `parse_strategy(strategy_token(s))` reproduces `s`.  This is the form
+/// persisted in snapshot headers ([`crate::wal`]); [`strategy_label`] is the
+/// human form and does *not* round-trip.
+pub fn strategy_token(strategy: &Strategy) -> String {
+    use pcs_core::transform::Step;
+    match strategy {
+        Strategy::None => "none".to_string(),
+        Strategy::ConstraintRewrite => "constraint".to_string(),
+        Strategy::MagicOnly => "magic".to_string(),
+        Strategy::Optimal => "optimal".to_string(),
+        Strategy::Sequence(steps) => steps
+            .iter()
+            .map(|step| match step {
+                Step::Pred => "pred",
+                Step::Qrp => "qrp",
+                Step::Magic => "mg",
+            })
+            .collect::<Vec<_>>()
+            .join(","),
+    }
+}
+
 const HELP: &str = "commands:
   .load              start a program block; finish with .end
                      (inside the block, `+fact.` lines feed the base database)
   .strategy [name]   show or set the rewriting strategy for the next .load:
                      none, constraint, magic, optimal, or pred/qrp/mg lists
+  .session           list the named sessions of this server (`*` = attached)
+  .session new N     create an empty session named N and attach to it
+  .session attach N  switch this connection to session N
+  .session drop N    drop session N (the default session is emptied, not
+                     removed; durable sessions lose their on-disk data)
+  .echo <text>       write <text> back verbatim (wire-framing check)
   ?- q(a, X).        answer a query from the materialization (no evaluation)
   +p(a, 1).          insert EDB facts; resumes the fixpoint incrementally
   -p(a, 1).          retract EDB facts; DRed delete/re-derive incrementally
@@ -767,9 +858,80 @@ r4: flight(S, D, T, C) :- flight(S, D1, T1, C1), flight(D1, D, T2, C2), T = T1 +
         ] {
             let strategy = parse_strategy(name).unwrap();
             assert!(!strategy_label(&strategy).is_empty());
+            // The machine token round-trips back to the same strategy —
+            // the property snapshot recovery depends on.
+            let token = strategy_token(&strategy);
+            assert_eq!(parse_strategy(&token), Some(strategy), "{name} -> {token}");
         }
         assert!(parse_strategy("definitely-not").is_none());
         assert!(parse_strategy("").is_none());
+    }
+
+    #[test]
+    fn echo_writes_the_argument_back() {
+        let mut shell = Shell::new();
+        assert_eq!(
+            shell.execute(".echo hello there").lines,
+            vec!["hello there"]
+        );
+        // The degenerate payload the framing test cares about: a lone dot.
+        assert_eq!(shell.execute(".echo .").lines, vec!["."]);
+    }
+
+    #[test]
+    fn named_sessions_isolate_and_share_materializations() {
+        let hub = Arc::new(SessionHub::new());
+        let mut shell = Shell::with_hub(hub.clone());
+        run(&mut shell, FLIGHTS);
+        assert_eq!(shell.session_name(), "default");
+
+        // A new session is empty and independent of the default one.
+        let out = run(&mut shell, ".session new side");
+        assert!(out[0].starts_with("ok: created session `side`"), "{out:?}");
+        assert!(run(&mut shell, "?- cheaporshort(a, b, T, C).")[0].contains("no session loaded"));
+        run(&mut shell, FLIGHTS);
+        run(&mut shell, "+singleleg(madison, seattle, 45, 30).");
+        let out = run(&mut shell, "?- cheaporshort(madison, seattle, T, C).");
+        assert!(out[0].starts_with("answers: 2"), "{out:?}");
+
+        // Reattaching to the default session sees its unmodified state.
+        run(&mut shell, ".session attach default");
+        let out = run(&mut shell, "?- cheaporshort(madison, seattle, T, C).");
+        assert!(out[0].starts_with("answers: 1"), "{out:?}");
+
+        // Another shell on the same hub can attach to the named session.
+        let mut other = Shell::with_hub(hub);
+        run(&mut other, ".session attach side");
+        let out = run(&mut other, "?- cheaporshort(madison, seattle, T, C).");
+        assert!(out[0].starts_with("answers: 2"), "{out:?}");
+
+        // .session list marks the attachment point.
+        let out = run(&mut other, ".session list");
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(
+            out.iter().any(|l| l.starts_with("  default: epoch 0")),
+            "{out:?}"
+        );
+        assert!(
+            out.iter().any(|l| l.starts_with("* side: epoch 1")),
+            "{out:?}"
+        );
+
+        // Dropping the attached session falls back to the default slot.
+        let out = run(&mut other, ".session drop side");
+        assert!(out[0].contains("now attached to `default`"), "{out:?}");
+        assert!(run(&mut other, ".session attach side")[0].contains("no session named"));
+    }
+
+    #[test]
+    fn session_command_errors() {
+        let mut shell = Shell::new();
+        assert!(run(&mut shell, ".session bogus")[0].contains("usage:"));
+        assert!(run(&mut shell, ".session new")[0].contains("usage:"));
+        assert!(run(&mut shell, ".session attach nowhere")[0].contains("no session named"));
+        assert!(run(&mut shell, ".session new bad name")[0].contains("invalid session name"));
+        run(&mut shell, ".session new twice");
+        assert!(run(&mut shell, ".session new twice")[0].contains("already exists"));
     }
 
     #[test]

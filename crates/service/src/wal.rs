@@ -1,0 +1,573 @@
+//! Durability for sessions: a write-ahead log of applied update batches
+//! plus periodic full snapshots of the extensional database.
+//!
+//! The intensional (derived) side of a materialization is never persisted —
+//! it is a deterministic function of the program, the strategy, and the EDB,
+//! so recovery re-runs the fixpoint instead.  What *is* persisted per
+//! session directory:
+//!
+//! * `snapshot.pcs` — the program source, the strategy token, the epoch, and
+//!   every EDB fact, written atomically (tmp + rename) at install time and
+//!   every [`Persistence::snapshot_every`] epochs thereafter;
+//! * `wal.pcs` — one length-prefixed, CRC32-checksummed record per applied
+//!   [`UpdateBatch`] since the last snapshot, appended *before* the batch's
+//!   evaluation publishes (write-ahead), truncated at each checkpoint.
+//!
+//! Record framing is `[u32 LE payload length][u32 LE CRC32][payload]`; the
+//! payload is UTF-8 text — `batch <epoch>\n` followed by the batch's signed
+//! fact lines ([`UpdateBatch::render`]).  Everything round-trips through the
+//! fact parser ([`pcs_engine::Fact::rule_text`]), so the on-disk state stays
+//! inspectable with a pager.
+//!
+//! A torn or corrupt tail (the crash happened mid-append) stops replay at
+//! the last intact record with a warning; everything before it is applied.
+//! That is exactly the write-ahead contract: a batch whose record never
+//! fully reached the log was never acknowledged to any client.
+
+use std::fs::{self, File};
+use std::io::{self, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+use pcs_engine::{Database, UpdateBatch};
+
+/// The snapshot file name inside a session's data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.pcs";
+/// The write-ahead log file name inside a session's data directory.
+pub const WAL_FILE: &str = "wal.pcs";
+/// The first line of every snapshot file (format version guard).
+pub const SNAPSHOT_MAGIC: &str = "pcs-snapshot v1";
+
+/// CRC32 (IEEE 802.3, reflected polynomial) over `bytes` — the checksum of
+/// each WAL record's payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// One decoded write-ahead-log record: the epoch the batch produced and the
+/// batch itself.
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// The epoch the logged batch published (base epoch + 1 at append time).
+    pub epoch: u64,
+    /// The logged update batch.
+    pub batch: UpdateBatch,
+}
+
+fn invalid_data(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Appends one record to an open WAL file handle and syncs it to disk.
+fn append_record(file: &mut File, epoch: u64, batch: &UpdateBatch) -> io::Result<()> {
+    let payload = format!("batch {epoch}\n{}", batch.render());
+    let bytes = payload.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| invalid_data("WAL record payload exceeds u32::MAX bytes"))?;
+    let mut frame = Vec::with_capacity(8 + bytes.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&crc32(bytes).to_le_bytes());
+    frame.extend_from_slice(bytes);
+    file.write_all(&frame)?;
+    file.flush()?;
+    file.sync_data()
+}
+
+/// Decodes one record payload (`batch <epoch>` then signed fact lines).
+fn decode_payload(payload: &[u8]) -> Result<WalRecord, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload is not UTF-8: {e}"))?;
+    let (header, body) = text.split_once('\n').unwrap_or((text, ""));
+    let epoch = header
+        .strip_prefix("batch ")
+        .and_then(|e| e.trim().parse::<u64>().ok())
+        .ok_or_else(|| format!("bad record header `{header}`"))?;
+    let batch = UpdateBatch::parse(body).map_err(|e| format!("bad record body: {e}"))?;
+    Ok(WalRecord { epoch, batch })
+}
+
+/// Reads every intact record of a WAL file.
+///
+/// A missing file is an empty log.  A torn or corrupt tail (short frame,
+/// checksum mismatch, undecodable payload) ends the read at the last intact
+/// record and is reported as a warning string, not an error: that is the
+/// expected shape of a crash mid-append.
+pub fn read_wal(path: &Path) -> io::Result<(Vec<WalRecord>, Option<String>)> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((Vec::new(), None)),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let index = records.len();
+        let tail = |why: String| {
+            Some(format!(
+                "WAL record {index} at byte {offset} {why}; \
+                 replay stops at the last intact record"
+            ))
+        };
+        let Some(header) = bytes.get(offset..offset + 8) else {
+            return Ok((records, tail("is truncated (short header)".to_string())));
+        };
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 header bytes")) as usize;
+        let expected_crc = u32::from_le_bytes(header[4..8].try_into().expect("4 header bytes"));
+        let Some(payload) = bytes.get(offset + 8..offset + 8 + len) else {
+            return Ok((records, tail("is truncated (short payload)".to_string())));
+        };
+        if crc32(payload) != expected_crc {
+            return Ok((records, tail("fails its checksum".to_string())));
+        }
+        match decode_payload(payload) {
+            Ok(record) => records.push(record),
+            Err(e) => return Ok((records, tail(format!("is undecodable ({e})")))),
+        }
+        offset += 8 + len;
+    }
+    Ok((records, None))
+}
+
+/// A decoded snapshot file: everything needed to rebuild a session except
+/// the re-run of the fixpoint itself.
+#[derive(Debug, Clone)]
+pub struct SnapshotFile {
+    /// The strategy token (`parse_strategy`-compatible, e.g. `optimal`).
+    pub strategy: String,
+    /// The epoch the snapshot captured.
+    pub epoch: u64,
+    /// The source program text (rules, query), as originally loaded.
+    pub program: String,
+    /// The EDB facts, one parseable `fact.` line each.
+    pub facts: String,
+}
+
+/// Renders a database's facts as parseable `fact.` lines (the snapshot
+/// body and the `+fact` replay form share one idiom).
+pub fn render_facts(db: &Database) -> String {
+    let mut out = String::new();
+    for fact in db.all_facts() {
+        out.push_str(&fact.rule_text());
+        out.push_str(".\n");
+    }
+    out
+}
+
+/// Writes a snapshot file atomically: the content goes to `<path>.tmp`,
+/// which is fsynced and renamed over `path`, so a crash mid-write leaves
+/// the previous snapshot intact.
+pub fn write_snapshot(path: &Path, snapshot: &SnapshotFile) -> io::Result<()> {
+    let mut content = String::new();
+    content.push_str(SNAPSHOT_MAGIC);
+    content.push('\n');
+    content.push_str(&format!("strategy {}\n", snapshot.strategy));
+    content.push_str(&format!("epoch {}\n", snapshot.epoch));
+    let program_lines: Vec<&str> = snapshot.program.lines().collect();
+    content.push_str(&format!("program {}\n", program_lines.len()));
+    for line in &program_lines {
+        content.push_str(line);
+        content.push('\n');
+    }
+    let fact_lines: Vec<&str> = snapshot.facts.lines().collect();
+    content.push_str(&format!("facts {}\n", fact_lines.len()));
+    for line in &fact_lines {
+        content.push_str(line);
+        content.push('\n');
+    }
+    let tmp = path.with_extension("pcs.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(content.as_bytes())?;
+        file.sync_data()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// Reads a snapshot file written by [`write_snapshot`].
+pub fn read_snapshot(path: &Path) -> io::Result<SnapshotFile> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    if lines.next() != Some(SNAPSHOT_MAGIC) {
+        return Err(invalid_data(format!(
+            "`{}` is not a `{SNAPSHOT_MAGIC}` file",
+            path.display()
+        )));
+    }
+    let strategy = lines
+        .next()
+        .and_then(|l| l.strip_prefix("strategy "))
+        .ok_or_else(|| invalid_data("snapshot missing `strategy` line"))?
+        .trim()
+        .to_string();
+    let epoch = lines
+        .next()
+        .and_then(|l| l.strip_prefix("epoch "))
+        .and_then(|e| e.trim().parse::<u64>().ok())
+        .ok_or_else(|| invalid_data("snapshot missing `epoch` line"))?;
+    let mut counted_block = |what: &str| -> io::Result<String> {
+        let count = lines
+            .next()
+            .and_then(|l| l.strip_prefix(what))
+            .and_then(|c| c.trim().parse::<usize>().ok())
+            .ok_or_else(|| invalid_data(format!("snapshot missing `{what}<count>` line")))?;
+        let mut block = String::new();
+        for _ in 0..count {
+            let line = lines
+                .next()
+                .ok_or_else(|| invalid_data(format!("snapshot `{what}` block is truncated")))?;
+            block.push_str(line);
+            block.push('\n');
+        }
+        Ok(block)
+    };
+    let program = counted_block("program ")?;
+    let facts = counted_block("facts ")?;
+    Ok(SnapshotFile {
+        strategy,
+        epoch,
+        program,
+        facts,
+    })
+}
+
+/// Everything recovered from one session data directory: the inputs to
+/// re-optimize and re-materialize, the replayed EDB, and the epoch to resume
+/// numbering from.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The strategy token recorded at install time.
+    pub strategy: String,
+    /// The source program text recorded at install time.
+    pub program: String,
+    /// The EDB after replaying every intact WAL record over the snapshot.
+    pub db: Database,
+    /// The epoch of the last applied WAL record (or the snapshot's, with an
+    /// empty log) — recovery resumes numbering here, so clients see epochs
+    /// continue across the restart.
+    pub epoch: u64,
+    /// A warning about a torn/corrupt WAL tail or a refused replay record,
+    /// if any.
+    pub warning: Option<String>,
+}
+
+/// Replays a session data directory: snapshot plus WAL.
+///
+/// Returns `Ok(None)` when the directory holds no snapshot (nothing was
+/// ever installed there).  WAL records at or below the snapshot's epoch are
+/// skipped (the snapshot already contains them); a record that fails to
+/// re-apply stops the replay with a warning, matching the corrupt-tail
+/// contract.
+pub fn recover_dir(dir: &Path) -> io::Result<Option<Recovered>> {
+    let snapshot_path = dir.join(SNAPSHOT_FILE);
+    if !snapshot_path.exists() {
+        return Ok(None);
+    }
+    let snapshot = read_snapshot(&snapshot_path)?;
+    let mut db = Database::new();
+    db.add_facts_str(&snapshot.facts)
+        .map_err(|e| invalid_data(format!("snapshot facts do not parse: {e}")))?;
+    let (records, mut warning) = read_wal(&dir.join(WAL_FILE))?;
+    let mut epoch = snapshot.epoch;
+    for record in records {
+        if record.epoch <= snapshot.epoch {
+            continue;
+        }
+        if let Err(fact) = db.apply(&record.batch) {
+            warning = Some(format!(
+                "WAL record for epoch {} does not re-apply (`{fact}` not retractable); \
+                 replay stops at epoch {epoch}",
+                record.epoch
+            ));
+            break;
+        }
+        epoch = record.epoch;
+    }
+    Ok(Some(Recovered {
+        strategy: snapshot.strategy,
+        program: snapshot.program,
+        db,
+        epoch,
+        warning,
+    }))
+}
+
+struct WalState {
+    file: File,
+    records_since_snapshot: u64,
+}
+
+/// The per-session durability handle: owns the open WAL file and the
+/// snapshot cadence.  Attached to a `Session` at install/recovery time;
+/// the session calls [`Persistence::record`] before publishing each epoch
+/// and [`Persistence::maybe_checkpoint`] after.
+pub struct Persistence {
+    dir: PathBuf,
+    strategy: String,
+    program: String,
+    snapshot_every: u64,
+    state: Mutex<WalState>,
+}
+
+impl std::fmt::Debug for Persistence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Persistence")
+            .field("dir", &self.dir)
+            .field("strategy", &self.strategy)
+            .field("snapshot_every", &self.snapshot_every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Persistence {
+    /// Initializes a session data directory: writes a fresh snapshot of
+    /// `db` at `epoch` and truncates the WAL.  Used both when a session is
+    /// first installed (epoch 0) and right after recovery (the recovered
+    /// epoch), so the invariant on return is always *snapshot current, log
+    /// empty*.
+    pub fn create(
+        dir: &Path,
+        strategy: impl Into<String>,
+        program: impl Into<String>,
+        snapshot_every: u64,
+        epoch: u64,
+        db: &Database,
+    ) -> io::Result<Persistence> {
+        fs::create_dir_all(dir)?;
+        let strategy = strategy.into();
+        let program = program.into();
+        write_snapshot(
+            &dir.join(SNAPSHOT_FILE),
+            &SnapshotFile {
+                strategy: strategy.clone(),
+                epoch,
+                program: program.clone(),
+                facts: render_facts(db),
+            },
+        )?;
+        let file = File::create(dir.join(WAL_FILE))?;
+        Ok(Persistence {
+            dir: dir.to_path_buf(),
+            strategy,
+            program,
+            snapshot_every: snapshot_every.max(1),
+            state: Mutex::new(WalState {
+                file,
+                records_since_snapshot: 0,
+            }),
+        })
+    }
+
+    /// The session data directory this handle persists to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The snapshot cadence: a checkpoint becomes due every this many
+    /// logged records.
+    pub fn snapshot_every(&self) -> u64 {
+        self.snapshot_every
+    }
+
+    /// Appends one batch record (write-ahead: call before publishing the
+    /// epoch) and syncs it to disk.
+    pub fn record(&self, epoch: u64, batch: &UpdateBatch) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        append_record(&mut state.file, epoch, batch)?;
+        state.records_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Writes a fresh snapshot of `db` at `epoch` and truncates the WAL if
+    /// the cadence says one is due; returns whether it checkpointed.
+    ///
+    /// The snapshot lands atomically *before* the log is truncated, so a
+    /// crash between the two replays the logged records over the new
+    /// snapshot — a harmless no-op (their epochs are at or below the
+    /// snapshot's and are skipped).
+    pub fn maybe_checkpoint(&self, epoch: u64, db: &Database) -> io::Result<bool> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.records_since_snapshot < self.snapshot_every {
+            return Ok(false);
+        }
+        write_snapshot(
+            &self.dir.join(SNAPSHOT_FILE),
+            &SnapshotFile {
+                strategy: self.strategy.clone(),
+                epoch,
+                program: self.program.clone(),
+                facts: render_facts(db),
+            },
+        )?;
+        state.file.set_len(0)?;
+        state.file.rewind()?;
+        state.records_since_snapshot = 0;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pcs-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn batch(inserts: &str, retracts: &str) -> UpdateBatch {
+        UpdateBatch::new()
+            .insert_str(inserts)
+            .unwrap()
+            .retract_str(retracts)
+            .unwrap()
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn wal_records_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join(WAL_FILE);
+        let mut file = File::create(&path).unwrap();
+        let batches = [
+            batch("leg(a, b, 3).", ""),
+            batch("", "leg(a, b, 3)."),
+            batch("span(X) :- X >= 0, X <= 10.", "leg(c, d, 1)."),
+        ];
+        for (i, b) in batches.iter().enumerate() {
+            append_record(&mut file, i as u64 + 1, b).unwrap();
+        }
+        let (records, warning) = read_wal(&path).unwrap();
+        assert!(warning.is_none(), "{warning:?}");
+        assert_eq!(records.len(), 3);
+        for (i, (record, original)) in records.iter().zip(&batches).enumerate() {
+            assert_eq!(record.epoch, i as u64 + 1);
+            assert_eq!(record.batch.render(), original.render());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_wal_reads_as_empty() {
+        let dir = temp_dir("missing");
+        let (records, warning) = read_wal(&dir.join(WAL_FILE)).unwrap();
+        assert!(records.is_empty());
+        assert!(warning.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_corrupt_tails_stop_replay_with_a_warning() {
+        let dir = temp_dir("torn");
+        let path = dir.join(WAL_FILE);
+        let mut file = File::create(&path).unwrap();
+        append_record(&mut file, 1, &batch("leg(a, b, 3).", "")).unwrap();
+        append_record(&mut file, 2, &batch("leg(b, c, 4).", "")).unwrap();
+        drop(file);
+        let intact = fs::read(&path).unwrap();
+
+        // Torn tail: the second record lost its last byte mid-crash.
+        fs::write(&path, &intact[..intact.len() - 1]).unwrap();
+        let (records, warning) = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].epoch, 1);
+        assert!(warning.unwrap().contains("truncated"));
+
+        // Corrupt tail: one payload byte of the second record flipped.
+        let mut corrupt = intact.clone();
+        let last = corrupt.len() - 2;
+        corrupt[last] ^= 0xFF;
+        fs::write(&path, &corrupt).unwrap();
+        let (records, warning) = read_wal(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(warning.unwrap().contains("checksum"));
+
+        // The intact file still reads fully.
+        fs::write(&path, &intact).unwrap();
+        let (records, warning) = read_wal(&path).unwrap();
+        assert_eq!((records.len(), warning), (2, None));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshots_round_trip_atomically() {
+        let dir = temp_dir("snapshot");
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut db = Database::new();
+        db.add_facts_str("leg(a, b, 3).\nspan(X) :- X >= 0, X <= 10.")
+            .unwrap();
+        let snapshot = SnapshotFile {
+            strategy: "optimal".to_string(),
+            epoch: 7,
+            program: "q(X) :- leg(a, b, X).\n?- q(X).\n".to_string(),
+            facts: render_facts(&db),
+        };
+        write_snapshot(&path, &snapshot).unwrap();
+        // No tmp residue after the rename.
+        assert!(!path.with_extension("pcs.tmp").exists());
+        let read = read_snapshot(&path).unwrap();
+        assert_eq!(read.strategy, "optimal");
+        assert_eq!(read.epoch, 7);
+        assert_eq!(read.program, snapshot.program);
+        let mut round = Database::new();
+        round.add_facts_str(&read.facts).unwrap();
+        assert_eq!(round.len(), db.len());
+
+        // A wrong magic line is refused loudly.
+        fs::write(&path, "not-a-snapshot\n").unwrap();
+        assert!(read_snapshot(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistence_checkpoints_on_cadence_and_recovers() {
+        let dir = temp_dir("persistence");
+        let mut db = Database::new();
+        db.add_facts_str("leg(a, b, 3).").unwrap();
+        let persistence =
+            Persistence::create(&dir, "none", "q(X) :- leg(a, b, X).\n?- q(X).\n", 2, 0, &db)
+                .unwrap();
+
+        // Three single-insert epochs with a cadence of 2: the checkpoint
+        // lands after the second record, leaving epoch 3 in the log.
+        for epoch in 1..=3u64 {
+            let b = batch(&format!("leg(e{epoch}, f{epoch}, {epoch})."), "");
+            persistence.record(epoch, &b).unwrap();
+            db.apply(&b).unwrap();
+            let checkpointed = persistence.maybe_checkpoint(epoch, &db).unwrap();
+            assert_eq!(checkpointed, epoch == 2, "epoch {epoch}");
+        }
+
+        let recovered = recover_dir(&dir).unwrap().expect("snapshot exists");
+        assert_eq!(recovered.strategy, "none");
+        assert_eq!(recovered.epoch, 3);
+        assert!(recovered.warning.is_none(), "{:?}", recovered.warning);
+        // Snapshot (epoch 2: base + two inserts) + WAL replay (epoch 3)
+        // equals the live database.
+        assert_eq!(recovered.db.len(), db.len());
+
+        // A directory that never held a snapshot recovers to nothing.
+        let empty = temp_dir("persistence-empty");
+        assert!(recover_dir(&empty).unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&empty);
+    }
+}

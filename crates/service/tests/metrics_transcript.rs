@@ -139,6 +139,7 @@ fn golden_metrics_transcript() {
         " plans_compiled <v>",
         " queries <v>",
         " updates <v>",
+        " coalesced_updates <v>",
         " slow_queries <v>",
         "phases:",
         " analyze count=<v> total=<v>",
@@ -148,9 +149,9 @@ fn golden_metrics_transcript() {
         " resume count=<v> total=<v>",
         " retract count=<v> total=<v>",
         "histograms:",
-        " query_latency count=<v> sum=<v>",
+        " query_latency count=<v> sum=<v> p<v>=<v> p<v>=<v> p<v>=<v>",
         " <=<v> <v>",
-        " update_latency count=<v> sum=<v>",
+        " update_latency count=<v> sum=<v> p<v>=<v> p<v>=<v> p<v>=<v>",
         " <=<v> <v>",
         "gauges:",
         " update_queue_depth <v>",
@@ -176,6 +177,8 @@ fn golden_metrics_transcript() {
         "pcs_queries_total <v>",
         "# TYPE pcs_updates_total counter",
         "pcs_updates_total <v>",
+        "# TYPE pcs_coalesced_updates_total counter",
+        "pcs_coalesced_updates_total <v>",
         "# TYPE pcs_slow_queries_total counter",
         "pcs_slow_queries_total <v>",
         "# TYPE pcs_phase_seconds_total counter",
@@ -200,10 +203,26 @@ fn golden_metrics_transcript() {
         "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
         "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
         "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_query_latency_seconds_bucket{le=\"<v>\"} <v>",
         "pcs_query_latency_seconds_bucket{le=\"+Inf\"} <v>",
         "pcs_query_latency_seconds_sum <v>",
         "pcs_query_latency_seconds_count <v>",
         "# TYPE pcs_update_latency_seconds histogram",
+        "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",
+        "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",
         "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",
         "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",
         "pcs_update_latency_seconds_bucket{le=\"<v>\"} <v>",

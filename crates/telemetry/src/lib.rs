@@ -148,12 +148,16 @@ pub enum Counter {
     Queries,
     /// Update batches applied by the service layer.
     Updates,
+    /// Update batches that rode along in another batch's evaluation pass
+    /// (server-side coalescing): of a group of N concurrently queued
+    /// batches applied as one epoch, N−1 count here.
+    CoalescedUpdates,
     /// Queries slower than the `PCS_SLOW_QUERY_MS` threshold.
     SlowQueries,
 }
 
 /// Number of counters in [`Counter`].
-pub const COUNTER_COUNT: usize = 10;
+pub const COUNTER_COUNT: usize = 11;
 
 /// All counters with their snake_case names, in catalog order.
 pub const COUNTERS: [(Counter, &str); COUNTER_COUNT] = [
@@ -166,6 +170,7 @@ pub const COUNTERS: [(Counter, &str); COUNTER_COUNT] = [
     (Counter::PlansCompiled, "plans_compiled"),
     (Counter::Queries, "queries"),
     (Counter::Updates, "updates"),
+    (Counter::CoalescedUpdates, "coalesced_updates"),
     (Counter::SlowQueries, "slow_queries"),
 ];
 
@@ -404,14 +409,26 @@ pub const HISTS: [(Hist, &str); HIST_COUNT] = [
 
 /// Inclusive upper bounds (nanoseconds) of the finite histogram buckets;
 /// observations above the last bound land in the overflow bucket.
-pub const BUCKET_BOUNDS_NANOS: [u64; 8] = [
+///
+/// The 1-2-5-style ladder keeps percentile estimates
+/// ([`HistSnapshot::percentile_nanos`]) within roughly a 2–2.5× bound-ratio
+/// of the truth across the microsecond-to-minute range the service sees.
+pub const BUCKET_BOUNDS_NANOS: [u64; 16] = [
     10_000,         // 10µs
+    25_000,         // 25µs
+    50_000,         // 50µs
     100_000,        // 100µs
+    250_000,        // 250µs
+    500_000,        // 500µs
     1_000_000,      // 1ms
+    2_500_000,      // 2.5ms
+    5_000_000,      // 5ms
     10_000_000,     // 10ms
+    25_000_000,     // 25ms
     100_000_000,    // 100ms
     1_000_000_000,  // 1s
     10_000_000_000, // 10s
+    30_000_000_000, // 30s
     60_000_000_000, // 60s
 ];
 
@@ -466,6 +483,57 @@ pub struct HistSnapshot {
     pub sum_nanos: u64,
     /// Total number of observations.
     pub count: u64,
+}
+
+impl HistSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) of the observations in
+    /// nanoseconds by linear interpolation inside the bucket holding the
+    /// quantile rank; `None` for an empty histogram.
+    ///
+    /// Observations that landed in the overflow bucket are reported as the
+    /// last finite bound (the estimate saturates rather than extrapolating
+    /// past what the histogram can resolve).
+    pub fn percentile_nanos(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The 1-based rank of the quantile observation.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, observed) in self.buckets.iter().enumerate() {
+            if *observed == 0 {
+                continue;
+            }
+            if seen + observed >= rank {
+                let upper = if index < BUCKET_BOUNDS_NANOS.len() {
+                    BUCKET_BOUNDS_NANOS[index]
+                } else {
+                    return Some(BUCKET_BOUNDS_NANOS[BUCKET_BOUNDS_NANOS.len() - 1]);
+                };
+                let lower = if index == 0 {
+                    0
+                } else {
+                    BUCKET_BOUNDS_NANOS[index - 1]
+                };
+                // Interpolate the rank's position within this bucket.
+                let into = (rank - seen) as f64 / *observed as f64;
+                return Some(lower + ((upper - lower) as f64 * into) as u64);
+            }
+            seen += observed;
+        }
+        Some(BUCKET_BOUNDS_NANOS[BUCKET_BOUNDS_NANOS.len() - 1])
+    }
+
+    /// The standard serving percentiles `(p50, p95, p99)` in nanoseconds;
+    /// `None` for an empty histogram.
+    pub fn percentiles(&self) -> Option<(u64, u64, u64)> {
+        Some((
+            self.percentile_nanos(0.50)?,
+            self.percentile_nanos(0.95)?,
+            self.percentile_nanos(0.99)?,
+        ))
+    }
 }
 
 /// Snapshots a histogram's current buckets, sum, and count.
@@ -675,13 +743,29 @@ pub fn render_table() -> String {
     let _ = writeln!(out, "histograms:");
     for (hist_id, name) in HISTS {
         let snap = hist_snapshot(hist_id);
-        let _ = writeln!(
-            out,
-            "  {:<21} count={} sum={}",
-            name,
-            snap.count,
-            format_nanos(snap.sum_nanos)
-        );
+        match snap.percentiles() {
+            Some((p50, p95, p99)) => {
+                let _ = writeln!(
+                    out,
+                    "  {:<21} count={} sum={} p50={} p95={} p99={}",
+                    name,
+                    snap.count,
+                    format_nanos(snap.sum_nanos),
+                    format_nanos(p50),
+                    format_nanos(p95),
+                    format_nanos(p99)
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {:<21} count={} sum={}",
+                    name,
+                    snap.count,
+                    format_nanos(snap.sum_nanos)
+                );
+            }
+        }
         for (index, observed) in snap.buckets.iter().enumerate() {
             if *observed > 0 {
                 let _ = writeln!(out, "    {:<12} {}", bound_label(index), observed);
@@ -880,6 +964,52 @@ mod tests {
             gauge_set(Gauge::EpochLag, 3);
             assert_eq!(gauge(Gauge::EpochLag), 3);
         });
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let mut snap = HistSnapshot {
+            buckets: [0; BUCKET_COUNT],
+            sum_nanos: 0,
+            count: 0,
+        };
+        assert_eq!(snap.percentile_nanos(0.5), None);
+        assert_eq!(snap.percentiles(), None);
+
+        // 100 observations spread evenly over the first bucket (0..=10µs):
+        // the median interpolates to the bucket midpoint.
+        snap.buckets[0] = 100;
+        snap.count = 100;
+        assert_eq!(snap.percentile_nanos(0.5), Some(5_000));
+        assert_eq!(snap.percentile_nanos(0.0), Some(100));
+        assert_eq!(snap.percentile_nanos(1.0), Some(10_000));
+
+        // Add 100 observations in the 1ms..=2.5ms bucket: the p50 sits at
+        // the first bucket's upper bound and p95 inside the slower bucket.
+        let slow = bucket_index(2_000_000);
+        snap.buckets[slow] = 100;
+        snap.count = 200;
+        assert_eq!(snap.percentile_nanos(0.5), Some(10_000));
+        let p95 = snap.percentile_nanos(0.95).unwrap();
+        assert!(
+            p95 > BUCKET_BOUNDS_NANOS[slow - 1] && p95 <= BUCKET_BOUNDS_NANOS[slow],
+            "{p95}"
+        );
+    }
+
+    #[test]
+    fn percentiles_saturate_at_the_overflow_bucket() {
+        let mut snap = HistSnapshot {
+            buckets: [0; BUCKET_COUNT],
+            sum_nanos: 0,
+            count: 2,
+        };
+        snap.buckets[0] = 1;
+        snap.buckets[BUCKET_COUNT - 1] = 1;
+        assert_eq!(
+            snap.percentile_nanos(0.99),
+            Some(BUCKET_BOUNDS_NANOS[BUCKET_BOUNDS_NANOS.len() - 1])
+        );
     }
 
     #[test]
